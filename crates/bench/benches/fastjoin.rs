@@ -1,0 +1,47 @@
+//! Figure 8: SilkMoth vs the (simulated) FastJoin baseline on string
+//! matching (§8.5), varying θ and α.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silkmoth_bench::{opt_config, Application, Workload};
+use silkmoth_core::{FilterKind, SignatureScheme};
+
+fn bench_fastjoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/string_matching");
+    group.sample_size(10);
+    // Left panel: vary θ at α = 0.8.
+    let w = Workload::build(Application::StringMatching, 800, 0.8);
+    for theta in [0.7, 0.8] {
+        let silk = opt_config(&w, theta);
+        group.bench_with_input(
+            BenchmarkId::new("SILKMOTH", format!("theta_{theta}")),
+            &silk,
+            |b, cfg| b.iter(|| w.run(*cfg).pairs),
+        );
+        let fast = w.config(theta, SignatureScheme::CombinedUnweighted, FilterKind::None, false);
+        group.bench_with_input(
+            BenchmarkId::new("FASTJOIN", format!("theta_{theta}")),
+            &fast,
+            |b, cfg| b.iter(|| w.run(*cfg).pairs),
+        );
+    }
+    // Right panel: vary α at θ = 0.8.
+    for alpha in [0.7, 0.85] {
+        let w = Workload::build(Application::StringMatching, 800, alpha);
+        let silk = opt_config(&w, 0.8);
+        group.bench_with_input(
+            BenchmarkId::new("SILKMOTH", format!("alpha_{alpha}")),
+            &silk,
+            |b, cfg| b.iter(|| w.run(*cfg).pairs),
+        );
+        let fast = w.config(0.8, SignatureScheme::CombinedUnweighted, FilterKind::None, false);
+        group.bench_with_input(
+            BenchmarkId::new("FASTJOIN", format!("alpha_{alpha}")),
+            &fast,
+            |b, cfg| b.iter(|| w.run(*cfg).pairs),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fastjoin);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 6: runtime of the refinement filters with varying θ (§8.3),
+//! dichotomy signatures, no reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silkmoth_bench::{Application, Workload};
+use silkmoth_core::{FilterKind, SignatureScheme};
+
+fn bench_filters(c: &mut Criterion) {
+    for (app, sets) in [
+        (Application::StringMatching, 800),
+        (Application::SchemaMatching, 800),
+        (Application::InclusionDependency, 1200),
+    ] {
+        let w = Workload::build(app, sets, app.default_alpha());
+        let mut group = c.benchmark_group(format!("fig6/{}", app.name().replace(' ', "_")));
+        group.sample_size(10);
+        for (name, filter) in [
+            ("NOFILTER", FilterKind::None),
+            ("CHECK", FilterKind::Check),
+            ("NEARESTNEIGHBOR", FilterKind::CheckAndNearestNeighbor),
+        ] {
+            for theta in [0.7, 0.85] {
+                let cfg = w.config(theta, SignatureScheme::Dichotomy, filter, false);
+                group.bench_with_input(
+                    BenchmarkId::new(name, format!("theta_{theta}")),
+                    &cfg,
+                    |b, cfg| b.iter(|| w.run(*cfg).pairs),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Microbenchmarks of the verification kernel: the Hungarian algorithm,
+//! its greedy lower bound, and the effect of the §5.3 reduction at
+//! various identical-element fractions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silkmoth_matching::{
+    greedy_matching_score, max_weight_assignment, reduce_identical, WeightMatrix,
+};
+
+fn pseudo_weight(i: usize, j: usize) -> f64 {
+    (((i * 31 + j * 17 + 7) % 101) as f64) / 101.0
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/hungarian");
+    for n in [8usize, 32, 128] {
+        let w = WeightMatrix::from_fn(n, n, pseudo_weight);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| max_weight_assignment(w).score)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matching/greedy");
+    for n in [32usize, 128] {
+        let w = WeightMatrix::from_fn(n, n, pseudo_weight);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| greedy_matching_score(w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/reduction_fraction");
+    let n = 128usize;
+    for identical_pct in [0usize, 50, 90] {
+        // Two element-key vectors sharing `identical_pct`% of keys.
+        let r: Vec<u32> = (0..n as u32).collect();
+        let s: Vec<u32> = (0..n)
+            .map(|i| {
+                if i * 100 < n * identical_pct {
+                    i as u32
+                } else {
+                    (i + n) as u32
+                }
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(identical_pct),
+            &(r, s),
+            |b, (r, s)| {
+                b.iter(|| {
+                    let red = reduce_identical(r, s);
+                    let m = WeightMatrix::from_fn(red.rest_r.len(), red.rest_s.len(), |i, j| {
+                        pseudo_weight(red.rest_r[i], red.rest_s[j])
+                    });
+                    red.identical_pairs as f64 + max_weight_assignment(&m).score
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: dense Hungarian vs the sparse positive-edge solver at
+/// various zero fractions (what α-clamping produces in verification).
+fn bench_sparse_ablation(c: &mut Criterion) {
+    use silkmoth_matching::sparse::sparse_from_dense;
+    let n = 96usize;
+    let mut group = c.benchmark_group("matching/sparse_vs_dense");
+    for zero_pct in [0usize, 80, 99] {
+        let w = WeightMatrix::from_fn(n, n, |i, j| {
+            let h = (i * 131 + j * 137 + 11) % 100;
+            if h < zero_pct {
+                0.0
+            } else {
+                pseudo_weight(i, j).max(0.01)
+            }
+        });
+        group.bench_with_input(BenchmarkId::new("dense", zero_pct), &w, |b, w| {
+            b.iter(|| max_weight_assignment(w).score)
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", zero_pct), &w, |b, w| {
+            b.iter(|| sparse_from_dense(w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hungarian,
+    bench_reduction_kernel,
+    bench_sparse_ablation
+);
+criterion_main!(benches);

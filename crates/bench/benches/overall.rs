@@ -1,0 +1,31 @@
+//! Figure 4: overall performance gains of SilkMoth's optimizations —
+//! NOOPT (unweighted signatures, no filters, no reduction) vs OPT (full
+//! SilkMoth) on all three applications at default parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silkmoth_bench::{noopt_config, opt_config, Application, Workload};
+
+fn bench_overall(c: &mut Criterion) {
+    for (app, sets) in [
+        (Application::StringMatching, 600),
+        (Application::SchemaMatching, 600),
+        (Application::InclusionDependency, 1000),
+    ] {
+        let w = Workload::build(app, sets, app.default_alpha());
+        let delta = app.default_delta();
+        let mut group = c.benchmark_group(format!("fig4/{}", app.name().replace(' ', "_")));
+        group.sample_size(10);
+        let noopt = noopt_config(&w, delta);
+        group.bench_with_input(BenchmarkId::new("NOOPT", sets), &noopt, |b, cfg| {
+            b.iter(|| w.run(*cfg).pairs)
+        });
+        let opt = opt_config(&w, delta);
+        group.bench_with_input(BenchmarkId::new("OPT", sets), &opt, |b, cfg| {
+            b.iter(|| w.run(*cfg).pairs)
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_overall);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 7: reduction-based verification on large sets (§8.4) —
+//! inclusion dependency, α = 0, columns of ≥ 100 elements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silkmoth_bench::Workload;
+use silkmoth_core::{FilterKind, SignatureScheme};
+
+fn bench_reduction(c: &mut Criterion) {
+    let w = Workload::build_reduction(250);
+    let mut group = c.benchmark_group("fig7/reduction");
+    group.sample_size(10);
+    for (name, reduction) in [("NOREDUCTION", false), ("REDUCTION", true)] {
+        for theta in [0.7, 0.85] {
+            let cfg = w.config(
+                theta,
+                SignatureScheme::Dichotomy,
+                FilterKind::CheckAndNearestNeighbor,
+                reduction,
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("theta_{theta}")),
+                &cfg,
+                |b, cfg| b.iter(|| w.run(*cfg).pairs),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

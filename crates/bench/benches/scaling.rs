@@ -1,0 +1,23 @@
+//! Figure 9: scalability of full SilkMoth with the number of sets (§8.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use silkmoth_bench::{opt_config, Application, Workload};
+
+fn bench_scaling(c: &mut Criterion) {
+    for app in Application::ALL {
+        let mut group = c.benchmark_group(format!("fig9/{}", app.name().replace(' ', "_")));
+        group.sample_size(10);
+        for sets in [400usize, 800, 1600] {
+            let w = Workload::build(app, sets, app.default_alpha());
+            let cfg = opt_config(&w, 0.7);
+            group.throughput(Throughput::Elements(sets as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(sets), &cfg, |b, cfg| {
+                b.iter(|| w.run(*cfg).pairs)
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 5: runtime of the signature schemes with varying θ, filters and
+//! reduction disabled (§8.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silkmoth_bench::{Application, Workload};
+use silkmoth_core::{FilterKind, SignatureScheme};
+
+fn bench_schemes(c: &mut Criterion) {
+    for (app, sets) in [
+        (Application::StringMatching, 800),
+        (Application::SchemaMatching, 800),
+        (Application::InclusionDependency, 1200),
+    ] {
+        let alpha = app.default_alpha();
+        let w = Workload::build(app, sets, alpha);
+        let mut group = c.benchmark_group(format!("fig5/{}", app.name().replace(' ', "_")));
+        group.sample_size(10);
+        for (name, scheme) in [
+            ("WEIGHTED", SignatureScheme::Weighted),
+            ("COMBUNWEIGHTED", SignatureScheme::CombinedUnweighted),
+            ("SKYLINE", SignatureScheme::Skyline),
+            ("DICHOTOMY", SignatureScheme::Dichotomy),
+        ] {
+            let scheme = if alpha == 0.0 && scheme == SignatureScheme::CombinedUnweighted {
+                SignatureScheme::Unweighted
+            } else {
+                scheme
+            };
+            for theta in [0.7, 0.85] {
+                let cfg = w.config(theta, scheme, FilterKind::None, false);
+                group.bench_with_input(
+                    BenchmarkId::new(name, format!("theta_{theta}")),
+                    &cfg,
+                    |b, cfg| b.iter(|| w.run(*cfg).pairs),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

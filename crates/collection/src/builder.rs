@@ -1,0 +1,236 @@
+//! Two-pass collection construction and external-set encoding.
+
+use crate::{Collection, Element, SetRecord, TokenDict};
+use silkmoth_text::{qchunk_positions, qgrams, whitespace_tokens, TokenId};
+use std::collections::HashMap;
+
+/// How element strings are turned into tokens (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Tokenization {
+    /// Whitespace-delimited words — used with Jaccard similarity.
+    Whitespace,
+    /// Padded q-grams — used with edit similarity. Also records q-chunks.
+    QGram {
+        /// Gram length `q ≥ 1`.
+        q: usize,
+    },
+}
+
+impl Tokenization {
+    /// True for q-gram tokenization.
+    pub fn is_edit(&self) -> bool {
+        matches!(self, Self::QGram { .. })
+    }
+
+    /// Raw token strings of one element under this tokenization.
+    pub fn raw_tokens(&self, text: &str) -> Vec<String> {
+        match self {
+            Self::Whitespace => whitespace_tokens(text)
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+            Self::QGram { q } => qgrams(text, *q),
+        }
+    }
+}
+
+pub(crate) fn build_collection<S: AsRef<str>>(
+    raw: &[Vec<S>],
+    tokenization: Tokenization,
+) -> Collection {
+    // Pass 1: posting counts (each element counts a token once).
+    let mut counts: HashMap<Box<str>, u32> = HashMap::new();
+    let mut scratch: Vec<String> = Vec::new();
+    for set in raw {
+        for elem in set {
+            scratch.clear();
+            scratch.extend(tokenization.raw_tokens(elem.as_ref()));
+            scratch.sort_unstable();
+            scratch.dedup();
+            for t in &scratch {
+                if let Some(c) = counts.get_mut(t.as_str()) {
+                    *c += 1;
+                } else {
+                    counts.insert(t.clone().into_boxed_str(), 1);
+                }
+            }
+        }
+    }
+    let dict = TokenDict::from_counts(counts);
+
+    // Pass 2: encode every element against the dictionary.
+    let sets: Vec<SetRecord> = raw
+        .iter()
+        .map(|set| SetRecord {
+            elements: set
+                .iter()
+                .map(|e| encode_element(e.as_ref(), tokenization, |t| dict.id(t).expect("token seen in pass 1")))
+                .collect(),
+        })
+        .collect();
+
+    Collection::from_parts(sets, dict, tokenization)
+}
+
+/// Encodes one element, resolving token strings to ids via `resolve`.
+fn encode_element(
+    text: &str,
+    tokenization: Tokenization,
+    mut resolve: impl FnMut(&str) -> TokenId,
+) -> Element {
+    match tokenization {
+        Tokenization::Whitespace => {
+            let mut tokens: Vec<TokenId> =
+                whitespace_tokens(text).into_iter().map(&mut resolve).collect();
+            tokens.sort_unstable();
+            tokens.dedup();
+            Element {
+                text: text.into(),
+                tokens: tokens.into(),
+                chunks: Box::new([]),
+                chars: Box::new([]),
+                char_len: text.chars().count() as u32,
+            }
+        }
+        Tokenization::QGram { q } => {
+            let grams = qgrams(text, q);
+            let ids: Vec<TokenId> = grams.iter().map(|g| resolve(g)).collect();
+            let char_len = text.chars().count();
+            let chunks: Vec<TokenId> = qchunk_positions(char_len, q)
+                .into_iter()
+                .map(|p| ids[p])
+                .collect();
+            let mut tokens = ids;
+            tokens.sort_unstable();
+            tokens.dedup();
+            Element {
+                text: text.into(),
+                tokens: tokens.into(),
+                chunks: chunks.into(),
+                chars: text.chars().collect(),
+                char_len: char_len as u32,
+            }
+        }
+    }
+}
+
+pub(crate) fn encode_external_set<S: AsRef<str>>(
+    collection: &Collection,
+    elements: &[S],
+) -> SetRecord {
+    // Unknown tokens get fresh ids beyond the dictionary, consistent within
+    // this one reference set so repeated unknown tokens still match each
+    // other in Jaccard evaluation.
+    let mut fresh: HashMap<String, TokenId> = HashMap::new();
+    let base = collection.dict().len() as TokenId;
+    let tokenization = collection.tokenization();
+    let elems: Vec<Element> = elements
+        .iter()
+        .map(|e| {
+            encode_element(e.as_ref(), tokenization, |t| {
+                if let Some(id) = collection.dict().id(t) {
+                    id
+                } else {
+                    let next = base + fresh.len() as TokenId;
+                    *fresh.entry(t.to_owned()).or_insert(next)
+                }
+            })
+        })
+        .collect();
+    SetRecord {
+        elements: elems.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_build_frequency_order() {
+        let raw = vec![
+            vec!["a b", "a c"],
+            vec!["a", "b d"],
+        ];
+        let c = Collection::build(&raw, Tokenization::Whitespace);
+        // Posting counts: a=3 elements, b=2, c=1, d=1.
+        let d = c.dict();
+        assert_eq!(d.id("a"), Some(0));
+        assert_eq!(d.id("b"), Some(1));
+        assert_eq!(d.id("c"), Some(2)); // tie with d, lexicographic
+        assert_eq!(d.id("d"), Some(3));
+    }
+
+    #[test]
+    fn element_tokens_sorted_dedup() {
+        let raw = vec![vec!["x y x z y"]];
+        let c = Collection::build(&raw, Tokenization::Whitespace);
+        let e = &c.set(0).elements[0];
+        assert_eq!(e.tokens.len(), 3);
+        assert!(e.tokens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn qgram_build_has_chunks() {
+        let raw = vec![vec!["abcdef", "abcd"]];
+        let c = Collection::build(&raw, Tokenization::QGram { q: 3 });
+        let e0 = &c.set(0).elements[0];
+        assert_eq!(e0.char_len, 6);
+        assert_eq!(e0.chunks.len(), 2); // ⌈6/3⌉
+        let e1 = &c.set(0).elements[1];
+        assert_eq!(e1.chunks.len(), 2); // ⌈4/3⌉
+        // Chunk ids must be among the element's tokens.
+        for &ch in e0.chunks.iter() {
+            assert!(e0.tokens.binary_search(&ch).is_ok());
+        }
+        // chars materialized for edit similarity.
+        assert_eq!(e0.chars.len(), 6);
+    }
+
+    #[test]
+    fn external_encoding_known_tokens_match() {
+        let raw = vec![vec!["alpha beta"], vec!["beta gamma"]];
+        let c = Collection::build(&raw, Tokenization::Whitespace);
+        let r = c.encode_set(&["beta alpha"]);
+        let want: Vec<_> = {
+            let mut v = vec![c.dict().id("alpha").unwrap(), c.dict().id("beta").unwrap()];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(r.elements[0].tokens.as_ref(), want.as_slice());
+    }
+
+    #[test]
+    fn external_encoding_unknown_tokens_fresh_and_consistent() {
+        let raw = vec![vec!["alpha"]];
+        let c = Collection::build(&raw, Tokenization::Whitespace);
+        let r = c.encode_set(&["zzz yyy", "zzz alpha"]);
+        let base = c.dict().len() as u32;
+        let e0 = &r.elements[0];
+        let e1 = &r.elements[1];
+        // Unknown ids are ≥ base.
+        assert!(e0.tokens.iter().all(|&t| t >= base));
+        // "zzz" maps to the same fresh id in both elements.
+        let zzz0 = e0.tokens.iter().find(|&&t| e1.tokens.contains(&t));
+        assert!(zzz0.is_some());
+        // Known token resolves to the dictionary id.
+        assert!(e1.tokens.contains(&c.dict().id("alpha").unwrap()));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = Collection::build(&Vec::<Vec<&str>>::new(), Tokenization::Whitespace);
+        assert!(c.is_empty());
+        assert_eq!(c.dict().len(), 0);
+    }
+
+    #[test]
+    fn empty_element_string() {
+        let raw = vec![vec![""]];
+        let c = Collection::build(&raw, Tokenization::Whitespace);
+        assert!(c.set(0).elements[0].tokens.is_empty());
+        let cq = Collection::build(&raw, Tokenization::QGram { q: 2 });
+        assert!(cq.set(0).elements[0].tokens.is_empty());
+        assert!(cq.set(0).elements[0].chunks.is_empty());
+    }
+}

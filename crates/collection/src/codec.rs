@@ -1,0 +1,183 @@
+//! Compact binary serialization of corpora.
+//!
+//! Stores the raw element texts plus the tokenization; decoding replays
+//! [`Collection::build`], which is deterministic, so a round-trip
+//! reproduces the exact same token ids, element encodings, and inverted
+//! index. Used by the benchmark harness to cache generated corpora
+//! between runs.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   "SMC1"                      4 bytes
+//! tok     0 = whitespace, 1 = q-gram  1 byte
+//! q       u32 (0 when whitespace)     4 bytes
+//! n_sets  u64                         8 bytes
+//! per set:    n_elems u32, then per element: len u32 + UTF-8 bytes
+//! ```
+
+use crate::{Collection, Tokenization};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"SMC1";
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the `SMC1` magic.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// An element's bytes are not valid UTF-8.
+    BadUtf8,
+    /// Unknown tokenization tag.
+    BadTokenization(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a SilkMoth corpus (bad magic)"),
+            Self::Truncated => write!(f, "corpus truncated"),
+            Self::BadUtf8 => write!(f, "corpus contains invalid UTF-8"),
+            Self::BadTokenization(t) => write!(f, "unknown tokenization tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes a collection (its raw texts + tokenization).
+pub fn encode(collection: &Collection) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + collection.len() * 32);
+    buf.put_slice(MAGIC);
+    match collection.tokenization() {
+        Tokenization::Whitespace => {
+            buf.put_u8(0);
+            buf.put_u32_le(0);
+        }
+        Tokenization::QGram { q } => {
+            buf.put_u8(1);
+            buf.put_u32_le(q as u32);
+        }
+    }
+    buf.put_u64_le(collection.len() as u64);
+    for set in collection.sets() {
+        buf.put_u32_le(set.len() as u32);
+        for e in set.elements.iter() {
+            buf.put_u32_le(e.text.len() as u32);
+            buf.put_slice(e.text.as_bytes());
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a collection by replaying the deterministic build.
+pub fn decode(mut buf: &[u8]) -> Result<Collection, CodecError> {
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    buf.advance(4);
+    if buf.remaining() < 5 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let q = buf.get_u32_le() as usize;
+    let tokenization = match tag {
+        0 => Tokenization::Whitespace,
+        1 => Tokenization::QGram { q },
+        t => return Err(CodecError::BadTokenization(t)),
+    };
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let n_sets = buf.get_u64_le() as usize;
+    let mut raw: Vec<Vec<String>> = Vec::with_capacity(n_sets);
+    for _ in 0..n_sets {
+        if buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let n_elems = buf.get_u32_le() as usize;
+        let mut set = Vec::with_capacity(n_elems);
+        for _ in 0..n_elems {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            let text = std::str::from_utf8(&buf[..len])
+                .map_err(|_| CodecError::BadUtf8)?
+                .to_owned();
+            buf.advance(len);
+            set.push(text);
+        }
+        raw.push(set);
+    }
+    Ok(Collection::build(&raw, tokenization))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::table2;
+    use crate::InvertedIndex;
+
+    #[test]
+    fn roundtrip_whitespace() {
+        let (c, _) = table2();
+        let bytes = encode(&c);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.dict().len(), c.dict().len());
+        for (a, b) in c.sets().iter().zip(back.sets()) {
+            assert_eq!(a, b);
+        }
+        // Derived structures match too.
+        let ia = InvertedIndex::build(&c);
+        let ib = InvertedIndex::build(&back);
+        assert_eq!(ia.total_postings(), ib.total_postings());
+    }
+
+    #[test]
+    fn roundtrip_qgram() {
+        let raw = vec![vec!["abcdef", "héllo wörld"], vec!["xyz"]];
+        let c = Collection::build(&raw, Tokenization::QGram { q: 3 });
+        let back = decode(&encode(&c)).unwrap();
+        assert_eq!(back.tokenization(), Tokenization::QGram { q: 3 });
+        for (a, b) in c.sets().iter().zip(back.sets()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = Collection::build(&Vec::<Vec<&str>>::new(), Tokenization::Whitespace);
+        let back = decode(&encode(&c)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOPE").unwrap_err(), CodecError::BadMagic);
+        assert_eq!(decode(b"").unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (c, _) = table2();
+        let bytes = encode(&c);
+        for cut in [5, 9, 17, bytes.len() - 1] {
+            let got = decode(&bytes[..cut]);
+            assert!(got.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_tokenization_tag() {
+        let mut b = encode(&table2().0).to_vec();
+        b[4] = 9;
+        assert_eq!(decode(&b).unwrap_err(), CodecError::BadTokenization(9));
+    }
+}

@@ -1,0 +1,139 @@
+//! Elements and set records.
+
+use silkmoth_text::TokenId;
+
+/// One element of a set: its raw text plus the interned token view used by
+/// the index, signatures, and similarity evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Original element text (used by edit-similarity verification).
+    pub text: Box<str>,
+    /// Distinct token ids, sorted ascending. For whitespace tokenization
+    /// these are the words; for q-gram tokenization, the q-grams of the
+    /// padded text.
+    pub tokens: Box<[TokenId]>,
+    /// Q-chunk token ids in positional order (may contain repeats); empty
+    /// under whitespace tokenization. Signatures for edit similarity select
+    /// from these (§7.1).
+    pub chunks: Box<[TokenId]>,
+    /// Characters of `text`, materialized once for the Levenshtein kernel.
+    /// Empty under whitespace tokenization.
+    pub chars: Box<[char]>,
+    /// Character length of `text` (the `|r|` of §7's formulas).
+    pub char_len: u32,
+}
+
+impl Element {
+    /// The element "size" `|r|` used in signature-scheme formulas:
+    /// distinct-token count for Jaccard (§4.2), character length for edit
+    /// similarity (§7.1).
+    #[inline]
+    pub fn size(&self, edit: bool) -> usize {
+        if edit {
+            self.char_len as usize
+        } else {
+            self.tokens.len()
+        }
+    }
+
+    /// Number of signature-selectable units: distinct tokens for Jaccard,
+    /// q-chunk occurrences for edit similarity.
+    #[inline]
+    pub fn signature_pool_len(&self, edit: bool) -> usize {
+        if edit {
+            self.chunks.len()
+        } else {
+            self.tokens.len()
+        }
+    }
+
+    /// True if this element contains token `t` (binary search over the
+    /// sorted distinct tokens).
+    #[inline]
+    pub fn contains_token(&self, t: TokenId) -> bool {
+        self.tokens.binary_search(&t).is_ok()
+    }
+}
+
+/// A set: an ordered list of elements. Order is preserved from input so
+/// results can be reported against the original data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetRecord {
+    /// The elements of the set.
+    pub elements: Box<[Element]>,
+}
+
+impl SetRecord {
+    /// Number of elements `|R|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The distinct tokens of the whole set, `R^T = ∪ r` (Definition 3's
+    /// universe), sorted ascending.
+    pub fn all_tokens(&self) -> Vec<TokenId> {
+        let mut v: Vec<TokenId> = self
+            .elements
+            .iter()
+            .flat_map(|e| e.tokens.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elem(tokens: &[TokenId]) -> Element {
+        Element {
+            text: "".into(),
+            tokens: tokens.into(),
+            chunks: Box::new([]),
+            chars: Box::new([]),
+            char_len: 0,
+        }
+    }
+
+    #[test]
+    fn size_switches_on_tokenization() {
+        let mut e = elem(&[1, 2, 3]);
+        e.char_len = 10;
+        assert_eq!(e.size(false), 3);
+        assert_eq!(e.size(true), 10);
+    }
+
+    #[test]
+    fn contains_token_binary_search() {
+        let e = elem(&[2, 5, 9]);
+        assert!(e.contains_token(5));
+        assert!(!e.contains_token(4));
+        assert!(!e.contains_token(10));
+    }
+
+    #[test]
+    fn all_tokens_dedupes_across_elements() {
+        let r = SetRecord {
+            elements: vec![elem(&[1, 3]), elem(&[2, 3]), elem(&[1, 4])].into(),
+        };
+        assert_eq!(r.all_tokens(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let r = SetRecord {
+            elements: Box::new([]),
+        };
+        assert!(r.is_empty());
+        assert!(r.all_tokens().is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! The inverted index `I` (§3).
+
+use crate::{Collection, ElemIdx, SetIdx};
+use silkmoth_text::TokenId;
+
+/// One entry of an inverted list: "this token occurs in element `elem` of
+/// set `set`". Lists are sorted by `(set, elem)` and deduplicated (an
+/// element lists a token once even if the token appears in it repeatedly —
+/// footnote 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// Containing set.
+    pub set: SetIdx,
+    /// Element within the set.
+    pub elem: ElemIdx,
+}
+
+/// Inverted index over a [`Collection`]: for each token `t`, `I[t]` is the
+/// sorted list of `(set, element)` postings containing `t`.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    lists: Vec<Box<[Posting]>>,
+    total_postings: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index in one pass over the collection.
+    ///
+    /// Element token slices are already sorted and deduplicated, and sets
+    /// are visited in id order, so each list comes out sorted without a
+    /// final sort.
+    pub fn build(collection: &Collection) -> Self {
+        let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); collection.dict().len()];
+        let mut total = 0usize;
+        for (sid, set) in collection.sets().iter().enumerate() {
+            for (eid, elem) in set.elements.iter().enumerate() {
+                for &t in elem.tokens.iter() {
+                    lists[t as usize].push(Posting {
+                        set: sid as SetIdx,
+                        elem: eid as ElemIdx,
+                    });
+                    total += 1;
+                }
+            }
+        }
+        Self {
+            lists: lists.into_iter().map(Vec::into_boxed_slice).collect(),
+            total_postings: total,
+        }
+    }
+
+    /// The inverted list `I[t]`. Out-of-dictionary ids (external reference
+    /// tokens) yield an empty list.
+    #[inline]
+    pub fn list(&self, t: TokenId) -> &[Posting] {
+        self.lists
+            .get(t as usize)
+            .map(AsRef::as_ref)
+            .unwrap_or(&[])
+    }
+
+    /// `|I[t]|` — the signature-selection cost of token `t` (§4.3).
+    #[inline]
+    pub fn cost(&self, t: TokenId) -> usize {
+        self.list(t).len()
+    }
+
+    /// The contiguous postings of set `s` inside `I[t]`, located by binary
+    /// search (footnote 7). Used by `NNSearch` to enumerate the elements of
+    /// one candidate set containing `t`.
+    pub fn postings_in_set(&self, t: TokenId, s: SetIdx) -> &[Posting] {
+        let list = self.list(t);
+        let lo = list.partition_point(|p| p.set < s);
+        let hi = list.partition_point(|p| p.set <= s);
+        &list[lo..hi]
+    }
+
+    /// Number of token lists (= dictionary size at build time).
+    pub fn num_tokens(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total postings across all lists.
+    pub fn total_postings(&self) -> usize {
+        self.total_postings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tokenization;
+
+    fn index() -> (Collection, InvertedIndex) {
+        let raw = vec![
+            vec!["a b", "b c"],
+            vec!["a", "c d"],
+            vec!["b d"],
+        ];
+        let c = Collection::build(&raw, Tokenization::Whitespace);
+        let i = InvertedIndex::build(&c);
+        (c, i)
+    }
+
+    #[test]
+    fn lists_sorted_and_complete() {
+        let (c, i) = index();
+        // b appears in 3 elements: (0,0), (0,1), (2,0).
+        let b = c.dict().id("b").unwrap();
+        let list = i.list(b);
+        assert_eq!(list.len(), 3);
+        assert!(list.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(list[0], Posting { set: 0, elem: 0 });
+        assert_eq!(list[2], Posting { set: 2, elem: 0 });
+    }
+
+    #[test]
+    fn cost_matches_dict_frequency() {
+        let (c, i) = index();
+        for tok in ["a", "b", "c", "d"] {
+            let id = c.dict().id(tok).unwrap();
+            assert_eq!(i.cost(id), c.dict().frequency(id) as usize, "{tok}");
+        }
+    }
+
+    #[test]
+    fn postings_in_set_binary_search() {
+        let (c, i) = index();
+        let b = c.dict().id("b").unwrap();
+        let in0 = i.postings_in_set(b, 0);
+        assert_eq!(in0.len(), 2);
+        assert!(in0.iter().all(|p| p.set == 0));
+        let in1 = i.postings_in_set(b, 1);
+        assert!(in1.is_empty());
+        let in2 = i.postings_in_set(b, 2);
+        assert_eq!(in2, &[Posting { set: 2, elem: 0 }]);
+    }
+
+    #[test]
+    fn out_of_dictionary_token_is_empty() {
+        let (_, i) = index();
+        assert!(i.list(999).is_empty());
+        assert_eq!(i.cost(999), 0);
+        assert!(i.postings_in_set(999, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_tokens_in_element_posted_once() {
+        let raw = vec![vec!["x x x"]];
+        let c = Collection::build(&raw, Tokenization::Whitespace);
+        let i = InvertedIndex::build(&c);
+        assert_eq!(i.cost(c.dict().id("x").unwrap()), 1);
+    }
+
+    #[test]
+    fn total_postings_counts_all() {
+        let (_, i) = index();
+        // Elements: {a,b},{b,c},{a},{c,d},{b,d} → 2+2+1+2+2 = 9.
+        assert_eq!(i.total_postings(), 9);
+    }
+
+    #[test]
+    fn qgram_index_postings() {
+        let raw = vec![vec!["abc"], vec!["abc", "xbc"]];
+        let c = Collection::build(&raw, Tokenization::QGram { q: 2 });
+        let i = InvertedIndex::build(&c);
+        // "bc" occurs in all three elements.
+        let bc = c.dict().id("bc").unwrap();
+        assert_eq!(i.cost(bc), 3);
+    }
+}

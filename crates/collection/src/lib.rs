@@ -1,0 +1,125 @@
+//! # silkmoth-collection
+//!
+//! Set collections, the frequency-ordered token dictionary, and the
+//! inverted index for the SilkMoth related-set discovery system (§3 of the
+//! paper).
+//!
+//! A [`Collection`] is built from raw data — each *set* is a list of
+//! *element* strings — under a chosen [`Tokenization`]:
+//!
+//! * [`Tokenization::Whitespace`] for Jaccard similarity (each word is a
+//!   token);
+//! * [`Tokenization::QGram`] for edit similarity (each q-gram is a token;
+//!   elements additionally record their q-chunk token positions, used for
+//!   signature generation in §7.1).
+//!
+//! Token ids are assigned in **decreasing order of global frequency**
+//! (ties broken lexicographically), matching the paper's Table 2
+//! convention where `t1` is the most frequent token.
+//!
+//! The [`InvertedIndex`] maps each token to the deduplicated, sorted list
+//! of `(set, element)` pairs containing it (§3, footnote 4); per-set
+//! sublists are located by binary search (footnote 7), which is what the
+//! nearest-neighbor filter's `NNSearch` relies on.
+
+mod builder;
+pub mod codec;
+mod dict;
+mod element;
+mod index;
+pub mod paper_example;
+mod stats;
+
+pub use builder::Tokenization;
+pub use dict::TokenDict;
+pub use element::{Element, SetRecord};
+pub use index::{InvertedIndex, Posting};
+pub use stats::CollectionStats;
+
+use silkmoth_text::TokenId;
+
+/// Index of a set inside a [`Collection`].
+pub type SetIdx = u32;
+/// Index of an element inside a set.
+pub type ElemIdx = u32;
+
+/// A corpus of sets sharing one token dictionary.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    sets: Vec<SetRecord>,
+    dict: TokenDict,
+    tokenization: Tokenization,
+}
+
+impl Collection {
+    /// Builds a collection from raw sets of element strings.
+    ///
+    /// Two passes: the first counts global token frequencies (one count per
+    /// *element occurrence*, i.e. per future posting), the second assigns
+    /// ids in decreasing frequency order and encodes every element as a
+    /// sorted, deduplicated token-id slice.
+    pub fn build<S: AsRef<str>>(raw: &[Vec<S>], tokenization: Tokenization) -> Self {
+        builder::build_collection(raw, tokenization)
+    }
+
+    /// Number of sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if the collection holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The sets, in insertion order.
+    pub fn sets(&self) -> &[SetRecord] {
+        &self.sets
+    }
+
+    /// One set by index.
+    pub fn set(&self, id: SetIdx) -> &SetRecord {
+        &self.sets[id as usize]
+    }
+
+    /// The shared token dictionary.
+    pub fn dict(&self) -> &TokenDict {
+        &self.dict
+    }
+
+    /// The tokenization this collection was built with.
+    pub fn tokenization(&self) -> Tokenization {
+        self.tokenization
+    }
+
+    /// Encodes an external reference set against this collection's
+    /// dictionary (search mode, Problem 2).
+    ///
+    /// Tokens absent from the dictionary receive fresh ids starting at
+    /// `dict.len()`; such tokens have empty inverted lists, which the
+    /// signature generator exploits (a signature token with an empty list
+    /// costs nothing and admits no candidates).
+    pub fn encode_set<S: AsRef<str>>(&self, elements: &[S]) -> SetRecord {
+        builder::encode_external_set(self, elements)
+    }
+
+    /// Summary statistics (Table 3 columns).
+    pub fn stats(&self) -> CollectionStats {
+        stats::compute(self)
+    }
+
+    pub(crate) fn from_parts(
+        sets: Vec<SetRecord>,
+        dict: TokenDict,
+        tokenization: Tokenization,
+    ) -> Self {
+        Self {
+            sets,
+            dict,
+            tokenization,
+        }
+    }
+}
+
+/// Convenience re-export of the token id type.
+pub type Token = TokenId;

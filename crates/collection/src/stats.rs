@@ -1,0 +1,95 @@
+//! Corpus summary statistics (the columns of the paper's Table 3).
+
+use crate::Collection;
+
+/// Aggregate shape of a collection, as reported in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Number of sets.
+    pub num_sets: usize,
+    /// Total number of elements across all sets.
+    pub num_elements: usize,
+    /// Mean elements per set ("Elems/Set").
+    pub avg_elems_per_set: f64,
+    /// Mean distinct tokens per element ("Tokens/Elem").
+    pub avg_tokens_per_elem: f64,
+    /// Distinct tokens in the dictionary.
+    pub distinct_tokens: usize,
+    /// Total `(set, element)` postings the inverted index will hold.
+    pub total_postings: usize,
+}
+
+impl std::fmt::Display for CollectionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sets, {:.1} elems/set, {:.1} tokens/elem, {} distinct tokens, {} postings",
+            self.num_sets,
+            self.avg_elems_per_set,
+            self.avg_tokens_per_elem,
+            self.distinct_tokens,
+            self.total_postings
+        )
+    }
+}
+
+pub(crate) fn compute(c: &Collection) -> CollectionStats {
+    let num_sets = c.len();
+    let mut num_elements = 0usize;
+    let mut total_postings = 0usize;
+    for set in c.sets() {
+        num_elements += set.len();
+        for e in set.elements.iter() {
+            total_postings += e.tokens.len();
+        }
+    }
+    CollectionStats {
+        num_sets,
+        num_elements,
+        avg_elems_per_set: ratio(num_elements, num_sets),
+        avg_tokens_per_elem: ratio(total_postings, num_elements),
+        distinct_tokens: c.dict().len(),
+        total_postings,
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tokenization;
+
+    #[test]
+    fn stats_small_corpus() {
+        let raw = vec![vec!["a b", "c"], vec!["a b c d"]];
+        let s = Collection::build(&raw, Tokenization::Whitespace).stats();
+        assert_eq!(s.num_sets, 2);
+        assert_eq!(s.num_elements, 3);
+        assert!((s.avg_elems_per_set - 1.5).abs() < 1e-12);
+        assert_eq!(s.total_postings, 7);
+        assert!((s.avg_tokens_per_elem - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.distinct_tokens, 4);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = Collection::build(&Vec::<Vec<&str>>::new(), Tokenization::Whitespace).stats();
+        assert_eq!(s.num_sets, 0);
+        assert_eq!(s.avg_elems_per_set, 0.0);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let raw = vec![vec!["a"]];
+        let s = Collection::build(&raw, Tokenization::Whitespace).stats();
+        let text = s.to_string();
+        assert!(text.contains("1 sets"));
+    }
+}

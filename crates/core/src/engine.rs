@@ -1,0 +1,376 @@
+//! The unified engine: RELATED SET SEARCH and RELATED SET DISCOVERY
+//! (Problems 1–2, Algorithm 3).
+
+use crate::config::{ConfigError, EngineConfig, RelatednessMetric};
+use crate::filter::{PassStats, Restriction, Searcher};
+use silkmoth_collection::{Collection, InvertedIndex, SetIdx, SetRecord};
+
+/// One related pair found by discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelatedPair {
+    /// Reference-side index (into the reference list or the collection).
+    pub r: u32,
+    /// Collection-side set index.
+    pub s: SetIdx,
+    /// Relatedness score (≥ δ).
+    pub score: f64,
+}
+
+/// Output of a search pass: related sets plus instrumentation.
+#[derive(Debug, Clone)]
+pub struct SearchOutput {
+    /// Related sets, ascending id, with relatedness scores.
+    pub results: Vec<(SetIdx, f64)>,
+    /// Pass counters.
+    pub stats: PassStats,
+}
+
+/// Output of a discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryOutput {
+    /// All related pairs, sorted by `(r, s)`.
+    pub pairs: Vec<RelatedPair>,
+    /// Aggregated counters over all passes.
+    pub stats: PassStats,
+}
+
+/// The SilkMoth engine: an indexed collection plus a configuration.
+///
+/// Construction builds the inverted index once (§3); every subsequent
+/// search pass reuses it.
+///
+/// ```
+/// use silkmoth_core::{Engine, EngineConfig, RelatednessMetric};
+/// use silkmoth_collection::{Collection, Tokenization};
+/// use silkmoth_text::SimilarityFunction;
+///
+/// let raw = vec![
+///     vec!["77 Massachusetts Avenue Boston MA", "Fifth Street Seattle MA 02115"],
+///     vec!["1 Main St Springfield IL", "2 Oak Ave Portland OR"],
+/// ];
+/// let collection = Collection::build(&raw, Tokenization::Whitespace);
+/// let cfg = EngineConfig::full(
+///     RelatednessMetric::Containment,
+///     SimilarityFunction::Jaccard,
+///     0.5,
+///     0.0,
+/// );
+/// let engine = Engine::new(&collection, cfg).unwrap();
+/// let r = collection.encode_set(&["77 Massachusetts Avenue Boston MA"]);
+/// let out = engine.search(&r);
+/// assert_eq!(out.results[0].0, 0);
+/// ```
+pub struct Engine<'a> {
+    collection: &'a Collection,
+    index: InvertedIndex,
+    cfg: EngineConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds the inverted index and validates the configuration against
+    /// the collection's tokenization.
+    pub fn new(collection: &'a Collection, cfg: EngineConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let need = cfg.tokenization();
+        if collection.tokenization() != need {
+            return Err(ConfigError::TokenizationMismatch {
+                have: collection.tokenization(),
+                need,
+            });
+        }
+        Ok(Self {
+            index: InvertedIndex::build(collection),
+            collection,
+            cfg,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The underlying inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The indexed collection.
+    pub fn collection(&self) -> &Collection {
+        self.collection
+    }
+
+    /// RELATED SET SEARCH (Problem 2): all sets related to reference `r`.
+    ///
+    /// Encode external references with [`Collection::encode_set`].
+    pub fn search(&self, r: &SetRecord) -> SearchOutput {
+        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
+        let (results, stats) = searcher.run(r, Restriction::default());
+        SearchOutput { results, stats }
+    }
+
+    /// Top-k variant of [`search`](Self::search): the `k` most related
+    /// sets with relatedness at least `floor`.
+    ///
+    /// An extension beyond the paper (its related work §9 discusses top-k
+    /// set similarity search): the pass runs with δ = `floor` — so the
+    /// same exactness guarantee applies down to the floor — and the
+    /// results are ranked by score (ties broken by ascending set id) and
+    /// truncated to `k`.
+    pub fn search_topk(&self, r: &SetRecord, k: usize, floor: f64) -> SearchOutput {
+        let mut cfg = self.cfg;
+        cfg.delta = floor.max(f64::MIN_POSITIVE);
+        let mut searcher = Searcher::new(self.collection, &self.index, cfg);
+        let (mut results, stats) = searcher.run(r, Restriction::default());
+        results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        results.truncate(k);
+        SearchOutput { results, stats }
+    }
+
+    /// RELATED SET DISCOVERY (Problem 1) for references encoded against
+    /// this collection's dictionary: one search pass per reference.
+    pub fn discover(&self, refs: &[SetRecord]) -> DiscoveryOutput {
+        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
+        let mut pairs = Vec::new();
+        let mut stats = PassStats::default();
+        for (rid, r) in refs.iter().enumerate() {
+            let (results, ps) = searcher.run(r, Restriction::default());
+            stats.merge(&ps);
+            pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
+                r: rid as u32,
+                s,
+                score,
+            }));
+        }
+        DiscoveryOutput { pairs, stats }
+    }
+
+    /// Self-join discovery (`R = S`, the §8.1 string/schema matching
+    /// setup).
+    ///
+    /// For the symmetric SET-SIMILARITY metric, each unordered pair is
+    /// reported once with `r < s` (any related pair is guaranteed to be
+    /// found from both sides, so each pass can restrict candidates to
+    /// larger ids). For SET-CONTAINMENT the metric is asymmetric and all
+    /// ordered pairs `r ≠ s` are reported.
+    pub fn discover_self(&self) -> DiscoveryOutput {
+        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
+        let mut pairs = Vec::new();
+        let mut stats = PassStats::default();
+        for rid in 0..self.collection.len() as SetIdx {
+            let (results, ps) = self.self_pass(&mut searcher, rid);
+            stats.merge(&ps);
+            pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
+                r: rid,
+                s,
+                score,
+            }));
+        }
+        DiscoveryOutput { pairs, stats }
+    }
+
+    /// Parallel [`discover_self`](Self::discover_self) across `threads`
+    /// workers (0 = available parallelism). Output is identical to the
+    /// serial version.
+    pub fn discover_self_parallel(&self, threads: usize) -> DiscoveryOutput {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let total = self.collection.len();
+        if threads <= 1 || total < 2 * threads {
+            return self.discover_self();
+        }
+        let chunk = total.div_ceil(threads);
+        let mut outputs: Vec<(Vec<RelatedPair>, PassStats)> = Vec::with_capacity(threads);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(total);
+                    scope.spawn(move |_| {
+                        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
+                        let mut pairs = Vec::new();
+                        let mut stats = PassStats::default();
+                        for rid in lo as SetIdx..hi as SetIdx {
+                            let (results, ps) = self.self_pass(&mut searcher, rid);
+                            stats.merge(&ps);
+                            pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
+                                r: rid,
+                                s,
+                                score,
+                            }));
+                        }
+                        (pairs, stats)
+                    })
+                })
+                .collect();
+            for h in handles {
+                outputs.push(h.join().expect("discovery worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut pairs = Vec::new();
+        let mut stats = PassStats::default();
+        for (p, s) in outputs {
+            pairs.extend(p);
+            stats.merge(&s);
+        }
+        pairs.sort_unstable_by(|a, b| a.r.cmp(&b.r).then(a.s.cmp(&b.s)));
+        DiscoveryOutput { pairs, stats }
+    }
+
+    fn self_pass(&self, searcher: &mut Searcher<'_>, rid: SetIdx) -> (Vec<(SetIdx, f64)>, PassStats) {
+        let restriction = match self.cfg.metric {
+            RelatednessMetric::Similarity => Restriction {
+                min_exclusive: Some(rid),
+                skip: None,
+            },
+            RelatednessMetric::Containment => Restriction {
+                min_exclusive: None,
+                skip: Some(rid),
+            },
+        };
+        searcher.run(self.collection.set(rid), restriction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FilterKind, SignatureScheme};
+    use silkmoth_collection::paper_example::table2;
+    use silkmoth_collection::Tokenization;
+    use silkmoth_text::SimilarityFunction;
+
+    fn jaccard_cfg(metric: RelatednessMetric, delta: f64) -> EngineConfig {
+        EngineConfig::full(metric, SimilarityFunction::Jaccard, delta, 0.0)
+    }
+
+    #[test]
+    fn search_example2() {
+        let (c, r) = table2();
+        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
+        let out = engine.search(&r);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, 3);
+    }
+
+    #[test]
+    fn tokenization_mismatch_rejected() {
+        let (c, _) = table2();
+        let cfg = EngineConfig::full(
+            RelatednessMetric::Similarity,
+            SimilarityFunction::Eds { q: 2 },
+            0.7,
+            0.0,
+        );
+        assert!(matches!(
+            Engine::new(&c, cfg),
+            Err(ConfigError::TokenizationMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn discover_self_similarity_reports_unordered_pairs() {
+        let raw = vec![
+            vec!["a b c", "d e f"],
+            vec!["a b c", "d e f"],
+            vec!["x y z", "p q r"],
+        ];
+        let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
+        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Similarity, 0.9)).unwrap();
+        let out = engine.discover_self();
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!((out.pairs[0].r, out.pairs[0].s), (0, 1));
+        assert!((out.pairs[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discover_self_containment_reports_ordered_pairs() {
+        // Set 0 ⊂ set 1: contain(0→1) holds, contain(1→0) does not (δ high).
+        let raw = vec![vec!["a b", "c d"], vec!["a b", "c d", "e f", "g h"]];
+        let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
+        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Containment, 0.9)).unwrap();
+        let out = engine.discover_self();
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!((out.pairs[0].r, out.pairs[0].s), (0, 1));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let raw: Vec<Vec<String>> = (0..40)
+            .map(|i| {
+                (0..3)
+                    .map(|j| format!("w{} w{} shared{}", (i * 3 + j) % 7, (i + j) % 5, i % 4))
+                    .collect()
+            })
+            .collect();
+        let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
+        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+            let engine = Engine::new(&c, jaccard_cfg(metric, 0.6)).unwrap();
+            let serial = engine.discover_self();
+            let parallel = engine.discover_self_parallel(4);
+            assert_eq!(serial.pairs.len(), parallel.pairs.len());
+            for (a, b) in serial.pairs.iter().zip(&parallel.pairs) {
+                assert_eq!((a.r, a.s), (b.r, b.s));
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+            assert_eq!(serial.stats, parallel.stats);
+        }
+    }
+
+    #[test]
+    fn discover_external_references() {
+        let (c, r) = table2();
+        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
+        let refs = vec![r.clone(), c.encode_set(&["zz qq"])];
+        let out = engine.discover(&refs);
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(out.pairs[0].r, 0);
+        assert_eq!(out.pairs[0].s, 3);
+    }
+
+    #[test]
+    fn all_scheme_filter_combinations_agree_on_table2_discovery() {
+        let (c, _) = table2();
+        let mut reference: Option<Vec<(u32, u32)>> = None;
+        for scheme in [
+            SignatureScheme::Weighted,
+            SignatureScheme::Unweighted,
+            SignatureScheme::Skyline,
+            SignatureScheme::Dichotomy,
+            SignatureScheme::CombinedUnweighted,
+        ] {
+            for filter in [
+                FilterKind::None,
+                FilterKind::Check,
+                FilterKind::CheckAndNearestNeighbor,
+            ] {
+                let cfg = EngineConfig {
+                    metric: RelatednessMetric::Similarity,
+                    similarity: SimilarityFunction::Jaccard,
+                    delta: 0.5,
+                    alpha: 0.0,
+                    scheme,
+                    filter,
+                    reduction: false,
+                };
+                let engine = Engine::new(&c, cfg).unwrap();
+                let pairs: Vec<(u32, u32)> = engine
+                    .discover_self()
+                    .pairs
+                    .iter()
+                    .map(|p| (p.r, p.s))
+                    .collect();
+                match &reference {
+                    None => reference = Some(pairs),
+                    Some(want) => assert_eq!(&pairs, want, "{scheme:?} {filter:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # silkmoth-core
+//!
+//! The SilkMoth engine (Deng, Kim, Madden, Stonebraker — VLDB 2017):
+//! exact discovery and search of *related sets* under maximum-matching
+//! relatedness metrics.
+//!
+//! ## What it does
+//!
+//! Two sets of string elements are related when the score of the maximum
+//! weighted bipartite matching between their elements — each edge weighted
+//! by an element similarity φ (Jaccard or edit similarity), optionally
+//! clamped below a threshold α — clears a relatedness threshold δ under
+//! either [`RelatednessMetric::Similarity`] or
+//! [`RelatednessMetric::Containment`].
+//!
+//! Verifying one pair costs `O(n³)`; comparing all pairs is hopeless.
+//! SilkMoth prunes with:
+//!
+//! 1. **Valid signatures** (§4): a token subset of the reference such that
+//!    any related set must share a token with it. The full space of valid
+//!    signatures is the weighted scheme (Theorem 1), optimal selection is
+//!    NP-complete (Theorem 2), and the engine offers five heuristic
+//!    schemes ([`SignatureScheme`]).
+//! 2. **Check filter** (§5.1): verifies that matched elements actually
+//!    beat their signature-derived similarity bounds.
+//! 3. **Nearest-neighbor filter** (§5.2): upper-bounds the matching score
+//!    by each reference element's nearest neighbor, with computation reuse
+//!    and early termination.
+//! 4. **Reduction-based verification** (§5.3): identical elements are
+//!    matched up front (valid whenever `1 − φ` obeys the triangle
+//!    inequality, i.e. α = 0), shrinking the Hungarian instance.
+//!
+//! The output is **exactly** the brute-force result — no false negatives,
+//! ever. The [`brute`] module provides the reference implementation the
+//! test suite holds the engine to.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use silkmoth_core::{Engine, EngineConfig, RelatednessMetric};
+//! use silkmoth_collection::{Collection, Tokenization};
+//! use silkmoth_text::SimilarityFunction;
+//!
+//! // A tiny corpus: each set is a list of string elements.
+//! let corpus = vec![
+//!     vec!["77 Mass Ave Boston MA", "5th St 02115 Seattle WA"],
+//!     vec!["77 Massachusetts Avenue Boston MA", "Fifth Street Seattle WA 02115"],
+//! ];
+//! let collection = Collection::build(&corpus, Tokenization::Whitespace);
+//! let cfg = EngineConfig::full(
+//!     RelatednessMetric::Similarity,
+//!     SimilarityFunction::Jaccard,
+//!     0.25,  // relatedness threshold δ
+//!     0.0,   // similarity threshold α
+//! );
+//! let engine = Engine::new(&collection, cfg).unwrap();
+//! let related = engine.discover_self();
+//! assert_eq!(related.pairs.len(), 1);
+//! ```
+
+pub mod brute;
+mod config;
+pub mod explain;
+mod engine;
+mod filter;
+mod optimal;
+mod phi;
+pub mod signature;
+mod verify;
+
+pub use config::{
+    ConfigError, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme, FILTER_EPS,
+    VERIFY_EPS,
+};
+pub use engine::{DiscoveryOutput, Engine, RelatedPair, SearchOutput};
+pub use filter::{PassStats, Restriction, Searcher};
+pub use explain::{explain_pair, ElementExplanation, PairExplanation};
+pub use optimal::optimal_signature;
+pub use phi::{IdentityKey, Phi};
+pub use signature::{generate as generate_signature, SigElem, SigKind, SigParams, Signature};
+pub use verify::{matching_score, relatedness, size_check, verify_pair, VerifyCost};

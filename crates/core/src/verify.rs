@@ -1,0 +1,256 @@
+//! Verification: maximum matching score, relatedness metrics, size checks
+//! (§5.3, §5.4 and footnote 6).
+
+use crate::config::{EngineConfig, RelatednessMetric, VERIFY_EPS};
+use crate::phi::Phi;
+use silkmoth_collection::SetRecord;
+use silkmoth_matching::{max_weight_assignment, reduce_identical, sparse_max_matching, Edge, WeightMatrix};
+
+/// Counters describing one verification call, for instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyCost {
+    /// φ evaluations performed while building the weight matrix.
+    pub sim_evals: u64,
+    /// Identical pairs removed by the reduction (0 when it did not apply).
+    pub reduced_pairs: u64,
+}
+
+/// Computes the maximum matching score `|R ∩̃_φα S|` (§2.1), applying the
+/// triangle-inequality reduction (§5.3) when the configuration allows it.
+pub fn matching_score(
+    r: &SetRecord,
+    s: &SetRecord,
+    phi: &Phi,
+    use_reduction: bool,
+    cost: &mut VerifyCost,
+) -> f64 {
+    if r.is_empty() || s.is_empty() {
+        return 0.0;
+    }
+    if use_reduction {
+        let r_keys: Vec<_> = r.elements.iter().map(|e| phi.identity_key(e)).collect();
+        let s_keys: Vec<_> = s.elements.iter().map(|e| phi.identity_key(e)).collect();
+        let red = reduce_identical(&r_keys, &s_keys);
+        cost.reduced_pairs += red.identical_pairs as u64;
+        let w = WeightMatrix::from_fn(red.rest_r.len(), red.rest_s.len(), |i, j| {
+            phi.eval(&r.elements[red.rest_r[i]], &s.elements[red.rest_s[j]])
+        });
+        cost.sim_evals += (red.rest_r.len() * red.rest_s.len()) as u64;
+        red.identical_pairs as f64 + max_weight_assignment(&w).score
+    } else if phi.alpha() > 0.0 {
+        // With α-clamping most weights are exactly zero; zero edges never
+        // improve a non-negative matching, so solve over the positive
+        // edges only (silkmoth_matching::sparse — same score, smaller
+        // Hungarian instance).
+        let mut edges = Vec::new();
+        for (i, re) in r.elements.iter().enumerate() {
+            for (j, se) in s.elements.iter().enumerate() {
+                let v = phi.eval(re, se);
+                if v > 0.0 {
+                    edges.push(Edge {
+                        row: i,
+                        col: j,
+                        weight: v,
+                    });
+                }
+            }
+        }
+        cost.sim_evals += (r.len() * s.len()) as u64;
+        sparse_max_matching(&edges)
+    } else {
+        let w = WeightMatrix::from_fn(r.len(), s.len(), |i, j| {
+            phi.eval(&r.elements[i], &s.elements[j])
+        });
+        cost.sim_evals += (r.len() * s.len()) as u64;
+        max_weight_assignment(&w).score
+    }
+}
+
+/// Relatedness of `R` and `S` from a matching score `m` (Definitions 1–2).
+///
+/// * `Similarity`: `m / (|R| + |S| − m)`; two empty sets are defined as
+///   fully related (score 1).
+/// * `Containment`: `m / |R|`; an empty `R` scores 0. The definitional
+///   precondition `|R| ≤ |S|` is *not* enforced here — the engine applies
+///   the necessary size check `|S| ≥ δ|R|` instead, so partially-smaller
+///   `S` are judged on their matching score alone (documented deviation;
+///   see DESIGN.md §4).
+pub fn relatedness(metric: RelatednessMetric, m: f64, r_len: usize, s_len: usize) -> f64 {
+    match metric {
+        RelatednessMetric::Similarity => {
+            let denom = r_len as f64 + s_len as f64 - m;
+            if denom <= 0.0 {
+                // Only possible when both sets are empty (m = 0).
+                1.0
+            } else {
+                m / denom
+            }
+        }
+        RelatednessMetric::Containment => {
+            if r_len == 0 {
+                0.0
+            } else {
+                m / r_len as f64
+            }
+        }
+    }
+}
+
+/// Fully verifies one pair: matching score → relatedness → threshold.
+/// Returns the relatedness score when the pair is related.
+pub fn verify_pair(
+    r: &SetRecord,
+    s: &SetRecord,
+    cfg: &EngineConfig,
+    phi: &Phi,
+    cost: &mut VerifyCost,
+) -> Option<f64> {
+    let m = matching_score(r, s, phi, cfg.reduction_applicable(), cost);
+    let rel = relatedness(cfg.metric, m, r.len(), s.len());
+    (rel >= cfg.delta - VERIFY_EPS).then_some(rel)
+}
+
+/// The candidate-time size check (footnote 6, plus the containment
+/// necessary condition): true when `|S| = s_len` could possibly be related
+/// to an `|R| = r_len` reference.
+///
+/// * `Similarity`: `δ·max ≤ min`, i.e. `δ|R| ≤ |S| ≤ |R|/δ` — because the
+///   matching score is at most `min(|R|, |S|)`.
+/// * `Containment`: `|S| ≥ δ|R|` — because the score is at most `|S|`.
+pub fn size_check(metric: RelatednessMetric, delta: f64, r_len: usize, s_len: usize) -> bool {
+    const EPS: f64 = 1e-9;
+    let (r_len, s_len) = (r_len as f64, s_len as f64);
+    match metric {
+        RelatednessMetric::Similarity => {
+            delta * r_len.max(s_len) <= r_len.min(s_len) + EPS
+        }
+        RelatednessMetric::Containment => s_len + EPS >= delta * r_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SignatureScheme;
+    use silkmoth_collection::paper_example::table2;
+    use silkmoth_text::SimilarityFunction;
+
+    fn cfg(metric: RelatednessMetric, delta: f64, alpha: f64) -> EngineConfig {
+        EngineConfig {
+            metric,
+            similarity: SimilarityFunction::Jaccard,
+            delta,
+            alpha,
+            scheme: SignatureScheme::Dichotomy,
+            filter: crate::config::FilterKind::CheckAndNearestNeighbor,
+            reduction: true,
+        }
+    }
+
+    #[test]
+    fn example2_containment_s4() {
+        // |R ∩̃ S4| = 0.8 + 1 + 3/7 ≈ 2.229; contain = 2.229/3 ≈ 0.743.
+        let (c, r) = table2();
+        let phi = Phi::new(SimilarityFunction::Jaccard, 0.0);
+        let mut cost = VerifyCost::default();
+        let m = matching_score(&r, c.set(3), &phi, false, &mut cost);
+        assert!((m - (0.8 + 1.0 + 3.0 / 7.0)).abs() < 1e-9);
+        let rel = relatedness(RelatednessMetric::Containment, m, 3, 3);
+        assert!((rel - m / 3.0).abs() < 1e-12);
+        assert!(rel > 0.7);
+        // And S1..S3 fall below δ = 0.7.
+        for sid in 0..3 {
+            let m = matching_score(&r, c.set(sid), &phi, false, &mut cost);
+            assert!(relatedness(RelatednessMetric::Containment, m, 3, c.set(sid).len()) < 0.7);
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_with_plain() {
+        let (c, r) = table2();
+        let phi = Phi::new(SimilarityFunction::Jaccard, 0.0);
+        for sid in 0..4 {
+            let mut c1 = VerifyCost::default();
+            let mut c2 = VerifyCost::default();
+            let plain = matching_score(&r, c.set(sid), &phi, false, &mut c1);
+            let reduced = matching_score(&r, c.set(sid), &phi, true, &mut c2);
+            assert!((plain - reduced).abs() < 1e-9, "S{}", sid + 1);
+        }
+    }
+
+    #[test]
+    fn reduction_counts_identicals() {
+        // R's r2 = "t4 t5 t7 t9 t10" is identical (as a token set) to s42.
+        let (c, r) = table2();
+        let phi = Phi::new(SimilarityFunction::Jaccard, 0.0);
+        let mut cost = VerifyCost::default();
+        let _ = matching_score(&r, c.set(3), &phi, true, &mut cost);
+        assert_eq!(cost.reduced_pairs, 1);
+        // The reduced matrix is 2×2 instead of 3×3.
+        assert_eq!(cost.sim_evals, 4);
+    }
+
+    #[test]
+    fn verify_pair_respects_delta() {
+        let (c, r) = table2();
+        let phi = Phi::new(SimilarityFunction::Jaccard, 0.0);
+        let mut cost = VerifyCost::default();
+        let conf = cfg(RelatednessMetric::Containment, 0.7, 0.0);
+        assert!(verify_pair(&r, c.set(3), &conf, &phi, &mut cost).is_some());
+        assert!(verify_pair(&r, c.set(0), &conf, &phi, &mut cost).is_none());
+        let strict = cfg(RelatednessMetric::Containment, 0.75, 0.0);
+        assert!(verify_pair(&r, c.set(3), &strict, &phi, &mut cost).is_none());
+    }
+
+    #[test]
+    fn similarity_metric_formula() {
+        // Example 2 note: similar(R, S4) = M / (3 + 3 − M).
+        let (c, r) = table2();
+        let phi = Phi::new(SimilarityFunction::Jaccard, 0.0);
+        let mut cost = VerifyCost::default();
+        let m = matching_score(&r, c.set(3), &phi, false, &mut cost);
+        let rel = relatedness(RelatednessMetric::Similarity, m, 3, 3);
+        assert!((rel - m / (6.0 - m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        assert_eq!(relatedness(RelatednessMetric::Similarity, 0.0, 0, 0), 1.0);
+        assert_eq!(relatedness(RelatednessMetric::Similarity, 0.0, 0, 3), 0.0);
+        assert_eq!(relatedness(RelatednessMetric::Containment, 0.0, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn size_check_similarity_window() {
+        // δ = 0.7, |R| = 10: |S| must lie in [7, ⌈10/0.7⌉≈14.28].
+        assert!(!size_check(RelatednessMetric::Similarity, 0.7, 10, 6));
+        assert!(size_check(RelatednessMetric::Similarity, 0.7, 10, 7));
+        assert!(size_check(RelatednessMetric::Similarity, 0.7, 10, 14));
+        assert!(!size_check(RelatednessMetric::Similarity, 0.7, 10, 15));
+    }
+
+    #[test]
+    fn size_check_containment_one_sided() {
+        assert!(!size_check(RelatednessMetric::Containment, 0.7, 10, 6));
+        assert!(size_check(RelatednessMetric::Containment, 0.7, 10, 7));
+        assert!(size_check(RelatednessMetric::Containment, 0.7, 10, 1000));
+    }
+
+    #[test]
+    fn size_check_never_excludes_related_pairs() {
+        // Whenever the pair is actually related, the size check passes.
+        let (c, r) = table2();
+        let phi = Phi::new(SimilarityFunction::Jaccard, 0.0);
+        let mut cost = VerifyCost::default();
+        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+            for sid in 0..4 {
+                let s = c.set(sid);
+                let m = matching_score(&r, s, &phi, false, &mut cost);
+                let rel = relatedness(metric, m, r.len(), s.len());
+                if rel >= 0.7 {
+                    assert!(size_check(metric, 0.7, r.len(), s.len()));
+                }
+            }
+        }
+    }
+}

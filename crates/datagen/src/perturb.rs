@@ -1,0 +1,95 @@
+//! Dirty-data perturbations: typos and word drops, used to plant related
+//! (but not identical) set pairs — the "robust to small dissimilarities"
+//! scenario that motivates the maximum-matching metric (§1, Table 1).
+
+use rand::Rng;
+
+/// Applies one random character edit (substitution, insertion, or
+/// deletion) to a word. Deletion is skipped for single-character words.
+pub fn typo<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.is_empty() {
+        return word.to_owned();
+    }
+    let op = rng.random_range(0..3u8);
+    let pos = rng.random_range(0..chars.len());
+    let rand_char = (b'a' + rng.random_range(0..26u8)) as char;
+    let mut out = chars.clone();
+    match op {
+        0 => out[pos] = rand_char,               // substitution
+        1 => out.insert(pos, rand_char),          // insertion
+        _ if out.len() > 1 => {
+            out.remove(pos);                      // deletion
+        }
+        _ => out[pos] = rand_char,
+    }
+    out.into_iter().collect()
+}
+
+/// Perturbs a phrase: each word gets a typo with probability `typo_prob`
+/// and is dropped with probability `drop_prob` (at least one word always
+/// survives).
+pub fn perturb_phrase<R: Rng + ?Sized>(
+    words: &[&str],
+    typo_prob: f64,
+    drop_prob: f64,
+    rng: &mut R,
+) -> Vec<String> {
+    let mut out = Vec::with_capacity(words.len());
+    for &w in words {
+        if out.len() + 1 < words.len() && rng.random::<f64>() < drop_prob {
+            continue;
+        }
+        if rng.random::<f64>() < typo_prob {
+            out.push(typo(w, rng));
+        } else {
+            out.push(w.to_owned());
+        }
+    }
+    if out.is_empty() {
+        out.push(words[0].to_owned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use silkmoth_text::lev::levenshtein;
+
+    #[test]
+    fn typo_is_one_edit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let t = typo("database", &mut rng);
+            assert_eq!(levenshtein("database", &t), 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn typo_single_char_never_empties() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            assert!(!typo("x", &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn perturb_keeps_most_words() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let words = ["finding", "related", "sets", "with", "constraints"];
+        let out = perturb_phrase(&words, 0.2, 0.1, &mut rng);
+        assert!(!out.is_empty());
+        assert!(out.len() <= words.len());
+    }
+
+    #[test]
+    fn perturb_never_empties() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            assert!(!perturb_phrase(&["solo"], 1.0, 1.0, &mut rng).is_empty());
+        }
+    }
+}

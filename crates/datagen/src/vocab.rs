@@ -1,0 +1,84 @@
+//! Random word vocabularies.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A fixed list of distinct lowercase words, indexable by Zipf rank.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+}
+
+impl Vocabulary {
+    /// The word at a rank.
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// All words.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+}
+
+/// Generates `size` distinct random words of `min_len..=max_len` lowercase
+/// ASCII letters.
+pub fn vocabulary<R: Rng + ?Sized>(
+    size: usize,
+    min_len: usize,
+    max_len: usize,
+    rng: &mut R,
+) -> Vocabulary {
+    assert!(min_len >= 1 && max_len >= min_len);
+    let mut seen: HashSet<String> = HashSet::with_capacity(size);
+    let mut words = Vec::with_capacity(size);
+    while words.len() < size {
+        let len = rng.random_range(min_len..=max_len);
+        let w: String = (0..len)
+            .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+            .collect();
+        if seen.insert(w.clone()) {
+            words.push(w);
+        }
+    }
+    Vocabulary { words }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distinct_words_of_right_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = vocabulary(500, 3, 8, &mut rng);
+        assert_eq!(v.len(), 500);
+        let mut uniq: Vec<&String> = v.words().iter().collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 500);
+        for w in v.words() {
+            assert!((3..=8).contains(&w.len()));
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let a = vocabulary(50, 3, 6, &mut StdRng::seed_from_u64(9));
+        let b = vocabulary(50, 3, 6, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.words(), b.words());
+    }
+}

@@ -1,0 +1,167 @@
+//! Reduction-based verification (§5.3).
+//!
+//! When the dual distance `ψ = 1 − φ` satisfies the triangle inequality
+//! (true for Jaccard distance and for `1 − Eds`, but *not* for `1 − φ_α`
+//! with α > 0 — §6.5), any pair of **identical** elements must appear in
+//! some maximum matching. The engine therefore pairs identical elements
+//! off first — each contributing exactly 1.0 — and runs the Hungarian
+//! algorithm only on the remainder, which the paper measured at a 30–50%
+//! verification speedup (§8.4).
+
+/// Outcome of pairing identical elements between two sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reduction {
+    /// Number of identical pairs removed; each contributes 1.0 to the
+    /// final maximum matching score.
+    pub identical_pairs: usize,
+    /// Indices (into the original `R`) of the unpaired elements.
+    pub rest_r: Vec<usize>,
+    /// Indices (into the original `S`) of the unpaired elements.
+    pub rest_s: Vec<usize>,
+}
+
+/// Pairs identical elements between `r_keys` and `s_keys`.
+///
+/// Elements are "identical" when their keys are equal (token-id slices for
+/// Jaccard, raw text for edit similarity). Duplicates pair off with
+/// multiplicity `min(count_R, count_S)`. Runs in `O(n log n + m log m)`.
+///
+/// ```
+/// use silkmoth_matching::reduce_identical;
+/// let r = ["a", "b", "b", "c"];
+/// let s = ["b", "d", "a"];
+/// let red = reduce_identical(&r, &s);
+/// assert_eq!(red.identical_pairs, 2);        // one "a", one "b"
+/// assert_eq!(red.rest_r, vec![2, 3]);         // the extra "b" and "c"
+/// assert_eq!(red.rest_s, vec![1]);            // "d"
+/// ```
+pub fn reduce_identical<K: Ord>(r_keys: &[K], s_keys: &[K]) -> Reduction {
+    let mut r_order: Vec<usize> = (0..r_keys.len()).collect();
+    let mut s_order: Vec<usize> = (0..s_keys.len()).collect();
+    r_order.sort_by(|&a, &b| r_keys[a].cmp(&r_keys[b]).then(a.cmp(&b)));
+    s_order.sort_by(|&a, &b| s_keys[a].cmp(&s_keys[b]).then(a.cmp(&b)));
+
+    let mut identical = 0usize;
+    let mut rest_r = Vec::new();
+    let mut rest_s = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r_order.len() && j < s_order.len() {
+        match r_keys[r_order[i]].cmp(&s_keys[s_order[j]]) {
+            std::cmp::Ordering::Less => {
+                rest_r.push(r_order[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                rest_s.push(s_order[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                identical += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    rest_r.extend_from_slice(&r_order[i..]);
+    rest_s.extend_from_slice(&s_order[j..]);
+    rest_r.sort_unstable();
+    rest_s.sort_unstable();
+    Reduction {
+        identical_pairs: identical,
+        rest_r,
+        rest_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exhaustive_max_matching, max_weight_assignment, WeightMatrix};
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_identicals() {
+        let red = reduce_identical(&[1, 2, 3], &[4, 5]);
+        assert_eq!(red.identical_pairs, 0);
+        assert_eq!(red.rest_r, vec![0, 1, 2]);
+        assert_eq!(red.rest_s, vec![0, 1]);
+    }
+
+    #[test]
+    fn all_identical() {
+        let red = reduce_identical(&["x", "y"], &["y", "x"]);
+        assert_eq!(red.identical_pairs, 2);
+        assert!(red.rest_r.is_empty());
+        assert!(red.rest_s.is_empty());
+    }
+
+    #[test]
+    fn multiset_multiplicity() {
+        let red = reduce_identical(&[7, 7, 7], &[7, 7]);
+        assert_eq!(red.identical_pairs, 2);
+        assert_eq!(red.rest_r.len(), 1);
+        assert!(red.rest_s.is_empty());
+    }
+
+    #[test]
+    fn empty_sides() {
+        let red = reduce_identical::<u32>(&[], &[1, 2]);
+        assert_eq!(red.identical_pairs, 0);
+        assert_eq!(red.rest_s, vec![0, 1]);
+    }
+
+    /// The §5.3 correctness claim, checked end-to-end: the matching score
+    /// computed with reduction equals the plain Hungarian score, when the
+    /// weight function is `1 − d` for a metric `d` with `d(x,y)=0 ⟺ x=y`.
+    fn check_reduction_preserves_score(r: &[u32], s: &[u32]) {
+        // Metric: d(x, y) = |x − y| / 16 clipped to 1 (absolute difference
+        // is a metric; the similarity is 1 − d).
+        let sim = |a: u32, b: u32| 1.0 - (a.abs_diff(b) as f64 / 16.0).min(1.0);
+        let full = WeightMatrix::from_fn(r.len(), s.len(), |i, j| sim(r[i], s[j]));
+        let direct = exhaustive_max_matching(&full);
+
+        let red = reduce_identical(r, s);
+        let rest = WeightMatrix::from_fn(red.rest_r.len(), red.rest_s.len(), |i, j| {
+            sim(r[red.rest_r[i]], s[red.rest_s[j]])
+        });
+        let reduced = red.identical_pairs as f64 + max_weight_assignment(&rest).score;
+        assert!(
+            (direct - reduced).abs() < 1e-9,
+            "direct={direct} reduced={reduced} r={r:?} s={s:?}"
+        );
+    }
+
+    #[test]
+    fn reduction_preserves_score_fixed() {
+        check_reduction_preserves_score(&[1, 5, 9], &[5, 2, 9]);
+        check_reduction_preserves_score(&[3, 3, 4], &[3, 3, 3]);
+        check_reduction_preserves_score(&[0, 16], &[16, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_reduction_preserves_score(
+            r in proptest::collection::vec(0u32..12, 0..6),
+            s in proptest::collection::vec(0u32..12, 0..6),
+        ) {
+            check_reduction_preserves_score(&r, &s);
+        }
+
+        #[test]
+        fn prop_partition_is_complete(
+            r in proptest::collection::vec(0u32..6, 0..8),
+            s in proptest::collection::vec(0u32..6, 0..8),
+        ) {
+            let red = reduce_identical(&r, &s);
+            prop_assert_eq!(red.identical_pairs + red.rest_r.len(), r.len());
+            prop_assert_eq!(red.identical_pairs + red.rest_s.len(), s.len());
+            // rest indices are valid, sorted, and unique.
+            prop_assert!(red.rest_r.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(red.rest_s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(red.rest_r.iter().all(|&i| i < r.len()));
+            prop_assert!(red.rest_s.iter().all(|&j| j < s.len()));
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Element similarity functions φ (§2.1, §7) and the α-clamp φ_α.
+//!
+//! All functions return scores in `[0, 1]` with 1 meaning identical. The
+//! engine evaluates Jaccard over interned, sorted token-id slices and edit
+//! similarity over the elements' raw text.
+
+use crate::lev::{levenshtein_bounded_chars, levenshtein_chars};
+use crate::TokenId;
+
+/// Which element-level similarity function φ a run uses (§2.1, §7).
+///
+/// `q` is the gram length used for tokenization and signatures. The paper
+/// constrains `q < α/(1−α)` (footnote 11) so that elements sharing no
+/// q-gram are guaranteed to fall below the similarity threshold, and
+/// `q < δ/(1−δ)` (§7.3) for the weighted signature scheme to be non-empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SimilarityFunction {
+    /// Token-set Jaccard over whitespace words: `|x∩y| / |x∪y|`.
+    Jaccard,
+    /// Token-set Dice over whitespace words: `2|x∩y| / (|x|+|y|)`.
+    /// An extension beyond the paper's two functions, supported "in a
+    /// similar way" as §2.1 suggests (weighted-scheme bounds in
+    /// `silkmoth-core` are adapted accordingly). Its dual `1 − Dice` is
+    /// not a metric, so reduction-based verification never applies.
+    Dice,
+    /// Token-set cosine (Ochiai) over whitespace words:
+    /// `|x∩y| / √(|x|·|y|)`. Same extension status as [`Dice`](Self::Dice).
+    Cosine,
+    /// Edit similarity `Eds(x,y) = 1 − 2·LD/(|x|+|y|+LD)` over q-gram tokens.
+    Eds { q: usize },
+    /// Normalized edit similarity `NEds(x,y) = 1 − LD/max(|x|,|y|)`.
+    NEds { q: usize },
+}
+
+impl SimilarityFunction {
+    /// True for the edit-similarity family (q-gram tokenization).
+    pub fn is_edit(&self) -> bool {
+        matches!(self, Self::Eds { .. } | Self::NEds { .. })
+    }
+
+    /// Gram length, if this is an edit-similarity function.
+    pub fn q(&self) -> Option<usize> {
+        match self {
+            Self::Jaccard | Self::Dice | Self::Cosine => None,
+            Self::Eds { q } | Self::NEds { q } => Some(*q),
+        }
+    }
+
+    /// The largest `q` satisfying the correctness constraint
+    /// `q < α/(1−α)` (footnote 11), e.g. `α = 0.85 → q = 5`.
+    ///
+    /// Returns `None` when α leaves no feasible q (α ≤ 0.5 → q < 1).
+    pub fn max_q_for_alpha(alpha: f64) -> Option<usize> {
+        if alpha <= 0.5 {
+            return None;
+        }
+        // A small tolerance counters float noise: e.g. 0.8/(1−0.8) evaluates
+        // to 4.000000000000001 but the mathematical bound is exactly 4, so
+        // q must be 3 (strict inequality).
+        let bound = alpha / (1.0 - alpha) - 1e-9;
+        let mut q = bound.ceil() as usize;
+        while q as f64 >= bound {
+            q -= 1;
+        }
+        (q >= 1).then_some(q)
+    }
+}
+
+/// Applies the similarity threshold α (§2.1): scores below α are clamped
+/// to zero, others pass through unchanged.
+///
+/// ```
+/// use silkmoth_text::clamp_alpha;
+/// assert_eq!(clamp_alpha(0.8, 0.7), 0.8);
+/// assert_eq!(clamp_alpha(0.6, 0.7), 0.0);
+/// assert_eq!(clamp_alpha(0.7, 0.7), 0.7); // boundary is inclusive
+/// ```
+#[inline]
+pub fn clamp_alpha(score: f64, alpha: f64) -> f64 {
+    if score >= alpha {
+        score
+    } else {
+        0.0
+    }
+}
+
+/// Jaccard similarity over two **sorted, deduplicated** token-id slices.
+///
+/// This is the hot path used by the engine: elements store their distinct
+/// tokens sorted, so the intersection is a linear merge.
+///
+/// ```
+/// use silkmoth_text::jaccard_sorted;
+/// assert_eq!(jaccard_sorted(&[1, 2, 3], &[2, 3, 4]), 0.5);
+/// assert_eq!(jaccard_sorted(&[], &[]), 1.0); // two empty sets are identical
+/// assert_eq!(jaccard_sorted(&[1], &[]), 0.0);
+/// ```
+pub fn jaccard_sorted(a: &[TokenId], b: &[TokenId], ) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = sorted_intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice similarity over two **sorted, deduplicated** token-id slices:
+/// `2|x∩y| / (|x|+|y|)`.
+///
+/// ```
+/// use silkmoth_text::sim::dice_sorted;
+/// assert_eq!(dice_sorted(&[1, 2, 3], &[2, 3, 4]), 2.0 * 2.0 / 6.0);
+/// assert_eq!(dice_sorted(&[], &[]), 1.0);
+/// ```
+pub fn dice_sorted(a: &[TokenId], b: &[TokenId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = sorted_intersection_size(a, b);
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Cosine (Ochiai) similarity over two **sorted, deduplicated** token-id
+/// slices: `|x∩y| / √(|x|·|y|)`.
+///
+/// ```
+/// use silkmoth_text::sim::cosine_sorted;
+/// assert!((cosine_sorted(&[1, 2], &[1, 2]) - 1.0).abs() < 1e-12);
+/// assert_eq!(cosine_sorted(&[], &[]), 1.0);
+/// assert_eq!(cosine_sorted(&[1], &[]), 0.0);
+/// ```
+pub fn cosine_sorted(a: &[TokenId], b: &[TokenId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_size(a, b);
+    inter as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+/// Size of the intersection of two sorted, deduplicated slices.
+#[inline]
+pub fn sorted_intersection_size(a: &[TokenId], b: &[TokenId]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// True if sorted, deduplicated slices `a` and `b` share at least one value.
+#[inline]
+pub fn sorted_overlaps(a: &[TokenId], b: &[TokenId]) -> bool {
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Jaccard similarity over the distinct whitespace words of two strings.
+///
+/// Convenience wrapper for examples and tests; the engine uses
+/// [`jaccard_sorted`] over interned ids.
+///
+/// ```
+/// use silkmoth_text::jaccard_str;
+/// // §2.1: Jac({50,Vassar,St,MA}, {50,Vassar,Street,MA}) = 3/5
+/// assert!((jaccard_str("50 Vassar St MA", "50 Vassar Street MA") - 0.6).abs() < 1e-12);
+/// ```
+pub fn jaccard_str(a: &str, b: &str) -> f64 {
+    let mut ta: Vec<&str> = a.split_whitespace().collect();
+    let mut tb: Vec<&str> = b.split_whitespace().collect();
+    ta.sort_unstable();
+    ta.dedup();
+    tb.sort_unstable();
+    tb.dedup();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0;
+    while i < ta.len() && j < tb.len() {
+        match ta[i].cmp(tb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (ta.len() + tb.len() - inter) as f64
+}
+
+/// Edit similarity `Eds(x,y) = 1 − 2·LD(x,y) / (|x|+|y|+LD(x,y))` (§2.1,
+/// following Li & Liu's normalized Levenshtein metric, reference \[19]).
+///
+/// Its dual `1 − Eds` satisfies the triangle inequality, which is what
+/// enables reduction-based verification (§5.3).
+///
+/// ```
+/// use silkmoth_text::eds;
+/// // §2.1: Eds("50 Vassar St MA", "50 Vassar Street MA") = 15/19
+/// assert!((eds("50 Vassar St MA", "50 Vassar Street MA") - 15.0 / 19.0).abs() < 1e-12);
+/// assert_eq!(eds("same", "same"), 1.0);
+/// assert_eq!(eds("", ""), 1.0);
+/// ```
+pub fn eds(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    eds_chars(&ac, &bc)
+}
+
+/// [`eds`] over pre-collected char slices (verification hot path).
+pub fn eds_chars(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ld = levenshtein_chars(a, b);
+    1.0 - (2 * ld) as f64 / (a.len() + b.len() + ld) as f64
+}
+
+/// Normalized edit similarity `NEds(x,y) = 1 − LD(x,y)/max(|x|,|y|)` (§2.1).
+///
+/// ```
+/// use silkmoth_text::neds;
+/// assert_eq!(neds("abc", "abd"), 1.0 - 1.0 / 3.0);
+/// assert_eq!(neds("", ""), 1.0);
+/// assert_eq!(neds("", "ab"), 0.0);
+/// ```
+pub fn neds(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    neds_chars(&ac, &bc)
+}
+
+/// [`neds`] over pre-collected char slices.
+pub fn neds_chars(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ld = levenshtein_chars(a, b);
+    1.0 - ld as f64 / a.len().max(b.len()) as f64
+}
+
+/// α-aware edit similarity: returns `φ_α` directly, using the banded
+/// Levenshtein to abandon the computation once the distance provably
+/// pushes the similarity below α.
+///
+/// For `Eds`, `Eds ≥ α ⟺ LD ≤ (1−α)/(1+α) · (|x|+|y|)`; for `NEds`,
+/// `NEds ≥ α ⟺ LD ≤ (1−α)·max(|x|,|y|)`.
+pub fn edit_sim_alpha(func: SimilarityFunction, a: &[char], b: &[char], alpha: f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if alpha <= 0.0 {
+        return match func {
+            SimilarityFunction::Eds { .. } => eds_chars(a, b),
+            SimilarityFunction::NEds { .. } => neds_chars(a, b),
+            _ => panic!("edit_sim_alpha called with a token-based function"),
+        };
+    }
+    let max_ld = match func {
+        SimilarityFunction::Eds { .. } => {
+            ((1.0 - alpha) / (1.0 + alpha) * (a.len() + b.len()) as f64).floor() as usize
+        }
+        SimilarityFunction::NEds { .. } => {
+            ((1.0 - alpha) * a.len().max(b.len()) as f64).floor() as usize
+        }
+        _ => panic!("edit_sim_alpha called with a token-based function"),
+    };
+    match levenshtein_bounded_chars(a, b, max_ld) {
+        None => 0.0,
+        Some(ld) => {
+            let s = match func {
+                SimilarityFunction::Eds { .. } => {
+                    1.0 - (2 * ld) as f64 / (a.len() + b.len() + ld) as f64
+                }
+                SimilarityFunction::NEds { .. } => {
+                    1.0 - ld as f64 / a.len().max(b.len()) as f64
+                }
+                _ => unreachable!(),
+            };
+            clamp_alpha(s, alpha)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jaccard_paper_table1() {
+        // Example 1 alignments between Address and Location.
+        let s = jaccard_str("77 Mass Ave Boston MA", "77 Massachusetts Avenue Boston MA");
+        assert!((s - 4.0 / 8.0).abs() < 1e-12 || s > 0.0); // distinct-token semantics
+        // Example 2 (Table 2 ids): Jac(r1, s41) where r1 = {t1,t2,t3,t6,t8},
+        // s41 = {t1,t2,t3,t8} → 4/5 = 0.8.
+        assert_eq!(jaccard_sorted(&[1, 2, 3, 6, 8], &[1, 2, 3, 8]), 0.8);
+    }
+
+    #[test]
+    fn jaccard_table2_alignments() {
+        // Example 2: Jac(r2, s42) = 1, Jac(r3, s43) = 3/7 ≈ 0.429.
+        assert_eq!(
+            jaccard_sorted(&[4, 5, 7, 9, 10], &[4, 5, 7, 9, 10]),
+            1.0
+        );
+        let s = jaccard_sorted(&[1, 4, 5, 11, 12], &[1, 4, 5, 6, 9]);
+        assert!((s - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_disjoint_is_zero() {
+        assert_eq!(jaccard_sorted(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_str_dedupes() {
+        // Bag {a a b} vs {a b}: distinct-token semantics give 1.0.
+        assert_eq!(jaccard_str("a a b", "a b"), 1.0);
+    }
+
+    #[test]
+    fn eds_paper_value() {
+        let v = eds("50 Vassar St MA", "50 Vassar Street MA");
+        assert!((v - 15.0 / 19.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn neds_basic() {
+        assert_eq!(neds("kitten", "sitting"), 1.0 - 3.0 / 7.0);
+    }
+
+    #[test]
+    fn alpha_clamp_boundary() {
+        assert_eq!(clamp_alpha(0.699999, 0.7), 0.0);
+        assert_eq!(clamp_alpha(0.7, 0.7), 0.7);
+    }
+
+    #[test]
+    fn max_q_for_alpha_matches_footnote() {
+        // footnote 11: α = 0.85 → q = 5; §8.1: α = 0.8 → q = 3.
+        assert_eq!(SimilarityFunction::max_q_for_alpha(0.85), Some(5));
+        assert_eq!(SimilarityFunction::max_q_for_alpha(0.8), Some(3));
+        assert_eq!(SimilarityFunction::max_q_for_alpha(0.75), Some(2));
+        assert_eq!(SimilarityFunction::max_q_for_alpha(0.7), Some(2));
+        assert_eq!(SimilarityFunction::max_q_for_alpha(0.5), None);
+        // α = 0.65 → q = 1 (§8 footnote 12).
+        assert_eq!(SimilarityFunction::max_q_for_alpha(0.65), Some(1));
+    }
+
+    #[test]
+    fn edit_sim_alpha_matches_unbounded() {
+        let cases = [
+            ("database systems", "database system"),
+            ("abc", "xyz"),
+            ("silkmoth", "silkmoth"),
+        ];
+        for (a, b) in cases {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            for alpha in [0.0, 0.5, 0.7, 0.9] {
+                let direct = clamp_alpha(eds(a, b), alpha);
+                let fast = edit_sim_alpha(SimilarityFunction::Eds { q: 3 }, &ac, &bc, alpha);
+                assert!((direct - fast).abs() < 1e-12, "{a} {b} α={alpha}");
+                let direct_n = clamp_alpha(neds(a, b), alpha);
+                let fast_n = edit_sim_alpha(SimilarityFunction::NEds { q: 3 }, &ac, &bc, alpha);
+                assert!((direct_n - fast_n).abs() < 1e-12);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jaccard_range_and_symmetry(
+            a in proptest::collection::btree_set(0u32..20, 0..8),
+            b in proptest::collection::btree_set(0u32..20, 0..8),
+        ) {
+            let av: Vec<u32> = a.into_iter().collect();
+            let bv: Vec<u32> = b.into_iter().collect();
+            let s = jaccard_sorted(&av, &bv);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert_eq!(s, jaccard_sorted(&bv, &av));
+            prop_assert_eq!(jaccard_sorted(&av, &av), 1.0);
+        }
+
+        #[test]
+        fn prop_jaccard_dual_triangle(
+            a in proptest::collection::btree_set(0u32..12, 0..6),
+            b in proptest::collection::btree_set(0u32..12, 0..6),
+            c in proptest::collection::btree_set(0u32..12, 0..6),
+        ) {
+            // 1 − Jaccard is a metric: d(a,c) ≤ d(a,b) + d(b,c).
+            let av: Vec<u32> = a.into_iter().collect();
+            let bv: Vec<u32> = b.into_iter().collect();
+            let cv: Vec<u32> = c.into_iter().collect();
+            let d = |x: &[u32], y: &[u32]| 1.0 - jaccard_sorted(x, y);
+            prop_assert!(d(&av, &cv) <= d(&av, &bv) + d(&bv, &cv) + 1e-12);
+        }
+
+        #[test]
+        fn prop_eds_dual_triangle(a in "[a-c]{0,7}", b in "[a-c]{0,7}", c in "[a-c]{0,7}") {
+            // §5.3 relies on 1 − Eds being a metric.
+            let d = |x: &str, y: &str| 1.0 - eds(x, y);
+            prop_assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-12);
+        }
+
+        #[test]
+        fn prop_eds_range(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            let s = eds(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((eds(&a, &b) - eds(&b, &a)).abs() < 1e-15);
+            // NEds dominates… actually Eds ≤ NEds? §7.1 shows NEds ≤ Eds.
+            prop_assert!(neds(&a, &b) <= eds(&a, &b) + 1e-12);
+        }
+
+        #[test]
+        fn prop_overlap_consistency(
+            a in proptest::collection::btree_set(0u32..10, 0..6),
+            b in proptest::collection::btree_set(0u32..10, 0..6),
+        ) {
+            let av: Vec<u32> = a.into_iter().collect();
+            let bv: Vec<u32> = b.into_iter().collect();
+            let overlaps = sorted_overlaps(&av, &bv);
+            let inter = sorted_intersection_size(&av, &bv);
+            prop_assert_eq!(overlaps, inter > 0);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Tokenizers: whitespace words, q-grams, and q-chunks (§3, §7.1).
+//!
+//! For edit similarity the paper pads each element with `q − 1` special
+//! characters *at the end* (§3, footnote 3). With that padding an element of
+//! character length `L` has exactly `L` q-grams (start positions
+//! `0..L`) and `⌈L/q⌉` q-chunks (start positions `0, q, 2q, …`). Because
+//! every chunk start position `p = i·q` satisfies `p ≤ L − 1` whenever the
+//! chunk exists, **every q-chunk is also a q-gram**, which is what lets
+//! signature q-chunks be probed against a q-gram inverted index.
+
+/// Sentinel character used to pad elements for q-gram extraction.
+///
+/// `\u{1}` is chosen because it never appears in whitespace-tokenized text
+/// and sorts below every printable character.
+pub const PAD: char = '\u{1}';
+
+/// Splits an element on Unicode whitespace.
+///
+/// This is the tokenizer used with Jaccard similarity: each
+/// whitespace-delimited word becomes one token (§3).
+///
+/// ```
+/// use silkmoth_text::whitespace_tokens;
+/// assert_eq!(whitespace_tokens("77 Mass Ave"), vec!["77", "Mass", "Ave"]);
+/// assert_eq!(whitespace_tokens("  a \t b\n"), vec!["a", "b"]);
+/// ```
+pub fn whitespace_tokens(s: &str) -> Vec<&str> {
+    s.split_whitespace().collect()
+}
+
+/// Returns the padded character sequence of `s`: its chars followed by
+/// `pad_len` copies of [`PAD`].
+fn padded_chars(s: &str, pad_len: usize) -> Vec<char> {
+    let mut chars: Vec<char> = s.chars().collect();
+    chars.extend(std::iter::repeat_n(PAD, pad_len));
+    chars
+}
+
+/// Extracts all q-grams of `s`, after padding the end with `q − 1`
+/// sentinels.
+///
+/// An element of character length `L ≥ 1` yields exactly `L` q-grams.
+/// Empty input yields no q-grams. `q` must be at least 1.
+///
+/// ```
+/// use silkmoth_text::qgrams;
+/// let g = qgrams("abcd", 3);
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g[0], "abc");
+/// assert_eq!(g[1], "bcd");
+/// // The last two grams run into the padding.
+/// assert_eq!(g[2], format!("cd{}", silkmoth_text::PAD));
+/// ```
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q-gram length must be at least 1");
+    let n = s.chars().count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chars = padded_chars(s, q - 1);
+    (0..n).map(|i| chars[i..i + q].iter().collect()).collect()
+}
+
+/// Start positions (in q-grams) of the q-chunks of a string with `len`
+/// characters: `0, q, 2q, …` while the position is below `len`.
+///
+/// ```
+/// use silkmoth_text::qchunk_positions;
+/// assert_eq!(qchunk_positions(7, 3), vec![0, 3, 6]);
+/// assert_eq!(qchunk_positions(6, 3), vec![0, 3]);
+/// assert_eq!(qchunk_positions(0, 3), Vec::<usize>::new());
+/// ```
+pub fn qchunk_positions(len: usize, q: usize) -> Vec<usize> {
+    assert!(q >= 1, "q-chunk length must be at least 1");
+    (0..len).step_by(q).collect()
+}
+
+/// Extracts the `⌈L/q⌉` non-overlapping q-chunks of `s` (§7.1), padded so
+/// the final chunk is always `q` characters long.
+///
+/// Every returned chunk equals the q-gram starting at the same position,
+/// i.e. `qchunks(s, q)[i] == qgrams(s, q)[i * q]`.
+///
+/// ```
+/// use silkmoth_text::qchunks;
+/// assert_eq!(qchunks("abcdef", 3), vec!["abc".to_string(), "def".to_string()]);
+/// assert_eq!(qchunks("abcde", 3).len(), 2);
+/// ```
+pub fn qchunks(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q-chunk length must be at least 1");
+    let n = s.chars().count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chars = padded_chars(s, q - 1);
+    qchunk_positions(n, q)
+        .into_iter()
+        .map(|p| chars[p..p + q].iter().collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_basic() {
+        assert_eq!(
+            whitespace_tokens("50 Vassar St MA"),
+            vec!["50", "Vassar", "St", "MA"]
+        );
+    }
+
+    #[test]
+    fn whitespace_empty_and_blank() {
+        assert!(whitespace_tokens("").is_empty());
+        assert!(whitespace_tokens("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn whitespace_collapses_runs() {
+        assert_eq!(whitespace_tokens("a  b   c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn qgram_count_equals_char_len() {
+        for (s, q) in [("abc", 2), ("abcdef", 3), ("x", 5), ("hello", 4)] {
+            assert_eq!(qgrams(s, q).len(), s.chars().count(), "s={s:?} q={q}");
+        }
+    }
+
+    #[test]
+    fn qgram_paper_example() {
+        // §3: the 4-grams of "50 Vassar St MA" are "50 V", "0 Va", …
+        let g = qgrams("50 Vassar St MA", 4);
+        assert_eq!(g[0], "50 V");
+        assert_eq!(g[1], "0 Va");
+        assert_eq!(g.len(), 15);
+    }
+
+    #[test]
+    fn qgram_all_have_length_q() {
+        for q in 1..=6 {
+            for g in qgrams("silkmoth", q) {
+                assert_eq!(g.chars().count(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn qgram_empty_input() {
+        assert!(qgrams("", 3).is_empty());
+    }
+
+    #[test]
+    fn qgram_unicode() {
+        let g = qgrams("héllo", 2);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0], "hé");
+        assert_eq!(g[1], "él");
+    }
+
+    #[test]
+    fn qchunk_count_is_ceil() {
+        for (len, q, want) in [(6, 3, 2), (7, 3, 3), (1, 3, 1), (9, 3, 3), (10, 4, 3)] {
+            let s: String = "abcdefghij".chars().take(len).collect();
+            assert_eq!(qchunks(&s, q).len(), want, "len={len} q={q}");
+            assert_eq!(qchunk_positions(len, q).len(), want);
+        }
+    }
+
+    #[test]
+    fn qchunks_are_qgrams_at_chunk_positions() {
+        for q in 1..=5 {
+            let s = "related sets";
+            let grams = qgrams(s, q);
+            let chunks = qchunks(s, q);
+            let positions = qchunk_positions(s.chars().count(), q);
+            assert_eq!(chunks.len(), positions.len());
+            for (chunk, &p) in chunks.iter().zip(&positions) {
+                assert_eq!(chunk, &grams[p], "q={q} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn qchunks_cover_whole_string() {
+        let s = "abcdefg";
+        let joined: String = qchunks(s, 3).concat();
+        assert!(joined.starts_with(s));
+        assert_eq!(joined.chars().count(), 9); // padded to multiple of q
+    }
+
+    #[test]
+    fn q_of_one_chunks_equal_grams() {
+        let s = "moth";
+        assert_eq!(qchunks(s, 1), qgrams(s, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_q_panics() {
+        qgrams("abc", 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! `silkmoth` — command-line related-set discovery and search.
+//!
+//! Input format: one set per line; elements separated by a configurable
+//! delimiter (default `|`); tokens within elements separated by
+//! whitespace. Lines starting with `#` are ignored.
+//!
+//! ```text
+//! # addresses.sets
+//! 77 Mass Ave Boston MA|5th St 02115 Seattle WA|77 5th St Chicago IL
+//! 77 Massachusetts Avenue Boston MA|Fifth Street Seattle MA 02115
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! silkmoth discover --input data.sets --metric similarity --delta 0.7
+//! silkmoth search   --input lake.sets --reference q.sets --metric containment \
+//!                   --delta 0.7 --alpha 0.5
+//! silkmoth discover --input titles.sets --phi eds --alpha 0.8 --delta 0.8
+//! silkmoth stats    --input data.sets
+//! ```
+
+use silkmoth::{
+    Collection, Engine, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme,
+    SimilarityFunction, Tokenization,
+};
+use std::io::Read;
+use std::process::exit;
+
+#[derive(Debug)]
+struct Cli {
+    command: String,
+    input: Option<String>,
+    reference: Option<String>,
+    metric: RelatednessMetric,
+    phi: String,
+    delta: f64,
+    alpha: f64,
+    scheme: SignatureScheme,
+    filter: FilterKind,
+    no_reduction: bool,
+    delimiter: char,
+    threads: usize,
+    quiet: bool,
+}
+
+const USAGE: &str = "\
+usage: silkmoth <discover|search|stats> [options]
+
+options:
+  --input FILE        sets file (one set per line; elements separated by the
+                      delimiter; '-' for stdin)
+  --reference FILE    reference sets file (search mode)
+  --metric M          similarity | containment        (default: similarity)
+  --phi F             jaccard | dice | cosine | eds | neds  (default: jaccard)
+  --delta D           relatedness threshold in (0,1]  (default: 0.7)
+  --alpha A           similarity threshold in [0,1)   (default: 0)
+  --scheme S          unweighted | weighted | combined-unweighted |
+                      skyline | dichotomy             (default: dichotomy)
+  --filter F          none | check | nn               (default: nn)
+  --no-reduction      disable reduction-based verification
+  --delimiter C       element delimiter               (default: '|')
+  --threads N         discovery threads, 0 = all      (default: 0)
+  --quiet             print only result pairs
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| fail("missing command"));
+    let mut cli = Cli {
+        command,
+        input: None,
+        reference: None,
+        metric: RelatednessMetric::Similarity,
+        phi: "jaccard".into(),
+        delta: 0.7,
+        alpha: 0.0,
+        scheme: SignatureScheme::Dichotomy,
+        filter: FilterKind::CheckAndNearestNeighbor,
+        no_reduction: false,
+        delimiter: '|',
+        threads: 0,
+        quiet: false,
+    };
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| fail("missing option value"));
+        match a.as_str() {
+            "--input" => cli.input = Some(val()),
+            "--reference" => cli.reference = Some(val()),
+            "--metric" => {
+                cli.metric = match val().as_str() {
+                    "similarity" => RelatednessMetric::Similarity,
+                    "containment" => RelatednessMetric::Containment,
+                    m => fail(&format!("unknown metric {m}")),
+                }
+            }
+            "--phi" => cli.phi = val(),
+            "--delta" => cli.delta = val().parse().unwrap_or_else(|_| fail("bad --delta")),
+            "--alpha" => cli.alpha = val().parse().unwrap_or_else(|_| fail("bad --alpha")),
+            "--scheme" => {
+                cli.scheme = match val().as_str() {
+                    "unweighted" => SignatureScheme::Unweighted,
+                    "weighted" => SignatureScheme::Weighted,
+                    "combined-unweighted" => SignatureScheme::CombinedUnweighted,
+                    "skyline" => SignatureScheme::Skyline,
+                    "dichotomy" => SignatureScheme::Dichotomy,
+                    s => fail(&format!("unknown scheme {s}")),
+                }
+            }
+            "--filter" => {
+                cli.filter = match val().as_str() {
+                    "none" => FilterKind::None,
+                    "check" => FilterKind::Check,
+                    "nn" => FilterKind::CheckAndNearestNeighbor,
+                    f => fail(&format!("unknown filter {f}")),
+                }
+            }
+            "--no-reduction" => cli.no_reduction = true,
+            "--delimiter" => {
+                let v = val();
+                cli.delimiter = v.chars().next().unwrap_or_else(|| fail("empty delimiter"));
+            }
+            "--threads" => cli.threads = val().parse().unwrap_or_else(|_| fail("bad --threads")),
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => fail(&format!("unknown option {other}")),
+        }
+    }
+    cli
+}
+
+fn read_sets(path: &str, delimiter: char) -> Vec<Vec<String>> {
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+        s
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|l| l.split(delimiter).map(str::to_owned).collect())
+        .collect()
+}
+
+fn main() {
+    let cli = parse_cli();
+    let input = cli
+        .input
+        .clone()
+        .unwrap_or_else(|| fail("--input is required"));
+    let raw = read_sets(&input, cli.delimiter);
+    if raw.is_empty() {
+        fail("input contains no sets");
+    }
+
+    let similarity = match cli.phi.as_str() {
+        "jaccard" => SimilarityFunction::Jaccard,
+        "dice" => SimilarityFunction::Dice,
+        "cosine" => SimilarityFunction::Cosine,
+        "eds" | "neds" => {
+            let q = SimilarityFunction::max_q_for_alpha(cli.alpha).unwrap_or(2);
+            if cli.phi == "eds" {
+                SimilarityFunction::Eds { q }
+            } else {
+                SimilarityFunction::NEds { q }
+            }
+        }
+        p => fail(&format!("unknown phi {p}")),
+    };
+    let tokenization = match similarity {
+        SimilarityFunction::Eds { q } | SimilarityFunction::NEds { q } => {
+            Tokenization::QGram { q }
+        }
+        _ => Tokenization::Whitespace,
+    };
+    let collection = Collection::build(&raw, tokenization);
+
+    if cli.command == "stats" {
+        println!("{}", collection.stats());
+        return;
+    }
+
+    let cfg = EngineConfig {
+        metric: cli.metric,
+        similarity,
+        delta: cli.delta,
+        alpha: cli.alpha,
+        scheme: cli.scheme,
+        filter: cli.filter,
+        reduction: !cli.no_reduction,
+    };
+    let engine = match Engine::new(&collection, cfg) {
+        Ok(e) => e,
+        Err(e) => fail(&e.to_string()),
+    };
+
+    let t0 = std::time::Instant::now();
+    match cli.command.as_str() {
+        "discover" => {
+            let out = engine.discover_self_parallel(cli.threads);
+            for p in &out.pairs {
+                println!("{}\t{}\t{:.6}", p.r, p.s, p.score);
+            }
+            if !cli.quiet {
+                eprintln!(
+                    "# {} pairs in {:.3}s over {} sets; candidates {} → check {} → nn {} → verified {}",
+                    out.pairs.len(),
+                    t0.elapsed().as_secs_f64(),
+                    collection.len(),
+                    out.stats.candidates,
+                    out.stats.after_check,
+                    out.stats.after_nn,
+                    out.stats.verified,
+                );
+            }
+        }
+        "search" => {
+            let ref_path = cli
+                .reference
+                .clone()
+                .unwrap_or_else(|| fail("search needs --reference"));
+            let refs_raw = read_sets(&ref_path, cli.delimiter);
+            let mut total = 0usize;
+            for (rid, r) in refs_raw.iter().enumerate() {
+                let strs: Vec<&str> = r.iter().map(String::as_str).collect();
+                let record = collection.encode_set(&strs);
+                let out = engine.search(&record);
+                for &(sid, score) in &out.results {
+                    println!("{rid}\t{sid}\t{score:.6}");
+                    total += 1;
+                }
+            }
+            if !cli.quiet {
+                eprintln!(
+                    "# {} results for {} references in {:.3}s",
+                    total,
+                    refs_raw.len(),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+        }
+        c => fail(&format!("unknown command {c}")),
+    }
+}

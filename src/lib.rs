@@ -1,0 +1,61 @@
+//! # silkmoth
+//!
+//! A Rust implementation of **SilkMoth** (Deng, Kim, Madden, Stonebraker —
+//! *SILKMOTH: An Efficient Method for Finding Related Sets with Maximum
+//! Matching Constraints*, VLDB 2017): exact, index-accelerated discovery
+//! and search of related sets under maximum-matching relatedness metrics.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`text`] — tokenizers (whitespace, q-grams, q-chunks) and element
+//!   similarity functions (Jaccard, `Eds`, `NEds`, α-clamping);
+//! * [`collection`] — set collections, the frequency-ordered token
+//!   dictionary, and the inverted index;
+//! * [`matching`] — maximum-weight bipartite matching (Hungarian) and the
+//!   triangle-inequality reduction;
+//! * [`core`] — signature schemes, the check and nearest-neighbor
+//!   filters, verification, the [`Engine`], and the brute-force baseline;
+//! * [`datagen`] — deterministic synthetic workloads mirroring the
+//!   paper's evaluation datasets.
+//!
+//! ## Example
+//!
+//! ```
+//! use silkmoth::{Collection, Engine, EngineConfig, RelatednessMetric, SimilarityFunction, Tokenization};
+//!
+//! let corpus = vec![
+//!     vec!["77 Mass Ave Boston MA", "5th St 02115 Seattle WA", "77 5th St Chicago IL"],
+//!     vec![
+//!         "77 Massachusetts Avenue Boston MA",
+//!         "Fifth Street Seattle MA 02115",
+//!         "77 Fifth Street Chicago IL",
+//!         "One Kendall Square Cambridge MA",
+//!     ],
+//! ];
+//! let collection = Collection::build(&corpus, Tokenization::Whitespace);
+//! let cfg = EngineConfig::full(
+//!     RelatednessMetric::Containment,
+//!     SimilarityFunction::Jaccard,
+//!     0.35,
+//!     0.2,
+//! );
+//! let engine = Engine::new(&collection, cfg).unwrap();
+//! // Is the Location column (set 0) approximately contained in Address (set 1)?
+//! let out = engine.search(collection.set(0));
+//! assert!(out.results.iter().any(|&(sid, _)| sid == 1));
+//! ```
+
+pub use silkmoth_collection as collection;
+pub use silkmoth_core as core;
+pub use silkmoth_datagen as datagen;
+pub use silkmoth_matching as matching;
+pub use silkmoth_text as text;
+
+pub use silkmoth_collection::{Collection, Element, InvertedIndex, SetRecord, Tokenization};
+pub use silkmoth_core::{
+    brute, ConfigError, DiscoveryOutput, Engine, EngineConfig, FilterKind, PassStats, RelatedPair,
+    RelatednessMetric, SearchOutput, SignatureScheme,
+};
+pub use silkmoth_datagen::{ColumnsConfig, DblpConfig, SchemaConfig};
+pub use silkmoth_matching::{max_weight_assignment, WeightMatrix};
+pub use silkmoth_text::SimilarityFunction;

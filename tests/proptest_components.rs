@@ -1,0 +1,123 @@
+//! Property tests for the supporting components: the corpus codec, the
+//! collection builder's invariants, NN-search consistency, and the
+//! signature generators' structural invariants on arbitrary inputs.
+
+use proptest::prelude::*;
+use silkmoth::core::{generate_signature, SigKind, SigParams};
+use silkmoth::{Collection, InvertedIndex, SignatureScheme, Tokenization};
+
+fn any_corpus() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(
+        proptest::collection::vec("[a-e ]{0,12}", 0..5),
+        0..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_codec_roundtrip_any_corpus(corpus in any_corpus(), qgram in any::<bool>()) {
+        let tok = if qgram { Tokenization::QGram { q: 2 } } else { Tokenization::Whitespace };
+        let c = Collection::build(&corpus, tok);
+        let back = silkmoth::collection::codec::decode(&silkmoth::collection::codec::encode(&c)).unwrap();
+        prop_assert_eq!(back.len(), c.len());
+        prop_assert_eq!(back.tokenization(), c.tokenization());
+        for (a, b) in c.sets().iter().zip(back.sets()) {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(back.dict().len(), c.dict().len());
+    }
+
+    #[test]
+    fn prop_collection_invariants(corpus in any_corpus(), qgram in any::<bool>()) {
+        let tok = if qgram { Tokenization::QGram { q: 3 } } else { Tokenization::Whitespace };
+        let c = Collection::build(&corpus, tok);
+        let index = InvertedIndex::build(&c);
+        for set in c.sets() {
+            for e in set.elements.iter() {
+                // Tokens sorted, distinct, and within the dictionary.
+                prop_assert!(e.tokens.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(e.tokens.iter().all(|&t| (t as usize) < c.dict().len()));
+                // Every chunk id is one of the element's tokens.
+                for &ch in e.chunks.iter() {
+                    prop_assert!(e.tokens.binary_search(&ch).is_ok());
+                }
+            }
+        }
+        // Dictionary frequency == inverted list length, and ids are in
+        // decreasing frequency order.
+        for t in 0..c.dict().len() as u32 {
+            prop_assert_eq!(c.dict().frequency(t) as usize, index.cost(t));
+            if t > 0 {
+                prop_assert!(c.dict().frequency(t - 1) >= c.dict().frequency(t));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_signature_structure(
+        corpus in proptest::collection::vec(
+            proptest::collection::vec("[a-d]( [a-d]){0,4}", 1..5), 1..6),
+        delta in 0.2f64..0.95,
+        alpha in prop_oneof![Just(0.0), 0.3f64..0.9],
+        scheme in prop_oneof![
+            Just(SignatureScheme::Unweighted),
+            Just(SignatureScheme::Weighted),
+            Just(SignatureScheme::CombinedUnweighted),
+            Just(SignatureScheme::Skyline),
+            Just(SignatureScheme::Dichotomy),
+        ],
+    ) {
+        let c = Collection::build(&corpus, Tokenization::Whitespace);
+        let index = InvertedIndex::build(&c);
+        let r = c.set(0);
+        let theta = delta * r.len() as f64;
+        let sig = generate_signature(
+            r,
+            scheme,
+            SigParams { theta, alpha, kind: SigKind::Jaccard },
+            &index,
+        );
+        prop_assert_eq!(sig.elems.len(), r.len());
+        for (se, re) in sig.elems.iter().zip(r.elements.iter()) {
+            // Signature tokens are a sorted subset of the element's tokens.
+            prop_assert!(se.tokens.windows(2).all(|w| w[0] < w[1]));
+            for t in &se.tokens {
+                prop_assert!(re.tokens.binary_search(t).is_ok());
+            }
+            prop_assert!(se.units <= re.tokens.len());
+            prop_assert!((0.0..=1.0).contains(&se.raw_bound));
+            // Saturated elements hold at least the sim-thresh cap.
+            if se.saturated {
+                let cap = silkmoth::core::signature::sim_thresh_cap(
+                    re.tokens.len(), re.tokens.len(), alpha, SigKind::Jaccard);
+                prop_assert!(cap.is_some());
+                prop_assert!(se.units >= cap.unwrap());
+            }
+        }
+        // Non-degenerate signatures satisfy the validity sum.
+        if !sig.degenerate && sig.check_prunable {
+            prop_assert!(sig.sum_bound < theta);
+        }
+    }
+
+    #[test]
+    fn prop_encode_set_consistent_with_build(
+        corpus in proptest::collection::vec(
+            proptest::collection::vec("[a-c]( [a-c]){0,3}", 1..4), 1..5),
+    ) {
+        // Encoding a set that also exists in the corpus yields the exact
+        // same token ids as the built set.
+        let c = Collection::build(&corpus, Tokenization::Whitespace);
+        for (sid, raw_set) in corpus.iter().enumerate() {
+            let strs: Vec<&str> = raw_set.iter().map(String::as_str).collect();
+            let encoded = c.encode_set(&strs);
+            let built = c.set(sid as u32);
+            prop_assert_eq!(encoded.len(), built.len());
+            for (a, b) in encoded.elements.iter().zip(built.elements.iter()) {
+                prop_assert_eq!(&a.tokens, &b.tokens);
+            }
+        }
+    }
+}
