@@ -17,7 +17,12 @@ fn bench_fastjoin(c: &mut Criterion) {
             &silk,
             |b, cfg| b.iter(|| w.run(*cfg).pairs),
         );
-        let fast = w.config(theta, SignatureScheme::CombinedUnweighted, FilterKind::None, false);
+        let fast = w.config(
+            theta,
+            SignatureScheme::CombinedUnweighted,
+            FilterKind::None,
+            false,
+        );
         group.bench_with_input(
             BenchmarkId::new("FASTJOIN", format!("theta_{theta}")),
             &fast,
@@ -33,7 +38,12 @@ fn bench_fastjoin(c: &mut Criterion) {
             &silk,
             |b, cfg| b.iter(|| w.run(*cfg).pairs),
         );
-        let fast = w.config(0.8, SignatureScheme::CombinedUnweighted, FilterKind::None, false);
+        let fast = w.config(
+            0.8,
+            SignatureScheme::CombinedUnweighted,
+            FilterKind::None,
+            false,
+        );
         group.bench_with_input(
             BenchmarkId::new("FASTJOIN", format!("alpha_{alpha}")),
             &fast,

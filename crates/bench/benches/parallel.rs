@@ -1,0 +1,53 @@
+//! Parallel batched discovery: `discover_parallel` over external
+//! references and `discover_self_parallel`, swept across thread counts.
+//! Demonstrates the fan-out speedup introduced with the owned engine API
+//! (output is verified identical to serial by the test suite).
+//!
+//! On a single-CPU host the sweep instead demonstrates that the fan-out
+//! adds no measurable overhead versus the serial path — the speedup
+//! requires real cores, so read the numbers alongside
+//! `std::thread::available_parallelism`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use silkmoth_bench::{opt_config, Application, Workload};
+use silkmoth_core::Engine;
+
+fn bench_discover_refs(c: &mut Criterion) {
+    let w = Workload::build(Application::InclusionDependency, 1500, 0.5);
+    let cfg = opt_config(&w, 0.7);
+    let engine = Engine::new(w.collection.clone(), cfg).expect("valid config");
+    let refs: Vec<_> = w.references().into_iter().cloned().collect();
+
+    let mut group = c.benchmark_group("parallel/discover_refs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| engine.discover_parallel(&refs, threads).pairs),
+        );
+    }
+    group.finish();
+}
+
+fn bench_discover_self(c: &mut Criterion) {
+    let w = Workload::build(Application::SchemaMatching, 800, 0.0);
+    let cfg = opt_config(&w, 0.7);
+    let engine = Engine::new(w.collection.clone(), cfg).expect("valid config");
+
+    let mut group = c.benchmark_group("parallel/discover_self");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(engine.collection().len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| engine.discover_self_parallel(threads).pairs),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discover_refs, bench_discover_self);
+criterion_main!(benches);

@@ -259,7 +259,10 @@ fn fig7(sets: usize) {
 fn fig8(sets: usize) {
     header("Figure 8 (left): String matching, varying θ (α=0.8)");
     let w = Workload::build(Application::StringMatching, sets, 0.8);
-    println!("{:<8} {:>13} {:>13} {:>9}", "θ", "SILKMOTH (s)", "FASTJOIN (s)", "speedup");
+    println!(
+        "{:<8} {:>13} {:>13} {:>9}",
+        "θ", "SILKMOTH (s)", "FASTJOIN (s)", "speedup"
+    );
     for &theta in &THETAS {
         let silk = w.run(opt_config(&w, theta));
         let fast = w.run(w.config(
@@ -279,7 +282,10 @@ fn fig8(sets: usize) {
     }
 
     header("Figure 8 (right): String matching, varying α (θ=0.8)");
-    println!("{:<8} {:>13} {:>13} {:>9}", "α", "SILKMOTH (s)", "FASTJOIN (s)", "speedup");
+    println!(
+        "{:<8} {:>13} {:>13} {:>9}",
+        "α", "SILKMOTH (s)", "FASTJOIN (s)", "speedup"
+    );
     for &alpha in &[0.70, 0.75, 0.80, 0.85] {
         let w = Workload::build(Application::StringMatching, sets, alpha);
         let silk = w.run(opt_config(&w, 0.8));

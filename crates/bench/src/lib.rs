@@ -90,8 +90,8 @@ impl Application {
 pub struct Workload {
     /// Which application this is.
     pub app: Application,
-    /// The tokenized collection.
-    pub collection: Collection,
+    /// The tokenized collection, shared with the engines built on it.
+    pub collection: std::sync::Arc<Collection>,
     /// Reference set indices (search mode only).
     pub reference_ids: Vec<usize>,
     /// α used to tokenize (string matching: decides q).
@@ -142,7 +142,7 @@ impl Workload {
         };
         Workload {
             app,
-            collection: Collection::build(&raw, tokenization),
+            collection: std::sync::Arc::new(Collection::build(&raw, tokenization)),
             reference_ids,
             alpha,
         }
@@ -160,7 +160,7 @@ impl Workload {
         let reference_ids = pick_references(&raw, n_refs, 4, 4848);
         Workload {
             app: Application::InclusionDependency,
-            collection: Collection::build(&raw, Tokenization::Whitespace),
+            collection: std::sync::Arc::new(Collection::build(&raw, Tokenization::Whitespace)),
             reference_ids,
             alpha: 0.0,
         }
@@ -193,7 +193,7 @@ impl Workload {
     /// Runs the workload once (discovery self-join or the reference
     /// search batch), returning pairs found, wall time and stats.
     pub fn run(&self, cfg: EngineConfig) -> RunOutcome {
-        let engine = Engine::new(&self.collection, cfg).expect("valid config");
+        let engine = Engine::new(self.collection.clone(), cfg).expect("valid config");
         let t0 = std::time::Instant::now();
         let (pairs, stats) = if self.app.is_search_mode() {
             let mut total = 0usize;

@@ -5,7 +5,7 @@ use silkmoth_text::{qchunk_positions, qgrams, whitespace_tokens, TokenId};
 use std::collections::HashMap;
 
 /// How element strings are turned into tokens (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tokenization {
     /// Whitespace-delimited words — used with Jaccard similarity.
     Whitespace,
@@ -64,7 +64,11 @@ pub(crate) fn build_collection<S: AsRef<str>>(
         .map(|set| SetRecord {
             elements: set
                 .iter()
-                .map(|e| encode_element(e.as_ref(), tokenization, |t| dict.id(t).expect("token seen in pass 1")))
+                .map(|e| {
+                    encode_element(e.as_ref(), tokenization, |t| {
+                        dict.id(t).expect("token seen in pass 1")
+                    })
+                })
                 .collect(),
         })
         .collect();
@@ -80,8 +84,10 @@ fn encode_element(
 ) -> Element {
     match tokenization {
         Tokenization::Whitespace => {
-            let mut tokens: Vec<TokenId> =
-                whitespace_tokens(text).into_iter().map(&mut resolve).collect();
+            let mut tokens: Vec<TokenId> = whitespace_tokens(text)
+                .into_iter()
+                .map(&mut resolve)
+                .collect();
             tokens.sort_unstable();
             tokens.dedup();
             Element {
@@ -148,10 +154,7 @@ mod tests {
 
     #[test]
     fn whitespace_build_frequency_order() {
-        let raw = vec![
-            vec!["a b", "a c"],
-            vec!["a", "b d"],
-        ];
+        let raw = vec![vec!["a b", "a c"], vec!["a", "b d"]];
         let c = Collection::build(&raw, Tokenization::Whitespace);
         // Posting counts: a=3 elements, b=2, c=1, d=1.
         let d = c.dict();
@@ -179,7 +182,7 @@ mod tests {
         assert_eq!(e0.chunks.len(), 2); // ⌈6/3⌉
         let e1 = &c.set(0).elements[1];
         assert_eq!(e1.chunks.len(), 2); // ⌈4/3⌉
-        // Chunk ids must be among the element's tokens.
+                                        // Chunk ids must be among the element's tokens.
         for &ch in e0.chunks.iter() {
             assert!(e0.tokens.binary_search(&ch).is_ok());
         }

@@ -107,11 +107,7 @@ mod tests {
 
     #[test]
     fn lexicographic_tie_break() {
-        let d = TokenDict::from_counts(vec![
-            ("b".into(), 5u32),
-            ("a".into(), 5),
-            ("c".into(), 5),
-        ]);
+        let d = TokenDict::from_counts(vec![("b".into(), 5u32), ("a".into(), 5), ("c".into(), 5)]);
         assert_eq!(d.id("a"), Some(0));
         assert_eq!(d.id("b"), Some(1));
         assert_eq!(d.id("c"), Some(2));

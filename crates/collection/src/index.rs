@@ -53,10 +53,7 @@ impl InvertedIndex {
     /// tokens) yield an empty list.
     #[inline]
     pub fn list(&self, t: TokenId) -> &[Posting] {
-        self.lists
-            .get(t as usize)
-            .map(AsRef::as_ref)
-            .unwrap_or(&[])
+        self.lists.get(t as usize).map(AsRef::as_ref).unwrap_or(&[])
     }
 
     /// `|I[t]|` — the signature-selection cost of token `t` (§4.3).
@@ -92,11 +89,7 @@ mod tests {
     use crate::Tokenization;
 
     fn index() -> (Collection, InvertedIndex) {
-        let raw = vec![
-            vec!["a b", "b c"],
-            vec!["a", "c d"],
-            vec!["b d"],
-        ];
+        let raw = vec![vec!["a b", "b c"], vec!["a", "c d"], vec!["b d"]];
         let c = Collection::build(&raw, Tokenization::Whitespace);
         let i = InvertedIndex::build(&c);
         (c, i)

@@ -26,7 +26,11 @@ pub fn search(r: &SetRecord, collection: &Collection, cfg: &EngineConfig) -> Vec
 }
 
 /// All related pairs among external references × collection.
-pub fn discover(refs: &[SetRecord], collection: &Collection, cfg: &EngineConfig) -> Vec<RelatedPair> {
+pub fn discover(
+    refs: &[SetRecord],
+    collection: &Collection,
+    cfg: &EngineConfig,
+) -> Vec<RelatedPair> {
     let mut out = Vec::new();
     for (rid, r) in refs.iter().enumerate() {
         for (s, score) in search(r, collection, cfg) {
@@ -81,10 +85,13 @@ mod tests {
     #[test]
     fn engine_matches_brute_on_table2() {
         let (c, r) = table2();
-        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+        for metric in [
+            RelatednessMetric::Similarity,
+            RelatednessMetric::Containment,
+        ] {
             for delta in [0.3, 0.5, 0.7, 0.9] {
                 let cfg = EngineConfig::full(metric, SimilarityFunction::Jaccard, delta, 0.0);
-                let engine = Engine::new(&c, cfg).unwrap();
+                let engine = Engine::new(c.clone(), cfg).unwrap();
                 let fast = engine.search(&r).results;
                 let slow = search(&r, &c, &cfg);
                 assert_eq!(fast.len(), slow.len(), "{metric:?} δ={delta}");
@@ -99,7 +106,10 @@ mod tests {
     #[test]
     fn engine_matches_brute_self_join() {
         let (c, _) = table2();
-        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+        for metric in [
+            RelatednessMetric::Similarity,
+            RelatednessMetric::Containment,
+        ] {
             for delta in [0.4, 0.6] {
                 let cfg = EngineConfig {
                     metric,
@@ -110,7 +120,7 @@ mod tests {
                     filter: FilterKind::CheckAndNearestNeighbor,
                     reduction: true,
                 };
-                let engine = Engine::new(&c, cfg).unwrap();
+                let engine = Engine::new(c.clone(), cfg).unwrap();
                 let fast = engine.discover_self().pairs;
                 let slow = discover_self(&c, &cfg);
                 let f: Vec<(u32, u32)> = fast.iter().map(|p| (p.r, p.s)).collect();

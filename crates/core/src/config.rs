@@ -69,7 +69,12 @@ pub struct EngineConfig {
 impl EngineConfig {
     /// A sensible default: full SilkMoth (dichotomy + both filters +
     /// reduction) under SET-SIMILARITY with Jaccard.
-    pub fn full(metric: RelatednessMetric, similarity: SimilarityFunction, delta: f64, alpha: f64) -> Self {
+    pub fn full(
+        metric: RelatednessMetric,
+        similarity: SimilarityFunction,
+        delta: f64,
+        alpha: f64,
+    ) -> Self {
         Self {
             metric,
             similarity,
@@ -83,7 +88,12 @@ impl EngineConfig {
 
     /// The unoptimized configuration used as NOOPT in Figure 4:
     /// unweighted signatures, no filters, no reduction.
-    pub fn noopt(metric: RelatednessMetric, similarity: SimilarityFunction, delta: f64, alpha: f64) -> Self {
+    pub fn noopt(
+        metric: RelatednessMetric,
+        similarity: SimilarityFunction,
+        delta: f64,
+        alpha: f64,
+    ) -> Self {
         Self {
             metric,
             similarity,
@@ -143,7 +153,10 @@ impl EngineConfig {
                 SignatureScheme::Unweighted | SignatureScheme::CombinedUnweighted
             ) && self.alpha <= q as f64 / (q + 1) as f64
             {
-                return Err(ConfigError::UnweightedEditNeedsAlpha { q, alpha: self.alpha });
+                return Err(ConfigError::UnweightedEditNeedsAlpha {
+                    q,
+                    alpha: self.alpha,
+                });
             }
         }
         Ok(())
@@ -160,6 +173,9 @@ pub enum ConfigError {
     AlphaOutOfRange(f64),
     /// q-gram length must be ≥ 1.
     ZeroQ,
+    /// A per-query floor (see [`Query::floor`](crate::Query::floor)) must
+    /// lie in [0, 1]; it is never silently clamped.
+    FloorOutOfRange(f64),
     /// The unweighted scheme with edit similarity requires
     /// `α > q/(q+1)` for its validity argument (§7.2, footnote 11).
     UnweightedEditNeedsAlpha {
@@ -184,6 +200,7 @@ impl std::fmt::Display for ConfigError {
             Self::DeltaOutOfRange(d) => write!(f, "relatedness threshold δ={d} outside (0, 1]"),
             Self::AlphaOutOfRange(a) => write!(f, "similarity threshold α={a} outside [0, 1)"),
             Self::ZeroQ => write!(f, "q-gram length must be at least 1"),
+            Self::FloorOutOfRange(v) => write!(f, "query floor {v} outside [0, 1]"),
             Self::UnweightedEditNeedsAlpha { q, alpha } => write!(
                 f,
                 "unweighted signature scheme with edit similarity requires α > q/(q+1) \
@@ -191,7 +208,10 @@ impl std::fmt::Display for ConfigError {
                 *q as f64 / (*q as f64 + 1.0)
             ),
             Self::TokenizationMismatch { have, need } => {
-                write!(f, "collection tokenization {have:?} does not match config {need:?}")
+                write!(
+                    f,
+                    "collection tokenization {have:?} does not match config {need:?}"
+                )
             }
         }
     }

@@ -1,8 +1,12 @@
 //! The unified engine: RELATED SET SEARCH and RELATED SET DISCOVERY
 //! (Problems 1–2, Algorithm 3).
 
+use std::sync::Arc;
+
+use crate::builder::EngineBuilder;
 use crate::config::{ConfigError, EngineConfig, RelatednessMetric};
 use crate::filter::{PassStats, Restriction, Searcher};
+use crate::query::Query;
 use silkmoth_collection::{Collection, InvertedIndex, SetIdx, SetRecord};
 
 /// One related pair found by discovery.
@@ -19,7 +23,8 @@ pub struct RelatedPair {
 /// Output of a search pass: related sets plus instrumentation.
 #[derive(Debug, Clone)]
 pub struct SearchOutput {
-    /// Related sets, ascending id, with relatedness scores.
+    /// Related sets with relatedness scores (ascending id, unless ranked
+    /// by [`Query::top_k`](crate::Query::top_k)).
     pub results: Vec<(SetIdx, f64)>,
     /// Pass counters.
     pub stats: PassStats,
@@ -36,11 +41,18 @@ pub struct DiscoveryOutput {
 
 /// The SilkMoth engine: an indexed collection plus a configuration.
 ///
-/// Construction builds the inverted index once (§3); every subsequent
-/// search pass reuses it.
+/// The engine *owns* its collection behind an [`Arc`], so it has no
+/// lifetime parameter: it can be stored in service state, moved across
+/// threads, and shared behind another `Arc` (it is `Send + Sync`).
+/// Construction accepts either a `Collection` (which is moved in) or an
+/// existing `Arc<Collection>` (shared, no copy), and builds the inverted
+/// index once (§3); every subsequent search pass reuses it.
+///
+/// Prefer [`Engine::builder`] for fluent construction and
+/// [`Engine::query`] for parameterized searches:
 ///
 /// ```
-/// use silkmoth_core::{Engine, EngineConfig, RelatednessMetric};
+/// use silkmoth_core::{Engine, RelatednessMetric};
 /// use silkmoth_collection::{Collection, Tokenization};
 /// use silkmoth_text::SimilarityFunction;
 ///
@@ -49,27 +61,31 @@ pub struct DiscoveryOutput {
 ///     vec!["1 Main St Springfield IL", "2 Oak Ave Portland OR"],
 /// ];
 /// let collection = Collection::build(&raw, Tokenization::Whitespace);
-/// let cfg = EngineConfig::full(
-///     RelatednessMetric::Containment,
-///     SimilarityFunction::Jaccard,
-///     0.5,
-///     0.0,
-/// );
-/// let engine = Engine::new(&collection, cfg).unwrap();
-/// let r = collection.encode_set(&["77 Massachusetts Avenue Boston MA"]);
-/// let out = engine.search(&r);
+/// let engine = Engine::builder(collection)
+///     .metric(RelatednessMetric::Containment)
+///     .phi(SimilarityFunction::Jaccard)
+///     .delta(0.5)
+///     .build()
+///     .unwrap();
+/// let r = engine.collection().encode_set(&["77 Massachusetts Avenue Boston MA"]);
+/// let out = engine.query(&r).run().unwrap();
 /// assert_eq!(out.results[0].0, 0);
 /// ```
-pub struct Engine<'a> {
-    collection: &'a Collection,
+#[derive(Debug)]
+pub struct Engine {
+    collection: Arc<Collection>,
     index: InvertedIndex,
     cfg: EngineConfig,
 }
 
-impl<'a> Engine<'a> {
+impl Engine {
     /// Builds the inverted index and validates the configuration against
     /// the collection's tokenization.
-    pub fn new(collection: &'a Collection, cfg: EngineConfig) -> Result<Self, ConfigError> {
+    pub fn new(
+        collection: impl Into<Arc<Collection>>,
+        cfg: EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        let collection = collection.into();
         cfg.validate()?;
         let need = cfg.tokenization();
         if collection.tokenization() != need {
@@ -79,10 +95,17 @@ impl<'a> Engine<'a> {
             });
         }
         Ok(Self {
-            index: InvertedIndex::build(collection),
+            index: InvertedIndex::build(&collection),
             collection,
             cfg,
         })
+    }
+
+    /// Starts a fluent [`EngineBuilder`] over `collection` with the
+    /// default configuration (full SilkMoth, SET-SIMILARITY, Jaccard,
+    /// δ = 0.7, α = 0).
+    pub fn builder(collection: impl Into<Arc<Collection>>) -> EngineBuilder {
+        EngineBuilder::new(collection.into())
     }
 
     /// The engine's configuration.
@@ -97,52 +120,47 @@ impl<'a> Engine<'a> {
 
     /// The indexed collection.
     pub fn collection(&self) -> &Collection {
-        self.collection
+        &self.collection
     }
 
-    /// RELATED SET SEARCH (Problem 2): all sets related to reference `r`.
+    /// The shared handle to the indexed collection (cheap to clone).
+    pub fn collection_arc(&self) -> &Arc<Collection> {
+        &self.collection
+    }
+
+    /// Starts a [`Query`] for reference `r`: a parameterized search that
+    /// can be ranked ([`top_k`](Query::top_k)), re-floored
+    /// ([`floor`](Query::floor)), run in one shot ([`run`](Query::run)),
+    /// or streamed ([`iter`](Query::iter)).
     ///
     /// Encode external references with [`Collection::encode_set`].
-    pub fn search(&self, r: &SetRecord) -> SearchOutput {
-        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
-        let (results, stats) = searcher.run(r, Restriction::default());
-        SearchOutput { results, stats }
+    pub fn query<'e, 'r>(&'e self, r: &'r SetRecord) -> Query<'e, 'r> {
+        Query::new(self, r)
     }
 
-    /// Top-k variant of [`search`](Self::search): the `k` most related
-    /// sets with relatedness at least `floor`.
-    ///
-    /// An extension beyond the paper (its related work §9 discusses top-k
-    /// set similarity search): the pass runs with δ = `floor` — so the
-    /// same exactness guarantee applies down to the floor — and the
-    /// results are ranked by score (ties broken by ascending set id) and
-    /// truncated to `k`.
-    pub fn search_topk(&self, r: &SetRecord, k: usize, floor: f64) -> SearchOutput {
-        let mut cfg = self.cfg;
-        cfg.delta = floor.max(f64::MIN_POSITIVE);
-        let mut searcher = Searcher::new(self.collection, &self.index, cfg);
-        let (mut results, stats) = searcher.run(r, Restriction::default());
-        results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        results.truncate(k);
+    /// RELATED SET SEARCH (Problem 2): all sets related to reference `r`
+    /// at the engine's δ. Equivalent to `self.query(r).run()` (which
+    /// cannot fail without query-level overrides).
+    pub fn search(&self, r: &SetRecord) -> SearchOutput {
+        let mut searcher = Searcher::new(&self.collection, &self.index, self.cfg);
+        let (results, stats) = searcher.run(r, Restriction::default());
         SearchOutput { results, stats }
     }
 
     /// RELATED SET DISCOVERY (Problem 1) for references encoded against
     /// this collection's dictionary: one search pass per reference.
     pub fn discover(&self, refs: &[SetRecord]) -> DiscoveryOutput {
-        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
-        let mut pairs = Vec::new();
-        let mut stats = PassStats::default();
-        for (rid, r) in refs.iter().enumerate() {
-            let (results, ps) = searcher.run(r, Restriction::default());
-            stats.merge(&ps);
-            pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
-                r: rid as u32,
-                s,
-                score,
-            }));
-        }
-        DiscoveryOutput { pairs, stats }
+        self.discover_parallel(refs, 1)
+    }
+
+    /// Parallel [`discover`](Self::discover) across `threads` workers
+    /// (0 = available parallelism), each with its own reusable
+    /// [`Searcher`]. Output — pairs, scores, and merged [`PassStats`] —
+    /// is identical to the serial version.
+    pub fn discover_parallel(&self, refs: &[SetRecord], threads: usize) -> DiscoveryOutput {
+        self.fan_out(refs.len(), threads, |searcher, rid| {
+            searcher.run(&refs[rid as usize], Restriction::default())
+        })
     }
 
     /// Self-join discovery (`R = S`, the §8.1 string/schema matching
@@ -154,25 +172,27 @@ impl<'a> Engine<'a> {
     /// larger ids). For SET-CONTAINMENT the metric is asymmetric and all
     /// ordered pairs `r ≠ s` are reported.
     pub fn discover_self(&self) -> DiscoveryOutput {
-        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
-        let mut pairs = Vec::new();
-        let mut stats = PassStats::default();
-        for rid in 0..self.collection.len() as SetIdx {
-            let (results, ps) = self.self_pass(&mut searcher, rid);
-            stats.merge(&ps);
-            pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
-                r: rid,
-                s,
-                score,
-            }));
-        }
-        DiscoveryOutput { pairs, stats }
+        self.discover_self_parallel(1)
     }
 
     /// Parallel [`discover_self`](Self::discover_self) across `threads`
     /// workers (0 = available parallelism). Output is identical to the
     /// serial version.
     pub fn discover_self_parallel(&self, threads: usize) -> DiscoveryOutput {
+        self.fan_out(self.collection.len(), threads, |searcher, rid| {
+            self.self_pass(searcher, rid)
+        })
+    }
+
+    /// Shared fan-out for both discovery flavors: runs `pass` for every
+    /// reference id in `0..total`, serially or chunked across scoped
+    /// worker threads that each reuse one [`Searcher`]. Pairs come back
+    /// sorted by `(r, s)` and stats merged, so the thread count never
+    /// changes the output.
+    fn fan_out<F>(&self, total: usize, threads: usize, pass: F) -> DiscoveryOutput
+    where
+        F: Fn(&mut Searcher<'_>, SetIdx) -> (Vec<(SetIdx, f64)>, PassStats) + Sync,
+    {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -180,39 +200,46 @@ impl<'a> Engine<'a> {
         } else {
             threads
         };
-        let total = self.collection.len();
+
+        let run_range = |searcher: &mut Searcher<'_>, lo: SetIdx, hi: SetIdx| {
+            let mut pairs = Vec::new();
+            let mut stats = PassStats::default();
+            for rid in lo..hi {
+                let (results, ps) = pass(searcher, rid);
+                stats.merge(&ps);
+                pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
+                    r: rid,
+                    s,
+                    score,
+                }));
+            }
+            (pairs, stats)
+        };
+
         if threads <= 1 || total < 2 * threads {
-            return self.discover_self();
+            let mut searcher = Searcher::new(&self.collection, &self.index, self.cfg);
+            let (pairs, stats) = run_range(&mut searcher, 0, total as SetIdx);
+            return DiscoveryOutput { pairs, stats };
         }
+
         let chunk = total.div_ceil(threads);
         let mut outputs: Vec<(Vec<RelatedPair>, PassStats)> = Vec::with_capacity(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
+            let run_range = &run_range;
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(total);
-                    scope.spawn(move |_| {
-                        let mut searcher = Searcher::new(self.collection, &self.index, self.cfg);
-                        let mut pairs = Vec::new();
-                        let mut stats = PassStats::default();
-                        for rid in lo as SetIdx..hi as SetIdx {
-                            let (results, ps) = self.self_pass(&mut searcher, rid);
-                            stats.merge(&ps);
-                            pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
-                                r: rid,
-                                s,
-                                score,
-                            }));
-                        }
-                        (pairs, stats)
+                    scope.spawn(move || {
+                        let mut searcher = Searcher::new(&self.collection, &self.index, self.cfg);
+                        run_range(&mut searcher, lo as SetIdx, hi as SetIdx)
                     })
                 })
                 .collect();
             for h in handles {
                 outputs.push(h.join().expect("discovery worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let mut pairs = Vec::new();
         let mut stats = PassStats::default();
         for (p, s) in outputs {
@@ -223,7 +250,11 @@ impl<'a> Engine<'a> {
         DiscoveryOutput { pairs, stats }
     }
 
-    fn self_pass(&self, searcher: &mut Searcher<'_>, rid: SetIdx) -> (Vec<(SetIdx, f64)>, PassStats) {
+    pub(crate) fn self_pass(
+        &self,
+        searcher: &mut Searcher<'_>,
+        rid: SetIdx,
+    ) -> (Vec<(SetIdx, f64)>, PassStats) {
         let restriction = match self.cfg.metric {
             RelatednessMetric::Similarity => Restriction {
                 min_exclusive: Some(rid),
@@ -251,9 +282,35 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_send_sync_and_static() {
+        fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+        assert_send_sync_static::<Engine>();
+    }
+
+    #[test]
+    fn engine_shares_collection_via_arc() {
+        let (c, r) = table2();
+        let shared = Arc::new(c);
+        let engine = Engine::new(
+            shared.clone(),
+            jaccard_cfg(RelatednessMetric::Containment, 0.7),
+        )
+        .unwrap();
+        // No copy was made: the engine's collection is the same allocation.
+        assert!(Arc::ptr_eq(engine.collection_arc(), &shared));
+        // And the engine can be used from another thread after the local
+        // handle is gone.
+        drop(shared);
+        let out = std::thread::spawn(move || engine.search(&r))
+            .join()
+            .unwrap();
+        assert_eq!(out.results[0].0, 3);
+    }
+
+    #[test]
     fn search_example2() {
         let (c, r) = table2();
-        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
         let out = engine.search(&r);
         assert_eq!(out.results.len(), 1);
         assert_eq!(out.results[0].0, 3);
@@ -269,7 +326,7 @@ mod tests {
             0.0,
         );
         assert!(matches!(
-            Engine::new(&c, cfg),
+            Engine::new(c, cfg),
             Err(ConfigError::TokenizationMismatch { .. })
         ));
     }
@@ -282,7 +339,7 @@ mod tests {
             vec!["x y z", "p q r"],
         ];
         let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
-        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Similarity, 0.9)).unwrap();
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Similarity, 0.9)).unwrap();
         let out = engine.discover_self();
         assert_eq!(out.pairs.len(), 1);
         assert_eq!((out.pairs[0].r, out.pairs[0].s), (0, 1));
@@ -294,7 +351,7 @@ mod tests {
         // Set 0 ⊂ set 1: contain(0→1) holds, contain(1→0) does not (δ high).
         let raw = vec![vec!["a b", "c d"], vec!["a b", "c d", "e f", "g h"]];
         let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
-        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Containment, 0.9)).unwrap();
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Containment, 0.9)).unwrap();
         let out = engine.discover_self();
         assert_eq!(out.pairs.len(), 1);
         assert_eq!((out.pairs[0].r, out.pairs[0].s), (0, 1));
@@ -310,8 +367,12 @@ mod tests {
             })
             .collect();
         let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
-        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
-            let engine = Engine::new(&c, jaccard_cfg(metric, 0.6)).unwrap();
+        let c = Arc::new(c);
+        for metric in [
+            RelatednessMetric::Similarity,
+            RelatednessMetric::Containment,
+        ] {
+            let engine = Engine::new(c.clone(), jaccard_cfg(metric, 0.6)).unwrap();
             let serial = engine.discover_self();
             let parallel = engine.discover_self_parallel(4);
             assert_eq!(serial.pairs.len(), parallel.pairs.len());
@@ -326,8 +387,8 @@ mod tests {
     #[test]
     fn discover_external_references() {
         let (c, r) = table2();
-        let engine = Engine::new(&c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
-        let refs = vec![r.clone(), c.encode_set(&["zz qq"])];
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
+        let refs = vec![r.clone(), engine.collection().encode_set(&["zz qq"])];
         let out = engine.discover(&refs);
         assert_eq!(out.pairs.len(), 1);
         assert_eq!(out.pairs[0].r, 0);
@@ -335,8 +396,36 @@ mod tests {
     }
 
     #[test]
+    fn discover_parallel_matches_serial_on_external_refs() {
+        let raw: Vec<Vec<String>> = (0..30)
+            .map(|i| {
+                (0..3)
+                    .map(|j| format!("w{} w{} shared{}", (i * 3 + j) % 7, (i + j) % 5, i % 4))
+                    .collect()
+            })
+            .collect();
+        let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Similarity, 0.5)).unwrap();
+        let refs: Vec<_> = (0..20)
+            .map(|i| {
+                engine.collection().encode_set(&[
+                    format!("w{} shared{}", i % 7, i % 4).as_str(),
+                    format!("w{} w{}", (i + 1) % 5, (i + 2) % 7).as_str(),
+                ])
+            })
+            .collect();
+        let serial = engine.discover(&refs);
+        for threads in [2, 3, 8] {
+            let parallel = engine.discover_parallel(&refs, threads);
+            assert_eq!(serial.pairs, parallel.pairs, "threads={threads}");
+            assert_eq!(serial.stats, parallel.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn all_scheme_filter_combinations_agree_on_table2_discovery() {
         let (c, _) = table2();
+        let c = Arc::new(c);
         let mut reference: Option<Vec<(u32, u32)>> = None;
         for scheme in [
             SignatureScheme::Weighted,
@@ -359,7 +448,7 @@ mod tests {
                     filter,
                     reduction: false,
                 };
-                let engine = Engine::new(&c, cfg).unwrap();
+                let engine = Engine::new(c.clone(), cfg).unwrap();
                 let pairs: Vec<(u32, u32)> = engine
                     .discover_self()
                     .pairs

@@ -127,7 +127,8 @@ pub fn explain_pair(
 
     let size_ok = size_check(cfg.metric, cfg.delta, r.len(), s.len());
     let is_candidate = size_ok && (signature.degenerate || any_match);
-    let passes_check = is_candidate && (signature.degenerate || !signature.check_prunable || any_check_pass);
+    let passes_check =
+        is_candidate && (signature.degenerate || !signature.check_prunable || any_check_pass);
     let passes_nn = passes_check && nn_upper >= theta - crate::config::FILTER_EPS;
 
     let mut cost = VerifyCost::default();
@@ -236,13 +237,10 @@ mod tests {
         for delta in [0.3, 0.5, 0.7, 0.9] {
             for alpha in [0.0, 0.4, 0.7] {
                 let conf = cfg(delta, alpha);
-                let engine = Engine::new(&c, conf).unwrap();
-                let engine_hits: Vec<u32> =
-                    engine.search(&r).results.iter().map(|x| x.0).collect();
-                let brute_hits: Vec<u32> = brute::search(&r, &c, &conf)
-                    .iter()
-                    .map(|x| x.0)
-                    .collect();
+                let engine = Engine::new(c.clone(), conf).unwrap();
+                let engine_hits: Vec<u32> = engine.search(&r).results.iter().map(|x| x.0).collect();
+                let brute_hits: Vec<u32> =
+                    brute::search(&r, &c, &conf).iter().map(|x| x.0).collect();
                 for sid in 0..c.len() as u32 {
                     let ex = explain_pair(&r, c.set(sid), &conf, &index);
                     assert_eq!(

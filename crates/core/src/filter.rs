@@ -128,7 +128,46 @@ impl<'a> Searcher<'a> {
 
     /// Runs one full search pass for reference `r`, returning the related
     /// sets (ascending id) with their relatedness scores.
-    pub fn run(&mut self, r: &SetRecord, restriction: Restriction) -> (Vec<(SetIdx, f64)>, PassStats) {
+    pub fn run(
+        &mut self,
+        r: &SetRecord,
+        restriction: Restriction,
+    ) -> (Vec<(SetIdx, f64)>, PassStats) {
+        let (survivors, mut stats) = self.survivors(r, restriction);
+
+        // ---- Verification (§5.4) -----------------------------------------
+        let mut results: Vec<(SetIdx, f64)> = Vec::new();
+        let mut vcost = VerifyCost::default();
+        for &sid in &survivors {
+            stats.verified += 1;
+            if let Some(score) = verify_pair(
+                r,
+                self.collection.set(sid),
+                &self.cfg,
+                &self.phi,
+                &mut vcost,
+            ) {
+                results.push((sid, score));
+            }
+        }
+        stats.sim_evals += vcost.sim_evals;
+        stats.reduced_pairs += vcost.reduced_pairs;
+        stats.results = results.len();
+        results.sort_unstable_by_key(|&(sid, _)| sid);
+        (results, stats)
+    }
+
+    /// The pre-verification stages of a pass — candidate selection, check
+    /// filter, nearest-neighbor filter — returning the surviving set ids
+    /// (in candidate-admission order) and the stats so far. These stages
+    /// are index-bound; the `O(n³)` maximum-matching work happens only
+    /// when survivors are verified, which streaming callers
+    /// ([`Query::iter`](crate::Query::iter)) do lazily.
+    pub fn survivors(
+        &mut self,
+        r: &SetRecord,
+        restriction: Restriction,
+    ) -> (Vec<SetIdx>, PassStats) {
         let mut stats = PassStats::default();
         let theta = self.cfg.delta * r.len() as f64;
         let n = r.len();
@@ -157,7 +196,12 @@ impl<'a> Searcher<'a> {
         if signature.degenerate {
             for sid in 0..self.collection.len() as SetIdx {
                 if restriction.admits(sid)
-                    && size_check(self.cfg.metric, self.cfg.delta, n, self.collection.set(sid).len())
+                    && size_check(
+                        self.cfg.metric,
+                        self.cfg.delta,
+                        n,
+                        self.collection.set(sid).len(),
+                    )
                 {
                     cand_sets.push(sid);
                 }
@@ -235,9 +279,7 @@ impl<'a> Searcher<'a> {
             .collect();
         let mut survivors: Vec<usize> = (0..cand_sets.len()).collect();
         if compute_sims && !signature.degenerate && signature.check_prunable {
-            survivors.retain(|&slot| {
-                (0..n).any(|i| best[slot * n + i] >= check_thr[i] - 1e-12)
-            });
+            survivors.retain(|&slot| (0..n).any(|i| best[slot * n + i] >= check_thr[i] - 1e-12));
         }
         stats.after_check = survivors.len();
 
@@ -286,22 +328,10 @@ impl<'a> Searcher<'a> {
         }
         stats.after_nn = survivors.len();
 
-        // ---- Verification (§5.4) -----------------------------------------
-        let mut results: Vec<(SetIdx, f64)> = Vec::new();
-        let mut vcost = VerifyCost::default();
-        for &slot in &survivors {
-            let sid = cand_sets[slot];
-            stats.verified += 1;
-            if let Some(score) = verify_pair(r, self.collection.set(sid), &self.cfg, &self.phi, &mut vcost)
-            {
-                results.push((sid, score));
-            }
-        }
-        stats.sim_evals += vcost.sim_evals;
-        stats.reduced_pairs += vcost.reduced_pairs;
-        stats.results = results.len();
-        results.sort_unstable_by_key(|&(sid, _)| sid);
-        (results, stats)
+        (
+            survivors.iter().map(|&slot| cand_sets[slot]).collect(),
+            stats,
+        )
     }
 
     /// `NNSearch(r, S, I)` (§5.2): upper bound on `max_{s∈S} φα(r, s)` via
@@ -468,7 +498,10 @@ mod tests {
 
     #[test]
     fn filters_never_change_results() {
-        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+        for metric in [
+            RelatednessMetric::Similarity,
+            RelatednessMetric::Containment,
+        ] {
             for scheme in [
                 SignatureScheme::Weighted,
                 SignatureScheme::Dichotomy,
@@ -570,7 +603,10 @@ mod tests {
         // Under SET-SIMILARITY with a tall δ, tiny sets cannot be similar
         // to R (|R| = 3): a 1-element set is outside [δ·3, 3/δ].
         let raw = vec![vec!["t1"], vec!["t1 x", "t1 y", "t1 z"]];
-        let c = silkmoth_collection::Collection::build(&raw, silkmoth_collection::Tokenization::Whitespace);
+        let c = silkmoth_collection::Collection::build(
+            &raw,
+            silkmoth_collection::Tokenization::Whitespace,
+        );
         let index = silkmoth_collection::InvertedIndex::build(&c);
         let r = c.encode_set(&["t1 a", "t1 b", "t1 c"]);
         // Unweighted scheme: "t1" survives the c−1 removals, so both sets

@@ -36,8 +36,11 @@
 //!
 //! ## Quick start
 //!
+//! The engine owns its collection behind an `Arc` — no lifetimes, and it
+//! is `Send + Sync`, so it slots directly into server state:
+//!
 //! ```
-//! use silkmoth_core::{Engine, EngineConfig, RelatednessMetric};
+//! use silkmoth_core::{Engine, RelatednessMetric};
 //! use silkmoth_collection::{Collection, Tokenization};
 //! use silkmoth_text::SimilarityFunction;
 //!
@@ -47,35 +50,44 @@
 //!     vec!["77 Massachusetts Avenue Boston MA", "Fifth Street Seattle WA 02115"],
 //! ];
 //! let collection = Collection::build(&corpus, Tokenization::Whitespace);
-//! let cfg = EngineConfig::full(
-//!     RelatednessMetric::Similarity,
-//!     SimilarityFunction::Jaccard,
-//!     0.25,  // relatedness threshold δ
-//!     0.0,   // similarity threshold α
-//! );
-//! let engine = Engine::new(&collection, cfg).unwrap();
+//! let engine = Engine::builder(collection)
+//!     .metric(RelatednessMetric::Similarity)
+//!     .phi(SimilarityFunction::Jaccard)
+//!     .delta(0.25) // relatedness threshold δ
+//!     .alpha(0.0)  // similarity threshold α
+//!     .build()
+//!     .unwrap();
 //! let related = engine.discover_self();
 //! assert_eq!(related.pairs.len(), 1);
+//!
+//! // Parameterized per-query searches, including streaming:
+//! let r = engine.collection().set(0).clone();
+//! let top = engine.query(&r).floor(0.2).top_k(1).run().unwrap();
+//! assert_eq!(top.results.len(), 1);
 //! ```
 
 pub mod brute;
+mod builder;
 mod config;
-pub mod explain;
 mod engine;
+pub mod explain;
 mod filter;
 mod optimal;
 mod phi;
+mod query;
 pub mod signature;
 mod verify;
 
+pub use builder::EngineBuilder;
 pub use config::{
     ConfigError, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme, FILTER_EPS,
     VERIFY_EPS,
 };
 pub use engine::{DiscoveryOutput, Engine, RelatedPair, SearchOutput};
-pub use filter::{PassStats, Restriction, Searcher};
 pub use explain::{explain_pair, ElementExplanation, PairExplanation};
+pub use filter::{PassStats, Restriction, Searcher};
 pub use optimal::optimal_signature;
 pub use phi::{IdentityKey, Phi};
+pub use query::{Query, QueryIter};
 pub use signature::{generate as generate_signature, SigElem, SigKind, SigParams, Signature};
 pub use verify::{matching_score, relatedness, size_check, verify_pair, VerifyCost};

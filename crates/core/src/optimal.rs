@@ -89,7 +89,16 @@ pub fn optimal_signature(
             return;
         }
         let i = order[pos];
-        rec(pos + 1, mask | (1 << i), cost + costs[i], order, costs, validity_sum, theta, best);
+        rec(
+            pos + 1,
+            mask | (1 << i),
+            cost + costs[i],
+            order,
+            costs,
+            validity_sum,
+            theta,
+            best,
+        );
         rec(pos + 1, mask, cost, order, costs, validity_sum, theta, best);
     }
     rec(0, 0, 0, &order, &costs, &validity_sum, theta, &mut best);

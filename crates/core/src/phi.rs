@@ -38,9 +38,7 @@ impl Phi {
             SimilarityFunction::Jaccard => {
                 clamp_alpha(jaccard_sorted(&r.tokens, &s.tokens), self.alpha)
             }
-            SimilarityFunction::Dice => {
-                clamp_alpha(dice_sorted(&r.tokens, &s.tokens), self.alpha)
-            }
+            SimilarityFunction::Dice => clamp_alpha(dice_sorted(&r.tokens, &s.tokens), self.alpha),
             SimilarityFunction::Cosine => {
                 clamp_alpha(cosine_sorted(&r.tokens, &s.tokens), self.alpha)
             }
@@ -73,7 +71,9 @@ impl Phi {
     /// except the empty-vs-empty case handled separately).
     pub fn no_shared_token_bound(&self, r: &Element) -> f64 {
         match self.func {
-            SimilarityFunction::Jaccard | SimilarityFunction::Dice | SimilarityFunction::Cosine => 0.0,
+            SimilarityFunction::Jaccard | SimilarityFunction::Dice | SimilarityFunction::Cosine => {
+                0.0
+            }
             SimilarityFunction::Eds { q } | SimilarityFunction::NEds { q } => {
                 let len = r.char_len as usize;
                 if len == 0 {

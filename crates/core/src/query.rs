@@ -1,0 +1,272 @@
+//! Parameterized, streamable searches over an [`Engine`].
+
+use crate::config::{ConfigError, EngineConfig};
+use crate::engine::{Engine, SearchOutput};
+use crate::filter::{PassStats, Restriction, Searcher};
+use crate::phi::Phi;
+use crate::verify::{verify_pair, VerifyCost};
+use silkmoth_collection::{SetIdx, SetRecord};
+
+/// A parameterized RELATED SET SEARCH, created by [`Engine::query`].
+///
+/// By default [`run`](Self::run) behaves exactly like
+/// [`Engine::search`]: all sets related to the reference at the engine's
+/// δ, in ascending set-id order. Two per-query overrides compose on top:
+///
+/// * [`floor`](Self::floor) replaces the relatedness threshold for this
+///   query only (validated to lie in `[0, 1]` — out-of-range floors are a
+///   [`ConfigError::FloorOutOfRange`], never silently clamped);
+/// * [`top_k`](Self::top_k) ranks the results by score and keeps the `k`
+///   best. Ties are broken deterministically: **score descending, then
+///   set id ascending**.
+///
+/// [`iter`](Self::iter) streams `(set, score)` results as verification
+/// proves them, for early termination; `top_k` does not apply there
+/// (ranking needs the full result set).
+#[derive(Clone, Copy)]
+pub struct Query<'e, 'r> {
+    engine: &'e Engine,
+    r: &'r SetRecord,
+    k: Option<usize>,
+    floor: Option<f64>,
+}
+
+impl<'e, 'r> Query<'e, 'r> {
+    pub(crate) fn new(engine: &'e Engine, r: &'r SetRecord) -> Self {
+        Self {
+            engine,
+            r,
+            k: None,
+            floor: None,
+        }
+    }
+
+    /// Keep only the `k` most related sets, ranked by score descending
+    /// with ties broken by ascending set id. Usually combined with
+    /// [`floor`](Self::floor), since the engine's δ still decides which
+    /// sets are admitted at all.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Overrides the relatedness threshold for this query: only sets with
+    /// relatedness ≥ `floor` are returned, and the search pass prunes
+    /// with δ = `floor` — the same exactness guarantee, down to the
+    /// floor.
+    ///
+    /// `floor` must lie in `[0, 1]`; anything else makes
+    /// [`run`](Self::run)/[`iter`](Self::iter) return
+    /// [`ConfigError::FloorOutOfRange`]. A floor of exactly 0 admits
+    /// every set — relatedness ≥ 0 always holds — so the pass degenerates
+    /// to ranking the whole collection, which is exact but slow (the
+    /// paper's footnote 2).
+    pub fn floor(mut self, floor: f64) -> Self {
+        self.floor = Some(floor);
+        self
+    }
+
+    /// The engine-level configuration with the query's floor applied.
+    fn effective_cfg(&self) -> Result<EngineConfig, ConfigError> {
+        let mut cfg = *self.engine.config();
+        if let Some(floor) = self.floor {
+            if !(0.0..=1.0).contains(&floor) {
+                return Err(ConfigError::FloorOutOfRange(floor));
+            }
+            // A zero floor still needs a positive δ for the pass's
+            // threshold arithmetic; MIN_POSITIVE is within VERIFY_EPS of
+            // zero, so even relatedness-0 sets verify (floor 0 = rank
+            // everything).
+            cfg.delta = floor.max(f64::MIN_POSITIVE);
+        }
+        Ok(cfg)
+    }
+
+    /// Runs the full search pass and returns all results at once.
+    ///
+    /// Without [`top_k`](Self::top_k), results are in ascending set-id
+    /// order; with it, score descending (ties by ascending id),
+    /// truncated to `k`.
+    pub fn run(&self) -> Result<SearchOutput, ConfigError> {
+        let cfg = self.effective_cfg()?;
+        let mut searcher = Searcher::new(self.engine.collection(), self.engine.index(), cfg);
+        let (mut results, stats) = searcher.run(self.r, Restriction::default());
+        if let Some(k) = self.k {
+            results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            results.truncate(k);
+        }
+        Ok(SearchOutput { results, stats })
+    }
+
+    /// Streams results as verification proves them, instead of waiting
+    /// for the whole pass: candidate selection and filtering run up
+    /// front (they are index-bound and fast), then each surviving
+    /// candidate is verified lazily as the iterator is advanced — so a
+    /// caller that stops after the first hit never pays for verifying
+    /// the rest, which is where the `O(n³)` time goes.
+    ///
+    /// Yield order follows candidate order, not set id; collect and sort
+    /// when order matters. A fully drained iterator yields exactly
+    /// [`run`](Self::run)'s result set. [`top_k`](Self::top_k) is
+    /// ignored here; [`floor`](Self::floor) applies.
+    pub fn iter(&self) -> Result<QueryIter<'e, 'r>, ConfigError> {
+        let cfg = self.effective_cfg()?;
+        let mut searcher = Searcher::new(self.engine.collection(), self.engine.index(), cfg);
+        let (survivors, stats) = searcher.survivors(self.r, Restriction::default());
+        Ok(QueryIter {
+            engine: self.engine,
+            r: self.r,
+            cfg,
+            phi: Phi::new(cfg.similarity, cfg.alpha),
+            survivors: survivors.into_iter(),
+            stats,
+            vcost: VerifyCost::default(),
+        })
+    }
+}
+
+/// Streaming query results: verification happens in [`next`], one
+/// surviving candidate at a time.
+///
+/// [next]: Iterator::next
+pub struct QueryIter<'e, 'r> {
+    engine: &'e Engine,
+    r: &'r SetRecord,
+    cfg: EngineConfig,
+    phi: Phi,
+    survivors: std::vec::IntoIter<SetIdx>,
+    stats: PassStats,
+    vcost: VerifyCost,
+}
+
+impl std::fmt::Debug for QueryIter<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryIter")
+            .field("remaining_candidates", &self.survivors.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryIter<'_, '_> {
+    /// Pass counters as of now: filter-stage counts are final, while
+    /// `verified`/`results`/`sim_evals` grow as the iterator advances.
+    /// After exhaustion this equals the stats [`Query::run`] reports.
+    pub fn stats(&self) -> PassStats {
+        let mut stats = self.stats;
+        stats.sim_evals += self.vcost.sim_evals;
+        stats.reduced_pairs += self.vcost.reduced_pairs;
+        stats
+    }
+
+    /// How many surviving candidates are still unverified.
+    pub fn remaining_candidates(&self) -> usize {
+        self.survivors.len()
+    }
+}
+
+impl Iterator for QueryIter<'_, '_> {
+    type Item = (SetIdx, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for sid in self.survivors.by_ref() {
+            self.stats.verified += 1;
+            if let Some(score) = verify_pair(
+                self.r,
+                self.engine.collection().set(sid),
+                &self.cfg,
+                &self.phi,
+                &mut self.vcost,
+            ) {
+                self.stats.results += 1;
+                return Some((sid, score));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.survivors.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RelatednessMetric;
+    use silkmoth_collection::paper_example::table2;
+    use silkmoth_text::SimilarityFunction;
+
+    fn engine(delta: f64) -> Engine {
+        let (c, _) = table2();
+        Engine::builder(c)
+            .metric(RelatednessMetric::Containment)
+            .phi(SimilarityFunction::Jaccard)
+            .delta(delta)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_query_equals_search() {
+        let (_, r) = table2();
+        let engine = engine(0.7);
+        let q = engine.query(&r).run().unwrap();
+        let s = engine.search(&r);
+        assert_eq!(q.results, s.results);
+        assert_eq!(q.stats, s.stats);
+    }
+
+    #[test]
+    fn floor_out_of_range_is_an_error_not_a_clamp() {
+        let (_, r) = table2();
+        let engine = engine(0.7);
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = engine.query(&r).floor(bad).run().unwrap_err();
+            assert!(matches!(err, ConfigError::FloorOutOfRange(_)), "{bad}");
+            let err = engine.query(&r).floor(bad).iter().unwrap_err();
+            assert!(matches!(err, ConfigError::FloorOutOfRange(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn top_k_ranks_by_score_then_id() {
+        let (_, r) = table2();
+        let engine = engine(0.7);
+        let all = engine.query(&r).floor(0.0).run().unwrap();
+        // Every set has some relatedness to R in Table 2, so floor 0
+        // admits all four; ranked output must be sorted score desc.
+        assert_eq!(all.results.len(), 4);
+        let top2 = engine.query(&r).floor(0.0).top_k(2).run().unwrap();
+        assert_eq!(top2.results.len(), 2);
+        assert!(top2.results[0].1 >= top2.results[1].1);
+        assert_eq!(top2.results[0].0, 3); // S4 is the most related
+    }
+
+    #[test]
+    fn iter_drained_equals_run() {
+        let (_, r) = table2();
+        for delta in [0.3, 0.5, 0.7] {
+            let engine = engine(delta);
+            let run = engine.query(&r).run().unwrap();
+            let mut iter = engine.query(&r).iter().unwrap();
+            let mut streamed: Vec<(u32, f64)> = iter.by_ref().collect();
+            streamed.sort_unstable_by_key(|&(sid, _)| sid);
+            assert_eq!(streamed, run.results, "δ={delta}");
+            assert_eq!(iter.stats(), run.stats, "δ={delta}");
+        }
+    }
+
+    #[test]
+    fn iter_supports_early_termination() {
+        let (_, r) = table2();
+        let engine = engine(0.3);
+        let run = engine.query(&r).run().unwrap();
+        assert!(run.results.len() > 1, "need >1 result for this test");
+        let mut iter = engine.query(&r).iter().unwrap();
+        let first = iter.next().unwrap();
+        // Only part of the verification work has happened.
+        assert!(iter.stats().verified < run.stats.verified);
+        assert!(run.results.contains(&first));
+    }
+}

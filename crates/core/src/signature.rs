@@ -363,7 +363,11 @@ struct State<'a> {
 
 impl<'a> State<'a> {
     fn new(r: &SetRecord, params: SigParams, index: &'a InvertedIndex) -> Self {
-        let elems: Vec<ElemState> = r.elements.iter().map(|e| ElemState::new(e, params)).collect();
+        let elems: Vec<ElemState> = r
+            .elements
+            .iter()
+            .map(|e| ElemState::new(e, params))
+            .collect();
         // Group occurrences by token.
         let mut occ: Vec<(TokenId, usize, u32)> = Vec::new();
         for (i, es) in elems.iter().enumerate() {
@@ -650,7 +654,10 @@ mod tests {
     fn example12_skyline_equals_weighted() {
         // α = δ = 0.7: skyline trims nothing (|ki| ≤ cap = 2) and L^T = K^T.
         let (s, _) = sig(SignatureScheme::Skyline, 2.1, 0.7);
-        assert_eq!(s.flat_tokens(), vec![tid(8), tid(9), tid(10), tid(11), tid(12)]);
+        assert_eq!(
+            s.flat_tokens(),
+            vec![tid(8), tid(9), tid(10), tid(11), tid(12)]
+        );
         // k2 = {t9, t10} hits the cap exactly → saturated; k1 = {t8} is not.
         assert!(!s.elems[0].saturated);
         assert!(s.elems[1].saturated);

@@ -4,7 +4,9 @@
 use crate::config::{EngineConfig, RelatednessMetric, VERIFY_EPS};
 use crate::phi::Phi;
 use silkmoth_collection::SetRecord;
-use silkmoth_matching::{max_weight_assignment, reduce_identical, sparse_max_matching, Edge, WeightMatrix};
+use silkmoth_matching::{
+    max_weight_assignment, reduce_identical, sparse_max_matching, Edge, WeightMatrix,
+};
 
 /// Counters describing one verification call, for instrumentation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -121,9 +123,7 @@ pub fn size_check(metric: RelatednessMetric, delta: f64, r_len: usize, s_len: us
     const EPS: f64 = 1e-9;
     let (r_len, s_len) = (r_len as f64, s_len as f64);
     match metric {
-        RelatednessMetric::Similarity => {
-            delta * r_len.max(s_len) <= r_len.min(s_len) + EPS
-        }
+        RelatednessMetric::Similarity => delta * r_len.max(s_len) <= r_len.min(s_len) + EPS,
         RelatednessMetric::Containment => s_len + EPS >= delta * r_len,
     }
 }
@@ -242,7 +242,10 @@ mod tests {
         let (c, r) = table2();
         let phi = Phi::new(SimilarityFunction::Jaccard, 0.0);
         let mut cost = VerifyCost::default();
-        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+        for metric in [
+            RelatednessMetric::Similarity,
+            RelatednessMetric::Containment,
+        ] {
             for sid in 0..4 {
                 let s = c.set(sid);
                 let m = matching_score(&r, s, &phi, false, &mut cost);

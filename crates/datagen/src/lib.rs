@@ -88,7 +88,12 @@ pub fn dblp_titles(cfg: &DblpConfig) -> RawCorpus {
         if near_dup {
             let base = &corpus[rng.random_range(0..corpus.len())];
             let words: Vec<&str> = base.iter().map(String::as_str).collect();
-            corpus.push(perturb_phrase(&words, cfg.typo_prob, cfg.drop_prob, &mut rng));
+            corpus.push(perturb_phrase(
+                &words,
+                cfg.typo_prob,
+                cfg.drop_prob,
+                &mut rng,
+            ));
         } else {
             let n = rng.random_range(cfg.words_per_set.0..=cfg.words_per_set.1);
             let title: Vec<String> = (0..n)
@@ -329,7 +334,10 @@ mod tests {
             ..DblpConfig::default()
         };
         assert_eq!(dblp_titles(&cfg), dblp_titles(&cfg));
-        let other = DblpConfig { seed: 7, ..cfg.clone() };
+        let other = DblpConfig {
+            seed: 7,
+            ..cfg.clone()
+        };
         assert_ne!(dblp_titles(&cfg), dblp_titles(&other));
     }
 
@@ -365,7 +373,10 @@ mod tests {
             .map(|a| a.split_whitespace().count())
             .sum();
         let avg_tokens = tokens as f64 / elems as f64;
-        assert!((8.0..=15.0).contains(&avg_tokens), "tokens/elem = {avg_tokens}");
+        assert!(
+            (8.0..=15.0).contains(&avg_tokens),
+            "tokens/elem = {avg_tokens}"
+        );
     }
 
     #[test]
@@ -377,14 +388,20 @@ mod tests {
         let corpus = webtable_columns(&cfg);
         let elems: usize = corpus.iter().map(Vec::len).sum();
         let avg_elems = elems as f64 / corpus.len() as f64;
-        assert!((15.0..=30.0).contains(&avg_elems), "elems/set = {avg_elems}");
+        assert!(
+            (15.0..=30.0).contains(&avg_elems),
+            "elems/set = {avg_elems}"
+        );
         let tokens: usize = corpus
             .iter()
             .flat_map(|s| s.iter())
             .map(|v| v.split_whitespace().count())
             .sum();
         let avg_tokens = tokens as f64 / elems as f64;
-        assert!((1.5..=3.2).contains(&avg_tokens), "tokens/elem = {avg_tokens}");
+        assert!(
+            (1.5..=3.2).contains(&avg_tokens),
+            "tokens/elem = {avg_tokens}"
+        );
     }
 
     #[test]

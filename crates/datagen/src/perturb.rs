@@ -13,15 +13,21 @@ pub fn typo<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
     }
     let op = rng.random_range(0..3u8);
     let pos = rng.random_range(0..chars.len());
-    let rand_char = (b'a' + rng.random_range(0..26u8)) as char;
+    let mut rand_char = (b'a' + rng.random_range(0..26u8)) as char;
     let mut out = chars.clone();
     match op {
-        0 => out[pos] = rand_char,               // substitution
-        1 => out.insert(pos, rand_char),          // insertion
-        _ if out.len() > 1 => {
-            out.remove(pos);                      // deletion
+        1 => out.insert(pos, rand_char), // insertion
+        _ if op == 2 && out.len() > 1 => {
+            out.remove(pos); // deletion
         }
-        _ => out[pos] = rand_char,
+        _ => {
+            // Substitution must actually change the character, or the
+            // result would not be one edit away.
+            while rand_char == out[pos] {
+                rand_char = (b'a' + rng.random_range(0..26u8)) as char;
+            }
+            out[pos] = rand_char;
+        }
     }
     out.into_iter().collect()
 }

@@ -27,8 +27,7 @@ mod reduction;
 pub mod sparse;
 
 pub use hungarian::{
-    exhaustive_max_matching, greedy_matching_score, max_weight_assignment, Assignment,
-    WeightMatrix,
+    exhaustive_max_matching, greedy_matching_score, max_weight_assignment, Assignment, WeightMatrix,
 };
 pub use reduction::{reduce_identical, Reduction};
 pub use sparse::{sparse_from_dense, sparse_max_matching, Edge};

@@ -107,8 +107,16 @@ mod tests {
     #[test]
     fn duplicate_edges_keep_max() {
         let score = sparse_max_matching(&[
-            Edge { row: 0, col: 0, weight: 0.3 },
-            Edge { row: 0, col: 0, weight: 0.8 },
+            Edge {
+                row: 0,
+                col: 0,
+                weight: 0.3,
+            },
+            Edge {
+                row: 0,
+                col: 0,
+                weight: 0.8,
+            },
         ]);
         assert_eq!(score, 0.8);
     }
@@ -117,9 +125,21 @@ mod tests {
     fn conflict_resolution() {
         // Two rows want the same column; the solver must split them.
         let score = sparse_max_matching(&[
-            Edge { row: 0, col: 0, weight: 1.0 },
-            Edge { row: 1, col: 0, weight: 0.9 },
-            Edge { row: 1, col: 1, weight: 0.5 },
+            Edge {
+                row: 0,
+                col: 0,
+                weight: 1.0,
+            },
+            Edge {
+                row: 1,
+                col: 0,
+                weight: 0.9,
+            },
+            Edge {
+                row: 1,
+                col: 1,
+                weight: 0.5,
+            },
         ]);
         assert!((score - 1.5).abs() < 1e-9);
     }

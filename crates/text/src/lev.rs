@@ -108,7 +108,11 @@ pub fn levenshtein_bounded_chars(a: &[char], b: &[char], max: usize) -> Option<u
             let cb = b[j - 1];
             let sub = prev[j - 1] + usize::from(ca != cb);
             let del = if prev[j] >= BIG { BIG } else { prev[j] + 1 };
-            let ins = if cur[j - 1] >= BIG { BIG } else { cur[j - 1] + 1 };
+            let ins = if cur[j - 1] >= BIG {
+                BIG
+            } else {
+                cur[j - 1] + 1
+            };
             let v = sub.min(del).min(ins);
             cur[j] = v;
             row_min = row_min.min(v);

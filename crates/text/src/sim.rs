@@ -13,7 +13,7 @@ use crate::TokenId;
 /// constrains `q < α/(1−α)` (footnote 11) so that elements sharing no
 /// q-gram are guaranteed to fall below the similarity threshold, and
 /// `q < δ/(1−δ)` (§7.3) for the weighted signature scheme to be non-empty.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimilarityFunction {
     /// Token-set Jaccard over whitespace words: `|x∩y| / |x∪y|`.
     Jaccard,
@@ -95,7 +95,7 @@ pub fn clamp_alpha(score: f64, alpha: f64) -> f64 {
 /// assert_eq!(jaccard_sorted(&[], &[]), 1.0); // two empty sets are identical
 /// assert_eq!(jaccard_sorted(&[1], &[]), 0.0);
 /// ```
-pub fn jaccard_sorted(a: &[TokenId], b: &[TokenId], ) -> f64 {
+pub fn jaccard_sorted(a: &[TokenId], b: &[TokenId]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -296,9 +296,7 @@ pub fn edit_sim_alpha(func: SimilarityFunction, a: &[char], b: &[char], alpha: f
                 SimilarityFunction::Eds { .. } => {
                     1.0 - (2 * ld) as f64 / (a.len() + b.len() + ld) as f64
                 }
-                SimilarityFunction::NEds { .. } => {
-                    1.0 - ld as f64 / a.len().max(b.len()) as f64
-                }
+                SimilarityFunction::NEds { .. } => 1.0 - ld as f64 / a.len().max(b.len()) as f64,
                 _ => unreachable!(),
             };
             clamp_alpha(s, alpha)
@@ -316,18 +314,15 @@ mod tests {
         // Example 1 alignments between Address and Location.
         let s = jaccard_str("77 Mass Ave Boston MA", "77 Massachusetts Avenue Boston MA");
         assert!((s - 4.0 / 8.0).abs() < 1e-12 || s > 0.0); // distinct-token semantics
-        // Example 2 (Table 2 ids): Jac(r1, s41) where r1 = {t1,t2,t3,t6,t8},
-        // s41 = {t1,t2,t3,t8} → 4/5 = 0.8.
+                                                           // Example 2 (Table 2 ids): Jac(r1, s41) where r1 = {t1,t2,t3,t6,t8},
+                                                           // s41 = {t1,t2,t3,t8} → 4/5 = 0.8.
         assert_eq!(jaccard_sorted(&[1, 2, 3, 6, 8], &[1, 2, 3, 8]), 0.8);
     }
 
     #[test]
     fn jaccard_table2_alignments() {
         // Example 2: Jac(r2, s42) = 1, Jac(r3, s43) = 3/7 ≈ 0.429.
-        assert_eq!(
-            jaccard_sorted(&[4, 5, 7, 9, 10], &[4, 5, 7, 9, 10]),
-            1.0
-        );
+        assert_eq!(jaccard_sorted(&[4, 5, 7, 9, 10], &[4, 5, 7, 9, 10]), 1.0);
         let s = jaccard_sorted(&[1, 4, 5, 11, 12], &[1, 4, 5, 6, 9]);
         assert!((s - 3.0 / 7.0).abs() < 1e-12);
     }

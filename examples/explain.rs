@@ -4,7 +4,9 @@
 //! Run with: `cargo run --release --example explain`
 
 use silkmoth::core::explain_pair;
-use silkmoth::{EngineConfig, FilterKind, InvertedIndex, RelatednessMetric, SignatureScheme, SimilarityFunction};
+use silkmoth::{
+    EngineConfig, FilterKind, InvertedIndex, RelatednessMetric, SignatureScheme, SimilarityFunction,
+};
 
 fn main() {
     // Table 2: reference R (the Location column) and S = {S1..S4}.
@@ -22,7 +24,10 @@ fn main() {
 
     for sid in 0..collection.len() as u32 {
         let ex = explain_pair(&r, collection.set(sid), &cfg, &index);
-        println!("───────────────────────────── S{} ─────────────────────────────", sid + 1);
+        println!(
+            "───────────────────────────── S{} ─────────────────────────────",
+            sid + 1
+        );
         print!("{ex}");
         let verdict = if !ex.is_candidate {
             "pruned at candidate selection (no shared signature token)"

@@ -7,13 +7,9 @@
 //!
 //! Run with: `cargo run --release --example inclusion_dependency`
 
-use silkmoth::{
-    Collection, Engine, EngineConfig, RelatednessMetric, SimilarityFunction, Tokenization,
-};
+use silkmoth::{Collection, Engine, RelatednessMetric, SimilarityFunction, Tokenization};
 
 fn main() {
-    let delta = 0.7;
-    let alpha = 0.5;
     let corpus = silkmoth::datagen::webtable_columns(&silkmoth::ColumnsConfig {
         num_sets: 5000,
         seed: 13,
@@ -22,34 +18,39 @@ fn main() {
     let collection = Collection::build(&corpus, Tokenization::Whitespace);
     println!("data lake: {}", collection.stats());
 
-    let cfg = EngineConfig::full(
-        RelatednessMetric::Containment,
-        SimilarityFunction::Jaccard,
-        delta,
-        alpha,
-    );
-    let engine = Engine::new(&collection, cfg).expect("valid configuration");
+    let engine = Engine::builder(collection)
+        .metric(RelatednessMetric::Containment)
+        .phi(SimilarityFunction::Jaccard)
+        .delta(0.7)
+        .alpha(0.5)
+        .build()
+        .expect("valid configuration");
+    let collection = engine.collection();
 
     // 50 random reference columns with enough distinct values (§8.1 uses
-    // 1000 out of 500K; scaled down proportionally).
-    let refs = silkmoth::datagen::pick_references(&corpus, 50, 4, 17);
+    // 1000 out of 500K; scaled down proportionally). The whole reference
+    // batch fans out across all cores; output is identical to serial.
+    let ref_ids = silkmoth::datagen::pick_references(&corpus, 50, 4, 17);
+    let refs: Vec<_> = ref_ids
+        .iter()
+        .map(|&rid| collection.set(rid as u32).clone())
+        .collect();
     let t0 = std::time::Instant::now();
+    let out = engine.discover_parallel(&refs, 0);
     let mut total_hits = 0usize;
     let mut example: Option<(usize, u32, f64)> = None;
-    for &rid in &refs {
-        let out = engine.search(collection.set(rid as u32));
-        for &(sid, score) in &out.results {
-            if sid as usize != rid {
-                total_hits += 1;
-                example.get_or_insert((rid, sid, score));
-            }
+    for p in &out.pairs {
+        let rid = ref_ids[p.r as usize];
+        if p.s as usize != rid {
+            total_hits += 1;
+            example.get_or_insert((rid, p.s, p.score));
         }
     }
     let elapsed = t0.elapsed();
 
     println!(
         "searched {} reference columns in {:.2?}: {} approximate inclusion dependencies",
-        refs.len(),
+        ref_ids.len(),
         elapsed,
         total_hits
     );
@@ -64,7 +65,11 @@ fn main() {
                 .take(5)
                 .map(|e| e.text.as_ref())
                 .collect();
-            println!("  {label} ({} values): {:?} …", collection.set(id).len(), vals);
+            println!(
+                "  {label} ({} values): {:?} …",
+                collection.set(id).len(),
+                vals
+            );
         };
         show(rid as u32, "contained");
         show(sid, "container");

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use silkmoth::{
-    Collection, Engine, EngineConfig, RelatednessMetric, SimilarityFunction, Tokenization,
-};
+use silkmoth::{Collection, Engine, RelatednessMetric, SimilarityFunction, Tokenization};
 
 fn main() {
     // Table 1: two related datasets.
@@ -26,22 +24,24 @@ fn main() {
     ];
     let unrelated = vec!["apples oranges pears", "red green blue"];
 
-    // The searchable collection: Address plus a decoy column.
+    // The searchable collection: Address plus a decoy column. The engine
+    // takes ownership (an Arc<Collection> would share it instead).
     let corpus = vec![address.clone(), unrelated];
     let collection = Collection::build(&corpus, Tokenization::Whitespace);
 
     // SET-CONTAINMENT with Jaccard, α = 0.2 (Example 1), δ = 0.3.
-    let cfg = EngineConfig::full(
-        RelatednessMetric::Containment,
-        SimilarityFunction::Jaccard,
-        0.3,
-        0.2,
-    );
-    let engine = Engine::new(&collection, cfg).expect("valid configuration");
+    let engine = Engine::builder(collection)
+        .metric(RelatednessMetric::Containment)
+        .phi(SimilarityFunction::Jaccard)
+        .delta(0.3)
+        .alpha(0.2)
+        .build()
+        .expect("valid configuration");
+    let collection = engine.collection();
 
     // Search: which columns approximately contain Location?
     let reference = collection.encode_set(&location);
-    let out = engine.search(&reference);
+    let out = engine.query(&reference).run().expect("no query overrides");
 
     println!("reference column (Location):");
     for e in &location {
@@ -50,7 +50,8 @@ fn main() {
     println!();
     println!(
         "related columns under contain(R,S) ≥ {} with φ = Jaccard, α = {}:",
-        cfg.delta, cfg.alpha
+        engine.config().delta,
+        engine.config().alpha
     );
     for &(sid, score) in &out.results {
         println!("  set {sid} — containment score {score:.3}");

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example string_matching`
 
-use silkmoth::{
-    Collection, Engine, EngineConfig, RelatednessMetric, SimilarityFunction, Tokenization,
-};
+use silkmoth::{Collection, Engine, RelatednessMetric, SimilarityFunction, Tokenization};
 
 fn main() {
     let alpha = 0.8;
@@ -26,13 +24,14 @@ fn main() {
     let collection = Collection::build(&corpus, Tokenization::QGram { q });
     println!("corpus: {}", collection.stats());
 
-    let cfg = EngineConfig::full(
-        RelatednessMetric::Similarity,
-        SimilarityFunction::Eds { q },
-        delta,
-        alpha,
-    );
-    let engine = Engine::new(&collection, cfg).expect("valid configuration");
+    let engine = Engine::builder(collection)
+        .metric(RelatednessMetric::Similarity)
+        .phi(SimilarityFunction::Eds { q })
+        .delta(delta)
+        .alpha(alpha)
+        .build()
+        .expect("valid configuration");
+    let collection = engine.collection();
 
     let t0 = std::time::Instant::now();
     let out = engine.discover_self_parallel(0);

@@ -15,14 +15,15 @@
 //! ```text
 //! silkmoth discover --input data.sets --metric similarity --delta 0.7
 //! silkmoth search   --input lake.sets --reference q.sets --metric containment \
-//!                   --delta 0.7 --alpha 0.5
+//!                   --delta 0.7 --alpha 0.5 --threads 8
+//! silkmoth search   --input lake.sets --reference q.sets --top-k 10 --floor 0.3
 //! silkmoth discover --input titles.sets --phi eds --alpha 0.8 --delta 0.8
 //! silkmoth stats    --input data.sets
 //! ```
 
 use silkmoth::{
-    Collection, Engine, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme,
-    SimilarityFunction, Tokenization,
+    Collection, Engine, FilterKind, RelatednessMetric, SignatureScheme, SimilarityFunction,
+    Tokenization,
 };
 use std::io::Read;
 use std::process::exit;
@@ -41,6 +42,8 @@ struct Cli {
     no_reduction: bool,
     delimiter: char,
     threads: usize,
+    top_k: Option<usize>,
+    floor: Option<f64>,
     quiet: bool,
 }
 
@@ -60,7 +63,12 @@ options:
   --filter F          none | check | nn               (default: nn)
   --no-reduction      disable reduction-based verification
   --delimiter C       element delimiter               (default: '|')
-  --threads N         discovery threads, 0 = all      (default: 0)
+  --threads N         worker threads for discover and search, 0 = all
+                      (default: 0)
+  --top-k K           search: keep only the K most related sets per
+                      reference (score desc, then set id asc)
+  --floor F           search: report sets with relatedness >= F in [0,1]
+                      instead of the engine delta
   --quiet             print only result pairs
 ";
 
@@ -86,6 +94,8 @@ fn parse_cli() -> Cli {
         no_reduction: false,
         delimiter: '|',
         threads: 0,
+        top_k: None,
+        floor: None,
         quiet: false,
     };
     while let Some(a) = args.next() {
@@ -127,6 +137,8 @@ fn parse_cli() -> Cli {
                 cli.delimiter = v.chars().next().unwrap_or_else(|| fail("empty delimiter"));
             }
             "--threads" => cli.threads = val().parse().unwrap_or_else(|_| fail("bad --threads")),
+            "--top-k" => cli.top_k = Some(val().parse().unwrap_or_else(|_| fail("bad --top-k"))),
+            "--floor" => cli.floor = Some(val().parse().unwrap_or_else(|_| fail("bad --floor"))),
             "--quiet" => cli.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -180,9 +192,7 @@ fn main() {
         p => fail(&format!("unknown phi {p}")),
     };
     let tokenization = match similarity {
-        SimilarityFunction::Eds { q } | SimilarityFunction::NEds { q } => {
-            Tokenization::QGram { q }
-        }
+        SimilarityFunction::Eds { q } | SimilarityFunction::NEds { q } => Tokenization::QGram { q },
         _ => Tokenization::Whitespace,
     };
     let collection = Collection::build(&raw, tokenization);
@@ -192,16 +202,16 @@ fn main() {
         return;
     }
 
-    let cfg = EngineConfig {
-        metric: cli.metric,
-        similarity,
-        delta: cli.delta,
-        alpha: cli.alpha,
-        scheme: cli.scheme,
-        filter: cli.filter,
-        reduction: !cli.no_reduction,
-    };
-    let engine = match Engine::new(&collection, cfg) {
+    let engine = match Engine::builder(collection)
+        .metric(cli.metric)
+        .phi(similarity)
+        .delta(cli.delta)
+        .alpha(cli.alpha)
+        .scheme(cli.scheme)
+        .filter(cli.filter)
+        .reduction(!cli.no_reduction)
+        .build()
+    {
         Ok(e) => e,
         Err(e) => fail(&e.to_string()),
     };
@@ -218,7 +228,7 @@ fn main() {
                     "# {} pairs in {:.3}s over {} sets; candidates {} → check {} → nn {} → verified {}",
                     out.pairs.len(),
                     t0.elapsed().as_secs_f64(),
-                    collection.len(),
+                    engine.collection().len(),
                     out.stats.candidates,
                     out.stats.after_check,
                     out.stats.after_nn,
@@ -232,13 +242,64 @@ fn main() {
                 .clone()
                 .unwrap_or_else(|| fail("search needs --reference"));
             let refs_raw = read_sets(&ref_path, cli.delimiter);
+            let refs: Vec<_> = refs_raw
+                .iter()
+                .map(|r| {
+                    let strs: Vec<&str> = r.iter().map(String::as_str).collect();
+                    engine.collection().encode_set(&strs)
+                })
+                .collect();
             let mut total = 0usize;
-            for (rid, r) in refs_raw.iter().enumerate() {
-                let strs: Vec<&str> = r.iter().map(String::as_str).collect();
-                let record = collection.encode_set(&strs);
-                let out = engine.search(&record);
-                for &(sid, score) in &out.results {
-                    println!("{rid}\t{sid}\t{score:.6}");
+            if cli.top_k.is_some() || cli.floor.is_some() {
+                // Per-query overrides go through the query API; one query
+                // per reference, chunked across the worker threads (the
+                // engine is Sync, so workers share it directly).
+                let threads = match cli.threads {
+                    0 => std::thread::available_parallelism().map_or(1, usize::from),
+                    n => n,
+                }
+                .min(refs.len().max(1));
+                let run_query = |record: &silkmoth::SetRecord| {
+                    let mut query = engine.query(record);
+                    if let Some(k) = cli.top_k {
+                        query = query.top_k(k);
+                    }
+                    if let Some(f) = cli.floor {
+                        query = query.floor(f);
+                    }
+                    query.run().map(|out| out.results)
+                };
+                let outputs: Vec<_> = if threads <= 1 {
+                    refs.iter().map(run_query).collect()
+                } else {
+                    let chunk = refs.len().div_ceil(threads);
+                    let mut outputs = Vec::with_capacity(refs.len());
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = refs
+                            .chunks(chunk)
+                            .map(|part| {
+                                scope.spawn(|| part.iter().map(run_query).collect::<Vec<_>>())
+                            })
+                            .collect();
+                        for h in handles {
+                            outputs.extend(h.join().expect("search worker panicked"));
+                        }
+                    });
+                    outputs
+                };
+                for (rid, results) in outputs.into_iter().enumerate() {
+                    let results = results.unwrap_or_else(|e| fail(&e.to_string()));
+                    for (sid, score) in results {
+                        println!("{rid}\t{sid}\t{score:.6}");
+                        total += 1;
+                    }
+                }
+            } else {
+                // Plain batched search: fan the references out across the
+                // worker threads.
+                let out = engine.discover_parallel(&refs, cli.threads);
+                for p in &out.pairs {
+                    println!("{}\t{}\t{:.6}", p.r, p.s, p.score);
                     total += 1;
                 }
             }
@@ -246,7 +307,7 @@ fn main() {
                 eprintln!(
                     "# {} results for {} references in {:.3}s",
                     total,
-                    refs_raw.len(),
+                    refs.len(),
                     t0.elapsed().as_secs_f64()
                 );
             }

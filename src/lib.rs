@@ -20,8 +20,14 @@
 //!
 //! ## Example
 //!
+//! The engine owns its collection behind an `Arc` (pass a `Collection`
+//! to move it in, or an `Arc<Collection>` to share it), has no lifetime
+//! parameters, and is `Send + Sync` — it drops straight into server
+//! state. Configuration goes through the fluent builder, and per-query
+//! knobs (`top_k`, `floor`, streaming) through [`Engine::query`]:
+//!
 //! ```
-//! use silkmoth::{Collection, Engine, EngineConfig, RelatednessMetric, SimilarityFunction, Tokenization};
+//! use silkmoth::{Collection, Engine, RelatednessMetric, SimilarityFunction, Tokenization};
 //!
 //! let corpus = vec![
 //!     vec!["77 Mass Ave Boston MA", "5th St 02115 Seattle WA", "77 5th St Chicago IL"],
@@ -33,16 +39,28 @@
 //!     ],
 //! ];
 //! let collection = Collection::build(&corpus, Tokenization::Whitespace);
-//! let cfg = EngineConfig::full(
-//!     RelatednessMetric::Containment,
-//!     SimilarityFunction::Jaccard,
-//!     0.35,
-//!     0.2,
-//! );
-//! let engine = Engine::new(&collection, cfg).unwrap();
+//! let engine = Engine::builder(collection)
+//!     .metric(RelatednessMetric::Containment)
+//!     .phi(SimilarityFunction::Jaccard)
+//!     .delta(0.35)
+//!     .alpha(0.2)
+//!     .build()
+//!     .unwrap();
+//!
 //! // Is the Location column (set 0) approximately contained in Address (set 1)?
-//! let out = engine.search(collection.set(0));
+//! let r = engine.collection().set(0).clone();
+//! let out = engine.query(&r).run().unwrap();
 //! assert!(out.results.iter().any(|&(sid, _)| sid == 1));
+//!
+//! // Stream results as they verify, stopping at the first hit:
+//! let first = engine.query(&r).iter().unwrap().next();
+//! assert!(first.is_some());
+//!
+//! // Batched discovery over external references fans out across threads
+//! // with output identical to the serial run:
+//! let refs = vec![engine.collection().encode_set(&["77 Mass Ave Boston MA"])];
+//! let pairs = engine.discover_parallel(&refs, 0).pairs;
+//! assert_eq!(pairs, engine.discover(&refs).pairs);
 //! ```
 
 pub use silkmoth_collection as collection;
@@ -53,8 +71,8 @@ pub use silkmoth_text as text;
 
 pub use silkmoth_collection::{Collection, Element, InvertedIndex, SetRecord, Tokenization};
 pub use silkmoth_core::{
-    brute, ConfigError, DiscoveryOutput, Engine, EngineConfig, FilterKind, PassStats, RelatedPair,
-    RelatednessMetric, SearchOutput, SignatureScheme,
+    brute, ConfigError, DiscoveryOutput, Engine, EngineBuilder, EngineConfig, FilterKind,
+    PassStats, Query, QueryIter, RelatedPair, RelatednessMetric, SearchOutput, SignatureScheme,
 };
 pub use silkmoth_datagen::{ColumnsConfig, DblpConfig, SchemaConfig};
 pub use silkmoth_matching::{max_weight_assignment, WeightMatrix};

@@ -6,13 +6,15 @@
 //! These tests sweep that grid over small random corpora from all three
 //! application generators.
 
+use std::sync::Arc;
+
 use silkmoth::{
     brute, Collection, Engine, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme,
     SimilarityFunction, Tokenization,
 };
 
-fn assert_equivalent(collection: &Collection, cfg: EngineConfig, label: &str) {
-    let engine = Engine::new(collection, cfg).expect("engine construction");
+fn assert_equivalent(collection: &Arc<Collection>, cfg: EngineConfig, label: &str) {
+    let engine = Engine::new(Arc::clone(collection), cfg).expect("engine construction");
     let fast = engine.discover_self();
     let slow = brute::discover_self(collection, &cfg);
     let f: Vec<(u32, u32)> = fast.pairs.iter().map(|p| (p.r, p.s)).collect();
@@ -48,8 +50,11 @@ fn jaccard_schema_matching_grid() {
         num_sets: 90,
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
-    for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
+    for metric in [
+        RelatednessMetric::Similarity,
+        RelatednessMetric::Containment,
+    ] {
         for scheme in ALL_SCHEMES {
             for filter in ALL_FILTERS {
                 for (delta, alpha) in [(0.7, 0.0), (0.75, 0.25), (0.8, 0.5), (0.7, 0.75)] {
@@ -82,7 +87,7 @@ fn jaccard_inclusion_dependency_grid() {
         values_per_set: (5, 15),
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
     for scheme in ALL_SCHEMES {
         for (delta, alpha) in [(0.7, 0.0), (0.7, 0.5), (0.85, 0.25)] {
             let cfg = EngineConfig {
@@ -108,7 +113,7 @@ fn eds_string_matching_grid() {
     });
     // α = 0.8 → q = 3 (footnote 11).
     let q = 3;
-    let collection = Collection::build(&corpus, Tokenization::QGram { q });
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::QGram { q }));
     for scheme in ALL_SCHEMES {
         for (delta, alpha) in [(0.7, 0.8), (0.8, 0.8), (0.85, 0.85)] {
             let cfg = EngineConfig {
@@ -120,7 +125,11 @@ fn eds_string_matching_grid() {
                 filter: FilterKind::CheckAndNearestNeighbor,
                 reduction: false,
             };
-            assert_equivalent(&collection, cfg, &format!("Eds {scheme:?}/δ={delta}/α={alpha}"));
+            assert_equivalent(
+                &collection,
+                cfg,
+                &format!("Eds {scheme:?}/δ={delta}/α={alpha}"),
+            );
         }
     }
 }
@@ -136,7 +145,7 @@ fn eds_alpha_zero_weighted_schemes() {
         ..Default::default()
     });
     for q in [2, 3] {
-        let collection = Collection::build(&corpus, Tokenization::QGram { q });
+        let collection = Arc::new(Collection::build(&corpus, Tokenization::QGram { q }));
         for scheme in [
             SignatureScheme::Weighted,
             SignatureScheme::Skyline,
@@ -172,7 +181,7 @@ fn neds_variant() {
         ..Default::default()
     });
     let q = 3;
-    let collection = Collection::build(&corpus, Tokenization::QGram { q });
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::QGram { q }));
     for (delta, alpha) in [(0.7, 0.8), (0.8, 0.0)] {
         let cfg = EngineConfig {
             metric: RelatednessMetric::Similarity,
@@ -194,7 +203,7 @@ fn search_mode_matches_brute() {
         values_per_set: (5, 20),
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
     let refs = silkmoth::datagen::pick_references(&corpus, 15, 4, 99);
     let cfg = EngineConfig::full(
         RelatednessMetric::Containment,
@@ -202,7 +211,7 @@ fn search_mode_matches_brute() {
         0.7,
         0.5,
     );
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     for &rid in &refs {
         let r = collection.set(rid as u32);
         let fast = engine.search(r);
@@ -224,8 +233,11 @@ fn pathological_corpora() {
         vec!["a b c d e f g h"],
         vec![""],
     ];
-    let collection = Collection::build(&raw, Tokenization::Whitespace);
-    for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+    let collection = Arc::new(Collection::build(&raw, Tokenization::Whitespace));
+    for metric in [
+        RelatednessMetric::Similarity,
+        RelatednessMetric::Containment,
+    ] {
         for scheme in [SignatureScheme::Weighted, SignatureScheme::Dichotomy] {
             for (delta, alpha) in [(0.5, 0.0), (0.8, 0.4)] {
                 let cfg = EngineConfig {
@@ -256,9 +268,12 @@ fn dice_and_cosine_extension_grid() {
         num_sets: 80,
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
     for similarity in [SimilarityFunction::Dice, SimilarityFunction::Cosine] {
-        for metric in [RelatednessMetric::Similarity, RelatednessMetric::Containment] {
+        for metric in [
+            RelatednessMetric::Similarity,
+            RelatednessMetric::Containment,
+        ] {
             for scheme in ALL_SCHEMES {
                 for (delta, alpha) in [(0.7, 0.0), (0.8, 0.5), (0.75, 0.75)] {
                     let cfg = EngineConfig {

@@ -2,16 +2,18 @@
 //! top-k search, corpus serialization, the sparse verification path, and
 //! the command-line tool.
 
+use std::sync::Arc;
+
 use silkmoth::{
     Collection, Engine, EngineConfig, RelatednessMetric, SimilarityFunction, Tokenization,
 };
 
-fn schema_collection(n: usize) -> Collection {
+fn schema_collection(n: usize) -> Arc<Collection> {
     let corpus = silkmoth::datagen::webtable_schemas(&silkmoth::SchemaConfig {
         num_sets: n,
         ..Default::default()
     });
-    Collection::build(&corpus, Tokenization::Whitespace)
+    Arc::new(Collection::build(&corpus, Tokenization::Whitespace))
 }
 
 #[test]
@@ -23,11 +25,11 @@ fn topk_matches_ranked_brute_force() {
         0.9, // engine δ is irrelevant; top-k uses the floor
         0.0,
     );
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     let floor = 0.3;
     for rid in [0u32, 7, 33] {
         let r = collection.set(rid);
-        let got = engine.search_topk(r, 5, floor);
+        let got = engine.query(r).top_k(5).floor(floor).run().unwrap();
         // Brute-force ranking at the same floor.
         let mut cfg_floor = cfg;
         cfg_floor.delta = floor;
@@ -40,10 +42,7 @@ fn topk_matches_ranked_brute_force() {
             assert!((g.1 - w.1).abs() < 1e-9);
         }
         // Scores are non-increasing.
-        assert!(got
-            .results
-            .windows(2)
-            .all(|w| w[0].1 >= w[1].1 - 1e-12));
+        assert!(got.results.windows(2).all(|w| w[0].1 >= w[1].1 - 1e-12));
     }
 }
 
@@ -56,10 +55,17 @@ fn topk_zero_k_and_huge_k() {
         0.7,
         0.0,
     );
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     let r = collection.set(0);
-    assert!(engine.search_topk(r, 0, 0.3).results.is_empty());
-    let all = engine.search_topk(r, usize::MAX, 0.3);
+    assert!(engine
+        .query(r)
+        .top_k(0)
+        .floor(0.3)
+        .run()
+        .unwrap()
+        .results
+        .is_empty());
+    let all = engine.query(r).top_k(usize::MAX).floor(0.3).run().unwrap();
     let mut cfg_floor = cfg;
     cfg_floor.delta = 0.3;
     assert_eq!(
@@ -79,8 +85,10 @@ fn codec_roundtrip_preserves_discovery_results() {
         0.7,
         0.25,
     );
-    let a = Engine::new(&collection, cfg).unwrap().discover_self();
-    let b = Engine::new(&restored, cfg).unwrap().discover_self();
+    let a = Engine::new(collection.clone(), cfg)
+        .unwrap()
+        .discover_self();
+    let b = Engine::new(restored, cfg).unwrap().discover_self();
     assert_eq!(a.pairs.len(), b.pairs.len());
     for (x, y) in a.pairs.iter().zip(&b.pairs) {
         assert_eq!((x.r, x.s), (y.r, y.s));
@@ -153,7 +161,13 @@ fn cli_discover_and_search_smoke() {
 
     // bad arguments exit non-zero
     let out = std::process::Command::new(bin)
-        .args(["discover", "--input", data.to_str().unwrap(), "--metric", "bogus"])
+        .args([
+            "discover",
+            "--input",
+            data.to_str().unwrap(),
+            "--metric",
+            "bogus",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -172,12 +186,18 @@ fn dice_cosine_end_to_end() {
         0.7,
         0.0,
     );
-    let jac = Engine::new(&collection, cfg).unwrap().discover_self();
+    let jac = Engine::new(collection.clone(), cfg)
+        .unwrap()
+        .discover_self();
     cfg.similarity = SimilarityFunction::Dice;
     cfg.reduction = false;
-    let dice = Engine::new(&collection, cfg).unwrap().discover_self();
+    let dice = Engine::new(collection.clone(), cfg)
+        .unwrap()
+        .discover_self();
     assert!(dice.pairs.len() >= jac.pairs.len());
     cfg.similarity = SimilarityFunction::Cosine;
-    let cos = Engine::new(&collection, cfg).unwrap().discover_self();
+    let cos = Engine::new(collection.clone(), cfg)
+        .unwrap()
+        .discover_self();
     assert!(cos.pairs.len() >= jac.pairs.len());
 }

@@ -3,6 +3,8 @@
 //! reproduces.
 
 use silkmoth::core::{explain_pair, generate_signature, SigKind, SigParams};
+use std::sync::Arc;
+
 use silkmoth::{
     Collection, Engine, EngineConfig, FilterKind, InvertedIndex, RelatednessMetric,
     SignatureScheme, SimilarityFunction, Tokenization,
@@ -37,14 +39,14 @@ fn example1_table1_alignment() {
         "One Kendall Square Cambridge MA",
     ];
     let corpus = vec![address];
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
     let cfg = EngineConfig::full(
         RelatednessMetric::Containment,
         SimilarityFunction::Jaccard,
         0.3,
         0.2,
     );
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     let r = collection.encode_set(&location);
     let out = engine.search(&r);
     assert_eq!(out.results.len(), 1);
@@ -58,7 +60,7 @@ fn example1_table1_alignment() {
         delta: 0.15,
         ..cfg
     };
-    let engine = Engine::new(&collection, cfg_sim).unwrap();
+    let engine = Engine::new(collection.clone(), cfg_sim).unwrap();
     let out = engine.search(&r);
     assert_eq!(out.results.len(), 1);
     let m = 3.0 / 7.0 + 0.25 + 3.0 / 7.0;
@@ -76,7 +78,7 @@ fn example2_search_returns_only_s4() {
         0.7,
         0.0,
     );
-    let engine = Engine::new(&c, cfg).unwrap();
+    let engine = Engine::new(c.clone(), cfg).unwrap();
     let out = engine.search(&r);
     assert_eq!(out.results.len(), 1);
     assert_eq!(out.results[0].0, 3);
@@ -98,7 +100,7 @@ fn example3_candidate_funnel() {
         filter: FilterKind::None,
         reduction: false,
     };
-    let engine = Engine::new(&c, cfg).unwrap();
+    let engine = Engine::new(c.clone(), cfg).unwrap();
     let out = engine.search(&r);
     assert_eq!(out.stats.candidates, 3, "S2, S3, S4");
     assert_eq!(out.stats.verified, 3);
@@ -247,8 +249,12 @@ fn example13_dichotomy() {
 /// §2.1's similarity values: Jac example and both edit similarities.
 #[test]
 fn section2_similarity_functions() {
-    assert!((silkmoth::text::jaccard_str("50 Vassar St MA", "50 Vassar Street MA") - 0.6).abs() < 1e-12);
-    assert!((silkmoth::text::eds("50 Vassar St MA", "50 Vassar Street MA") - 15.0 / 19.0).abs() < 1e-12);
+    assert!(
+        (silkmoth::text::jaccard_str("50 Vassar St MA", "50 Vassar Street MA") - 0.6).abs() < 1e-12
+    );
+    assert!(
+        (silkmoth::text::eds("50 Vassar St MA", "50 Vassar Street MA") - 15.0 / 19.0).abs() < 1e-12
+    );
     let ld = silkmoth::text::lev::levenshtein("50 Vassar St MA", "50 Vassar Street MA");
     assert_eq!(ld, 4);
     let neds = silkmoth::text::neds("50 Vassar St MA", "50 Vassar Street MA");
@@ -278,7 +284,7 @@ fn all_schemes_agree_on_running_example() {
                 filter: FilterKind::CheckAndNearestNeighbor,
                 reduction: alpha == 0.0,
             };
-            let engine = Engine::new(&c, cfg).unwrap();
+            let engine = Engine::new(c.clone(), cfg).unwrap();
             let out = engine.search(&r);
             let ids: Vec<u32> = out.results.iter().map(|x| x.0).collect();
             // Jac(r3, s43) = 3/7 ≈ 0.43 is clamped to zero once α exceeds

@@ -7,10 +7,7 @@ use silkmoth::core::{generate_signature, SigKind, SigParams};
 use silkmoth::{Collection, InvertedIndex, SignatureScheme, Tokenization};
 
 fn any_corpus() -> impl Strategy<Value = Vec<Vec<String>>> {
-    proptest::collection::vec(
-        proptest::collection::vec("[a-e ]{0,12}", 0..5),
-        0..8,
-    )
+    proptest::collection::vec(proptest::collection::vec("[a-e ]{0,12}", 0..5), 0..8)
 }
 
 proptest! {

@@ -3,6 +3,8 @@
 //! valid per Lemma 1/2, and per-stage candidate counts are monotone.
 
 use proptest::prelude::*;
+use std::sync::Arc;
+
 use silkmoth::{
     brute, Collection, Engine, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme,
     SimilarityFunction, Tokenization,
@@ -12,11 +14,16 @@ use silkmoth::{
 /// pairs appear organically.
 fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
     let word = prop_oneof![
-        Just("alpha"), Just("beta"), Just("gamma"), Just("delta"),
-        Just("eps"), Just("zeta"), Just("eta"), Just("theta"),
+        Just("alpha"),
+        Just("beta"),
+        Just("gamma"),
+        Just("delta"),
+        Just("eps"),
+        Just("zeta"),
+        Just("eta"),
+        Just("theta"),
     ];
-    let element = proptest::collection::vec(word, 1..5)
-        .prop_map(|ws| ws.join(" "));
+    let element = proptest::collection::vec(word, 1..5).prop_map(|ws| ws.join(" "));
     let set = proptest::collection::vec(element, 1..5);
     proptest::collection::vec(set, 2..10)
 }
@@ -52,7 +59,7 @@ proptest! {
         alpha in prop_oneof![Just(0.0), 0.2f64..0.8],
         reduction in any::<bool>(),
     ) {
-        let collection = Collection::build(&corpus, Tokenization::Whitespace);
+        let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
         let cfg = EngineConfig {
             metric: if metric_sim { RelatednessMetric::Similarity } else { RelatednessMetric::Containment },
             similarity: SimilarityFunction::Jaccard,
@@ -62,7 +69,7 @@ proptest! {
             filter,
             reduction,
         };
-        let engine = Engine::new(&collection, cfg).unwrap();
+        let engine = Engine::new(collection.clone(), cfg).unwrap();
         let fast = engine.discover_self();
         let slow = brute::discover_self(&collection, &cfg);
         let f: Vec<(u32, u32)> = fast.pairs.iter().map(|p| (p.r, p.s)).collect();
@@ -91,7 +98,7 @@ proptest! {
         // α must exceed q/(q+1) = 2/3 to exercise the sim-thresh machinery
         // meaningfully; otherwise 0.
         let alpha = if use_alpha { 0.7 } else { 0.0 };
-        let collection = Collection::build(&corpus, Tokenization::QGram { q });
+        let collection = Arc::new(Collection::build(&corpus, Tokenization::QGram { q }));
         let cfg = EngineConfig {
             metric: RelatednessMetric::Similarity,
             similarity: SimilarityFunction::Eds { q },
@@ -101,7 +108,7 @@ proptest! {
             filter: FilterKind::CheckAndNearestNeighbor,
             reduction: true,
         };
-        let engine = Engine::new(&collection, cfg).unwrap();
+        let engine = Engine::new(collection.clone(), cfg).unwrap();
         let fast = engine.discover_self();
         let slow = brute::discover_self(&collection, &cfg);
         let f: Vec<(u32, u32)> = fast.pairs.iter().map(|p| (p.r, p.s)).collect();
@@ -122,7 +129,7 @@ proptest! {
         use silkmoth::core::{generate_signature, SigKind, SigParams};
         use silkmoth::InvertedIndex;
 
-        let collection = Collection::build(&corpus, Tokenization::Whitespace);
+        let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
         let index = InvertedIndex::build(&collection);
         let r = collection.set(0);
         let theta = delta * r.len() as f64;

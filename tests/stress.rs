@@ -3,6 +3,8 @@
 //! enough to exercise every code path (degenerate signatures, saturated
 //! elements, reduction, early termination) without slowing CI down.
 
+use std::sync::Arc;
+
 use silkmoth::{
     Collection, Engine, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme,
     SimilarityFunction, Tokenization,
@@ -14,14 +16,14 @@ fn discovery_is_deterministic_across_runs_and_threads() {
         num_sets: 600,
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::QGram { q: 3 });
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::QGram { q: 3 }));
     let cfg = EngineConfig::full(
         RelatednessMetric::Similarity,
         SimilarityFunction::Eds { q: 3 },
         0.8,
         0.8,
     );
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     let serial1 = engine.discover_self();
     let serial2 = engine.discover_self();
     assert_eq!(serial1.pairs.len(), serial2.pairs.len());
@@ -48,14 +50,14 @@ fn search_and_discovery_agree() {
         num_sets: 250,
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
     let cfg = EngineConfig::full(
         RelatednessMetric::Containment,
         SimilarityFunction::Jaccard,
         0.7,
         0.25,
     );
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     let discovery = engine.discover_self();
     let mut from_search = Vec::new();
     for rid in 0..collection.len() as u32 {
@@ -76,14 +78,14 @@ fn funnel_counts_are_sane_at_scale() {
         num_sets: 800,
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
     let cfg = EngineConfig::full(
         RelatednessMetric::Containment,
         SimilarityFunction::Jaccard,
         0.7,
         0.5,
     );
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     let out = engine.discover_self();
     let st = out.stats;
     assert!(st.candidates >= st.after_check);
@@ -111,7 +113,7 @@ fn degenerate_edit_configuration_still_exact() {
         words_per_set: (2, 4),
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::QGram { q: 4 });
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::QGram { q: 4 }));
     let cfg = EngineConfig {
         metric: RelatednessMetric::Similarity,
         similarity: SimilarityFunction::Eds { q: 4 },
@@ -121,7 +123,7 @@ fn degenerate_edit_configuration_still_exact() {
         filter: FilterKind::CheckAndNearestNeighbor,
         reduction: false,
     };
-    let engine = Engine::new(&collection, cfg).unwrap();
+    let engine = Engine::new(collection.clone(), cfg).unwrap();
     let fast = engine.discover_self();
     assert!(fast.stats.degenerate > 0, "expected degenerate passes");
     let slow = silkmoth::brute::discover_self(&collection, &cfg);
@@ -137,17 +139,21 @@ fn reduction_fires_and_preserves_results_at_scale() {
         values_per_set: (40, 80),
         ..Default::default()
     });
-    let collection = Collection::build(&corpus, Tokenization::Whitespace);
+    let collection = Arc::new(Collection::build(&corpus, Tokenization::Whitespace));
     let base = EngineConfig::full(
         RelatednessMetric::Containment,
         SimilarityFunction::Jaccard,
         0.7,
         0.0,
     );
-    let with = Engine::new(&collection, base).unwrap().discover_self();
+    let with = Engine::new(collection.clone(), base)
+        .unwrap()
+        .discover_self();
     let mut cfg2 = base;
     cfg2.reduction = false;
-    let without = Engine::new(&collection, cfg2).unwrap().discover_self();
+    let without = Engine::new(collection.clone(), cfg2)
+        .unwrap()
+        .discover_self();
     assert!(with.stats.reduced_pairs > 0, "reduction should fire");
     assert_eq!(with.pairs.len(), without.pairs.len());
     for (a, b) in with.pairs.iter().zip(&without.pairs) {

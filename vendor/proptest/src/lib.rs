@@ -1,0 +1,538 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`Strategy`] with [`prop_map`](Strategy::prop_map), [`Just`],
+//! [`any`], [`prop_oneof!`], integer/float range strategies, a
+//! regex-subset string strategy (character classes, groups, and `{m,n}`
+//! repetition — exactly what the test patterns need), and
+//! [`collection::vec`] / [`collection::btree_set`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * cases are generated from a fixed per-test seed (derived from the
+//!   test function's name), so runs are fully deterministic;
+//! * failures panic with the case number but are **not shrunk**;
+//! * `prop_assume!` skips the case instead of recording rejections.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+pub struct OneOf<T> {
+    /// The alternatives chosen among.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+/// Values with a canonical "any" strategy.
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` et al.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- Regex-subset string strategy ------------------------------------
+
+/// One node of the parsed pattern.
+enum Node {
+    Class(Vec<char>),
+    Literal(char),
+    Group(Vec<(Node, (usize, usize))>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ']' {
+            chars.next();
+            return out;
+        }
+        chars.next();
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // consume '-'
+            match lookahead.peek() {
+                Some(&hi) if hi != ']' => {
+                    chars.next();
+                    chars.next();
+                    for v in c as u32..=hi as u32 {
+                        out.push(char::from_u32(v).unwrap());
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+    }
+    panic!("unterminated character class in pattern");
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n = spec.parse().unwrap();
+                    (n, n)
+                }
+            };
+            return (lo, hi);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated repetition in pattern");
+}
+
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    in_group: bool,
+) -> Vec<(Node, (usize, usize))> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let node = match c {
+            '[' => {
+                chars.next();
+                Node::Class(parse_class(chars))
+            }
+            '(' => {
+                chars.next();
+                Node::Group(parse_seq(chars, true))
+            }
+            ')' => {
+                if !in_group {
+                    panic!("unmatched ')' in pattern");
+                }
+                chars.next();
+                return seq;
+            }
+            _ => {
+                chars.next();
+                Node::Literal(c)
+            }
+        };
+        seq.push((node, parse_repeat(chars)));
+    }
+    if in_group {
+        panic!("unterminated group in pattern");
+    }
+    seq
+}
+
+fn generate_seq(seq: &[(Node, (usize, usize))], rng: &mut StdRng, out: &mut String) {
+    for (node, (lo, hi)) in seq {
+        let n = rng.random_range(*lo..=*hi);
+        for _ in 0..n {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(chars) => out.push(chars[rng.random_range(0..chars.len())]),
+                Node::Group(inner) => generate_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// String literals are regex-subset strategies: character classes,
+/// groups, literals, and `{m,n}` / `{n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let seq = parse_seq(&mut self.chars().peekable(), false);
+        let mut out = String::new();
+        generate_seq(&seq, rng, &mut out);
+        out
+    }
+}
+
+// ---- Collections ------------------------------------------------------
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Acceptable size arguments: a fixed `usize` or a `Range<usize>`.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec`s of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet`s of values from `element`; up to `size` draws, deduped.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let n = rng.random_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- Runner -----------------------------------------------------------
+
+/// Outcome of one generated case (used by the macros; not public API in
+/// real proptest either).
+pub enum CaseResult {
+    /// Case ran to completion.
+    Ok,
+    /// `prop_assume!` rejected the case.
+    Rejected,
+}
+
+/// Runs `cases` deterministic cases of `body`, seeding from `name`.
+pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut StdRng) -> CaseResult) {
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    // Mirror proptest's behavior of replacing rejected cases, with a cap
+    // so a pathological prop_assume! cannot loop forever.
+    while accepted < cases && attempts < cases.saturating_mul(16) {
+        let mut rng = StdRng::seed_from_u64(seed ^ (attempts as u64).wrapping_mul(0x9e37_79b9));
+        attempts += 1;
+        match body(&mut rng) {
+            CaseResult::Ok => accepted += 1,
+            CaseResult::Rejected => {}
+        }
+    }
+}
+
+/// The proptest entry-point macro: wraps `#[test]` functions whose
+/// parameters are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), cfg.cases, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, __rng);)+
+                    $body
+                    $crate::CaseResult::Ok
+                });
+            }
+        )+
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a property test (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::CaseResult::Rejected;
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: vec![$($crate::Strategy::boxed($strat)),+],
+        }
+    };
+}
+
+/// The usual `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_patterns() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{0,8}", &mut rng);
+            assert!(s.len() <= 8 && s.chars().all(|c| ('a'..='c').contains(&c)));
+            let s = Strategy::generate(&"[a-e ]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            let s = Strategy::generate(&"[a-d]( [a-d]){0,4}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=5).contains(&words.len()), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(
+            v in super::collection::vec(0u32..10, 0..5),
+            x in 0.25f64..0.75,
+            flip in any::<bool>(),
+            word in prop_oneof![Just("a"), Just("b")],
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assume!(flip); // rejected cases are regenerated
+            prop_assert!(word == "a" || word == "b");
+        }
+
+        #[test]
+        fn sets_are_deduped(s in super::collection::btree_set(0u32..4, 0..8)) {
+            prop_assert!(s.len() <= 4);
+        }
+    }
+}

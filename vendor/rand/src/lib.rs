@@ -1,0 +1,201 @@
+//! Offline stand-in for [`rand`](https://crates.io/crates/rand) 0.9.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides exactly the API surface the workspace uses: [`Rng::random`],
+//! [`Rng::random_range`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — deterministic for a given seed, which is all the
+//! workload generators require (they promise determinism per seed, not
+//! bit-compatibility with upstream `rand`).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s plus the derived sampling methods.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T`.
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniformly distributed value in `range`. Panics when the range is
+    /// empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Types with a canonical uniform distribution (the `StandardUniform` of
+/// real `rand`).
+pub trait FromRng {
+    /// Samples one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Integer types that [`SampleRange`] can sample uniformly.
+pub trait UniformInt: Copy {
+    /// Widens to `u64`.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64` (caller guarantees the value fits).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges that [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "cannot sample from an empty range");
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        if lo == 0 && hi == u64::MAX {
+            // Full-width range: `hi - lo + 1` would overflow to 0.
+            return T::from_u64(rng.next_u64());
+        }
+        let span = hi - lo + 1;
+        T::from_u64(lo + rng.next_u64() % span)
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** — fast, high-quality, and deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u8 = rng.random_range(0..=26);
+            assert!(w <= 26);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_is_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let _: u64 = rng.random_range(0..=u64::MAX);
+            let _: u64 = rng.random_range(0..=u64::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sample(&mut rng) < 1.0);
+    }
+}
