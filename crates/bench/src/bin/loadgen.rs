@@ -1,0 +1,258 @@
+//! `loadgen` — drives concurrent `/search` traffic against a running
+//! `silkmoth serve` instance over real TCP and reports throughput and
+//! latency percentiles.
+//!
+//! ```text
+//! silkmoth serve --input data.sets --port 7700 --shards 4 &
+//! loadgen --addr 127.0.0.1:7700 --threads 8 --requests 200 --k 10 --floor 0.3
+//! ```
+//!
+//! References are drawn from the deterministic datagen schema workload
+//! (`--sets` controls its size), so runs are reproducible without a
+//! dataset file. Each worker thread holds one keep-alive connection and
+//! issues requests back to back — the closed-loop load model.
+
+use silkmoth_server::json::{obj, Json};
+use silkmoth_server::read_simple_response;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: String,
+    threads: usize,
+    requests: usize,
+    k: usize,
+    floor: f64,
+    sets: usize,
+}
+
+const USAGE: &str = "\
+usage: loadgen --addr HOST:PORT [options]
+
+options:
+  --addr A       server address, e.g. 127.0.0.1:7700   (required)
+  --threads N    concurrent client connections          (default: 4)
+  --requests N   requests per connection                (default: 100)
+  --k K          top-k per search                       (default: 10)
+  --floor F      relatedness floor per search           (default: 0.3)
+  --sets N       datagen corpus size to draw references from (default: 200)
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: String::new(),
+        threads: 4,
+        requests: 100,
+        k: 10,
+        floor: 0.3,
+        sets: 200,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("missing value for {a}")))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = val(),
+            "--threads" => opts.threads = val().parse().unwrap_or_else(|_| fail("bad --threads")),
+            "--requests" => {
+                opts.requests = val().parse().unwrap_or_else(|_| fail("bad --requests"))
+            }
+            "--k" => opts.k = val().parse().unwrap_or_else(|_| fail("bad --k")),
+            "--floor" => opts.floor = val().parse().unwrap_or_else(|_| fail("bad --floor")),
+            "--sets" => opts.sets = val().parse().unwrap_or_else(|_| fail("bad --sets")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => fail(&format!("unknown option {other}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        fail("--addr is required");
+    }
+    opts
+}
+
+fn post_search(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    addr: &str,
+    body: &str,
+) -> Result<(u16, Vec<u8>), String> {
+    // One write_all for the whole request: write! would issue a syscall
+    // (and a TCP segment) per format fragment.
+    let request = format!(
+        "POST /search HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("sending request: {e}"))?;
+    read_simple_response(reader).map_err(|e| format!("reading response: {e}"))
+}
+
+fn healthcheck(addr: &str) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let (status, body) = read_simple_response(&mut reader).map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("healthz returned {status}"));
+    }
+    let doc = Json::parse(std::str::from_utf8(&body).unwrap_or("")).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# target healthy: {} sets over {} shards",
+        doc.get("sets").and_then(Json::as_usize).unwrap_or(0),
+        doc.get("shards").and_then(Json::as_usize).unwrap_or(0),
+    );
+    Ok(())
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let opts = parse_opts();
+    if let Err(e) = healthcheck(&opts.addr) {
+        fail(&e);
+    }
+
+    // A deterministic pool of references: perturbed slices of the datagen
+    // schema corpus, so some match and some don't.
+    let corpus = silkmoth_datagen::webtable_schemas(&silkmoth_datagen::SchemaConfig {
+        num_sets: opts.sets,
+        ..Default::default()
+    });
+    let references: Vec<String> = corpus
+        .iter()
+        .map(|set| {
+            let elems: Vec<Json> = set
+                .iter()
+                .step_by(2)
+                .map(|e| Json::Str(e.clone()))
+                .collect();
+            obj(vec![
+                ("reference", Json::Arr(elems)),
+                ("k", Json::Num(opts.k as f64)),
+                ("floor", Json::Num(opts.floor)),
+            ])
+            .to_string()
+        })
+        .collect();
+
+    eprintln!(
+        "# {} threads x {} requests against {} (k={}, floor={})",
+        opts.threads, opts.requests, opts.addr, opts.k, opts.floor
+    );
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<Duration> = Vec::new();
+    let mut total_results = 0usize;
+    let mut errors = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.threads)
+            .map(|tid| {
+                let references = &references;
+                let opts = &opts;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(opts.requests);
+                    let mut results = 0usize;
+                    let mut errors = 0usize;
+                    let Ok(mut stream) = TcpStream::connect(&opts.addr) else {
+                        return (latencies, 0, opts.requests);
+                    };
+                    // Each request is one small write; don't let Nagle
+                    // hold it for the previous response's ACK.
+                    let _ = stream.set_nodelay(true);
+                    let Ok(clone) = stream.try_clone() else {
+                        return (latencies, 0, opts.requests);
+                    };
+                    let mut reader = BufReader::new(clone);
+                    for i in 0..opts.requests {
+                        let body = &references[(tid * opts.requests + i) % references.len()];
+                        let start = Instant::now();
+                        match post_search(&mut stream, &mut reader, &opts.addr, body) {
+                            Ok((200, resp)) => {
+                                latencies.push(start.elapsed());
+                                results += std::str::from_utf8(&resp)
+                                    .ok()
+                                    .and_then(|t| Json::parse(t).ok())
+                                    .and_then(|d| {
+                                        d.get("results").and_then(Json::as_array).map(<[_]>::len)
+                                    })
+                                    .unwrap_or(0);
+                            }
+                            Ok((status, _)) => {
+                                eprintln!("# thread {tid}: request {i} got HTTP {status}");
+                                errors += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("# thread {tid}: request {i} failed: {e}");
+                                // The failed request plus everything this
+                                // connection never got to issue.
+                                errors += opts.requests - i;
+                                break;
+                            }
+                        }
+                    }
+                    (latencies, results, errors)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (latencies, results, errs) = h.join().expect("client thread panicked");
+            all_latencies.extend(latencies);
+            total_results += results;
+            errors += errs;
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    all_latencies.sort_unstable();
+    let ok = all_latencies.len();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mean = if ok > 0 {
+        all_latencies.iter().sum::<Duration>() / ok as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "requests {} ok {} errors {} in {:.3}s  ({:.1} req/s, {} result rows)",
+        opts.threads * opts.requests,
+        ok,
+        errors,
+        elapsed.as_secs_f64(),
+        ok as f64 / elapsed.as_secs_f64(),
+        total_results,
+    );
+    println!(
+        "latency ms  mean {:.2}  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+        ms(mean),
+        ms(percentile(&all_latencies, 0.50)),
+        ms(percentile(&all_latencies, 0.90)),
+        ms(percentile(&all_latencies, 0.99)),
+        ms(percentile(&all_latencies, 1.0)),
+    );
+    if errors > 0 {
+        exit(1);
+    }
+}

@@ -168,6 +168,18 @@ impl<'a> Searcher<'a> {
         r: &SetRecord,
         restriction: Restriction,
     ) -> (Vec<SetIdx>, PassStats) {
+        let mut pass = self.stage(r, restriction);
+        let survivors = self.filter_chunk(r, &mut pass, usize::MAX);
+        (survivors, pass.stats)
+    }
+
+    /// Candidate selection only: builds a [`StagedPass`] holding the
+    /// admitted candidates plus everything the check and nearest-neighbor
+    /// filters need, so filtering can proceed incrementally via
+    /// [`filter_chunk`](Self::filter_chunk). Chunked callers
+    /// ([`Query::iter`](crate::Query::iter)) use this to avoid paying for
+    /// filtering the full candidate set when they terminate early.
+    pub(crate) fn stage(&mut self, r: &SetRecord, restriction: Restriction) -> StagedPass {
         let mut stats = PassStats::default();
         let theta = self.cfg.delta * r.len() as f64;
         let n = r.len();
@@ -260,9 +272,9 @@ impl<'a> Searcher<'a> {
         }
         stats.candidates = cand_sets.len();
 
-        // ---- Check filter (Algorithm 1, §6.5 extension) ------------------
-        // Pass condition: φα(ri, s) ≥ min(α, raw_bound_i) for some computed
-        // pair (α = 0 degenerates to φ ≥ raw_bound_i). Pruning on failure is
+        // Check-filter thresholds (Algorithm 1, §6.5 extension). Pass
+        // condition: φα(ri, s) ≥ min(α, raw_bound_i) for some computed pair
+        // (α = 0 degenerates to φ ≥ raw_bound_i). Pruning on failure is
         // sound only when Σ bounds < θ (always true for weighted-style
         // schemes; `check_prunable` is false otherwise and the filter only
         // primes the NN reuse cache).
@@ -277,61 +289,97 @@ impl<'a> Searcher<'a> {
                 }
             })
             .collect();
-        let mut survivors: Vec<usize> = (0..cand_sets.len()).collect();
-        if compute_sims && !signature.degenerate && signature.check_prunable {
-            survivors.retain(|&slot| (0..n).any(|i| best[slot * n + i] >= check_thr[i] - 1e-12));
-        }
-        stats.after_check = survivors.len();
 
-        // ---- Nearest-neighbor filter (Algorithm 2, §6.5 extension) -------
-        if self.cfg.filter == FilterKind::CheckAndNearestNeighbor {
-            let ub = unmatched_upper_bounds(&signature, self.cfg.alpha);
-            let mut est = vec![0.0f64; n];
-            let mut exact = vec![false; n];
-            survivors.retain(|&slot| {
-                let sid = cand_sets[slot];
-                let s_set = self.collection.set(sid);
-                let mut total = 0.0f64;
-                for i in 0..n {
-                    let b = best[slot * n + i];
-                    // est_i = max(best computed φα, bound on uncomputed
-                    // elements); exact when the computed value dominates the
-                    // bound (computation reuse, §5.2) or the bound is 0
-                    // (saturated / α-clamped elements: uncomputed elements
-                    // contribute exactly 0).
-                    let (e, ex) = if b >= ub[i] {
-                        (b.max(0.0), true)
-                    } else {
-                        (ub[i], ub[i] == 0.0)
-                    };
-                    est[i] = e;
-                    exact[i] = ex;
-                    total += e;
-                }
-                if total < theta - FILTER_EPS {
-                    return false;
-                }
-                for i in 0..n {
-                    if exact[i] {
-                        continue;
-                    }
-                    let nn = self
-                        .nn_search(&r.elements[i], sid, s_set, &mut stats)
-                        .min(est[i]);
-                    total += nn - est[i];
-                    if total < theta - FILTER_EPS {
-                        return false;
-                    }
-                }
-                true
-            });
-        }
-        stats.after_nn = survivors.len();
-
-        (
-            survivors.iter().map(|&slot| cand_sets[slot]).collect(),
+        StagedPass {
+            cand_sets,
+            best,
+            check_thr,
+            ub: unmatched_upper_bounds(&signature, self.cfg.alpha),
+            theta,
+            n,
+            check_prunable: compute_sims && !signature.degenerate && signature.check_prunable,
+            cursor: 0,
+            est: vec![0.0; n],
+            exact: vec![false; n],
             stats,
-        )
+        }
+    }
+
+    /// Runs the check and nearest-neighbor filters over the next `max`
+    /// candidates of a [`StagedPass`] (admission order), returning the
+    /// surviving set ids. Both filters are per-candidate, so chunking never
+    /// changes which candidates survive or the accumulated stats — a full
+    /// drain is identical to [`survivors`](Self::survivors).
+    pub(crate) fn filter_chunk(
+        &mut self,
+        r: &SetRecord,
+        pass: &mut StagedPass,
+        max: usize,
+    ) -> Vec<SetIdx> {
+        let n = pass.n;
+        let nn_filter = self.cfg.filter == FilterKind::CheckAndNearestNeighbor;
+        let hi = pass.cursor.saturating_add(max).min(pass.cand_sets.len());
+        let mut out = Vec::new();
+        while pass.cursor < hi {
+            let slot = pass.cursor;
+            pass.cursor += 1;
+
+            // ---- Check filter (Algorithm 1) ------------------------------
+            if pass.check_prunable
+                && !(0..n).any(|i| pass.best[slot * n + i] >= pass.check_thr[i] - 1e-12)
+            {
+                continue;
+            }
+            pass.stats.after_check += 1;
+
+            // ---- Nearest-neighbor filter (Algorithm 2) -------------------
+            if nn_filter && !self.nn_admits(r, pass, slot) {
+                continue;
+            }
+            pass.stats.after_nn += 1;
+            out.push(pass.cand_sets[slot]);
+        }
+        out
+    }
+
+    /// One candidate's nearest-neighbor filter decision (§5.2, §6.5
+    /// extension).
+    fn nn_admits(&mut self, r: &SetRecord, pass: &mut StagedPass, slot: usize) -> bool {
+        let n = pass.n;
+        let sid = pass.cand_sets[slot];
+        let s_set = self.collection.set(sid);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            let b = pass.best[slot * n + i];
+            // est_i = max(best computed φα, bound on uncomputed elements);
+            // exact when the computed value dominates the bound (computation
+            // reuse, §5.2) or the bound is 0 (saturated / α-clamped
+            // elements: uncomputed elements contribute exactly 0).
+            let (e, ex) = if b >= pass.ub[i] {
+                (b.max(0.0), true)
+            } else {
+                (pass.ub[i], pass.ub[i] == 0.0)
+            };
+            pass.est[i] = e;
+            pass.exact[i] = ex;
+            total += e;
+        }
+        if total < pass.theta - FILTER_EPS {
+            return false;
+        }
+        for i in 0..n {
+            if pass.exact[i] {
+                continue;
+            }
+            let nn = self
+                .nn_search(&r.elements[i], sid, s_set, &mut pass.stats)
+                .min(pass.est[i]);
+            total += nn - pass.est[i];
+            if total < pass.theta - FILTER_EPS {
+                return false;
+            }
+        }
+        true
     }
 
     /// `NNSearch(r, S, I)` (§5.2): upper bound on `max_{s∈S} φα(r, s)` via
@@ -375,6 +423,47 @@ impl<'a> Searcher<'a> {
             best = best.max(self.phi.no_shared_token_bound(r_elem));
         }
         best
+    }
+}
+
+/// Candidate-selection output consumed incrementally by
+/// [`Searcher::filter_chunk`]: the admitted candidates (in admission
+/// order), the per-(candidate, reference-element) similarity cache the
+/// filters read, the filter thresholds, and the running [`PassStats`].
+///
+/// Selection is index-bound and runs once; filtering then proceeds in
+/// chunks so early-terminating callers never pay for filtering (and
+/// verifying) the tail of a large candidate set.
+#[derive(Debug)]
+pub(crate) struct StagedPass {
+    cand_sets: Vec<SetIdx>,
+    /// Best computed φα per (candidate slot, reference element), flattened
+    /// row-major with stride `n`.
+    best: Vec<f64>,
+    /// Check-filter threshold per reference element.
+    check_thr: Vec<f64>,
+    /// NN upper bound per reference element with no computed similarity.
+    ub: Vec<f64>,
+    /// θ = δ·|R|.
+    theta: f64,
+    /// |R|.
+    n: usize,
+    /// Whether the check filter may prune (vs only priming the NN cache).
+    check_prunable: bool,
+    /// Next unfiltered candidate slot.
+    cursor: usize,
+    // Scratch for the NN filter's per-candidate estimates.
+    est: Vec<f64>,
+    exact: Vec<bool>,
+    /// Stats so far: selection counters are final, `after_check`/
+    /// `after_nn`/`sim_evals` grow as chunks are filtered.
+    pub(crate) stats: PassStats,
+}
+
+impl StagedPass {
+    /// Candidates not yet run through the filters.
+    pub(crate) fn remaining(&self) -> usize {
+        self.cand_sets.len() - self.cursor
     }
 }
 

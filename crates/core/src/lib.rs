@@ -75,6 +75,7 @@ mod filter;
 mod optimal;
 mod phi;
 mod query;
+pub mod rank;
 pub mod signature;
 mod verify;
 

@@ -2,10 +2,17 @@
 
 use crate::config::{ConfigError, EngineConfig};
 use crate::engine::{Engine, SearchOutput};
-use crate::filter::{PassStats, Restriction, Searcher};
+use crate::filter::{PassStats, Restriction, Searcher, StagedPass};
 use crate::phi::Phi;
+use crate::rank::rank_top_k;
 use crate::verify::{verify_pair, VerifyCost};
 use silkmoth_collection::{SetIdx, SetRecord};
+
+/// How many candidates [`Query::iter`] runs through the filters at a
+/// time. Small enough that a caller stopping at the first hit rarely pays
+/// for filtering more than one chunk; large enough to amortize the
+/// per-chunk bookkeeping.
+const ITER_CHUNK: usize = 64;
 
 /// A parameterized RELATED SET SEARCH, created by [`Engine::query`].
 ///
@@ -92,76 +99,88 @@ impl<'e, 'r> Query<'e, 'r> {
         let mut searcher = Searcher::new(self.engine.collection(), self.engine.index(), cfg);
         let (mut results, stats) = searcher.run(self.r, Restriction::default());
         if let Some(k) = self.k {
-            results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-            results.truncate(k);
+            rank_top_k(&mut results, k);
         }
         Ok(SearchOutput { results, stats })
     }
 
     /// Streams results as verification proves them, instead of waiting
-    /// for the whole pass: candidate selection and filtering run up
-    /// front (they are index-bound and fast), then each surviving
-    /// candidate is verified lazily as the iterator is advanced — so a
-    /// caller that stops after the first hit never pays for verifying
-    /// the rest, which is where the `O(n³)` time goes.
+    /// for the whole pass: candidate selection runs up front (it is
+    /// index-bound and fast), then candidates are pushed through the
+    /// check/nearest-neighbor filters in fixed-size chunks and each
+    /// surviving candidate is verified lazily as the iterator is
+    /// advanced. A caller that stops after the first hit pays for
+    /// filtering at most one chunk beyond it and never for verifying the
+    /// rest, which is where the `O(n³)` time goes.
     ///
     /// Yield order follows candidate order, not set id; collect and sort
     /// when order matters. A fully drained iterator yields exactly
-    /// [`run`](Self::run)'s result set. [`top_k`](Self::top_k) is
-    /// ignored here; [`floor`](Self::floor) applies.
+    /// [`run`](Self::run)'s result set (chunking never changes which
+    /// candidates survive). [`top_k`](Self::top_k) is ignored here;
+    /// [`floor`](Self::floor) applies.
     pub fn iter(&self) -> Result<QueryIter<'e, 'r>, ConfigError> {
         let cfg = self.effective_cfg()?;
         let mut searcher = Searcher::new(self.engine.collection(), self.engine.index(), cfg);
-        let (survivors, stats) = searcher.survivors(self.r, Restriction::default());
+        let pass = searcher.stage(self.r, Restriction::default());
         Ok(QueryIter {
             engine: self.engine,
             r: self.r,
             cfg,
             phi: Phi::new(cfg.similarity, cfg.alpha),
-            survivors: survivors.into_iter(),
-            stats,
+            searcher,
+            pass,
+            chunk: Vec::new().into_iter(),
+            verified: 0,
+            results: 0,
             vcost: VerifyCost::default(),
         })
     }
 }
 
-/// Streaming query results: verification happens in [`next`], one
-/// surviving candidate at a time.
-///
-/// [next]: Iterator::next
+/// Streaming query results: filtering happens chunk by chunk and
+/// verification one surviving candidate at a time, both inside
+/// [`Iterator::next`].
 pub struct QueryIter<'e, 'r> {
     engine: &'e Engine,
     r: &'r SetRecord,
     cfg: EngineConfig,
     phi: Phi,
-    survivors: std::vec::IntoIter<SetIdx>,
-    stats: PassStats,
+    searcher: Searcher<'e>,
+    pass: StagedPass,
+    /// Survivors of the current chunk, not yet verified.
+    chunk: std::vec::IntoIter<SetIdx>,
+    verified: usize,
+    results: usize,
     vcost: VerifyCost,
 }
 
 impl std::fmt::Debug for QueryIter<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryIter")
-            .field("remaining_candidates", &self.survivors.len())
+            .field("remaining_candidates", &self.remaining_candidates())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
 impl QueryIter<'_, '_> {
-    /// Pass counters as of now: filter-stage counts are final, while
+    /// Pass counters as of now: candidate-selection counts are final,
+    /// while the filter-stage counts (`after_check`/`after_nn`) and
     /// `verified`/`results`/`sim_evals` grow as the iterator advances.
     /// After exhaustion this equals the stats [`Query::run`] reports.
     pub fn stats(&self) -> PassStats {
-        let mut stats = self.stats;
+        let mut stats = self.pass.stats;
+        stats.verified += self.verified;
+        stats.results += self.results;
         stats.sim_evals += self.vcost.sim_evals;
         stats.reduced_pairs += self.vcost.reduced_pairs;
         stats
     }
 
-    /// How many surviving candidates are still unverified.
+    /// How many candidates are still pending: unverified survivors of the
+    /// current chunk plus candidates the filters have not seen yet.
     pub fn remaining_candidates(&self) -> usize {
-        self.survivors.len()
+        self.chunk.len() + self.pass.remaining()
     }
 }
 
@@ -169,24 +188,32 @@ impl Iterator for QueryIter<'_, '_> {
     type Item = (SetIdx, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        for sid in self.survivors.by_ref() {
-            self.stats.verified += 1;
-            if let Some(score) = verify_pair(
-                self.r,
-                self.engine.collection().set(sid),
-                &self.cfg,
-                &self.phi,
-                &mut self.vcost,
-            ) {
-                self.stats.results += 1;
-                return Some((sid, score));
+        loop {
+            for sid in self.chunk.by_ref() {
+                self.verified += 1;
+                if let Some(score) = verify_pair(
+                    self.r,
+                    self.engine.collection().set(sid),
+                    &self.cfg,
+                    &self.phi,
+                    &mut self.vcost,
+                ) {
+                    self.results += 1;
+                    return Some((sid, score));
+                }
             }
+            if self.pass.remaining() == 0 {
+                return None;
+            }
+            self.chunk = self
+                .searcher
+                .filter_chunk(self.r, &mut self.pass, ITER_CHUNK)
+                .into_iter();
         }
-        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (0, Some(self.survivors.len()))
+        (0, Some(self.remaining_candidates()))
     }
 }
 
@@ -255,6 +282,82 @@ mod tests {
             assert_eq!(streamed, run.results, "δ={delta}");
             assert_eq!(iter.stats(), run.stats, "δ={delta}");
         }
+    }
+
+    #[test]
+    fn iter_chunked_filtering_equals_run_across_chunk_boundaries() {
+        // A workload whose candidate set spans several ITER_CHUNK-sized
+        // chunks (floor 0 admits every set), so the chunked filter path is
+        // exercised across boundaries — results and drained stats must
+        // still match run() exactly.
+        let raw: Vec<Vec<String>> = (0..(3 * super::ITER_CHUNK + 17))
+            .map(|i| {
+                (0..3)
+                    .map(|j| format!("w{} w{} shared{}", (i * 3 + j) % 11, (i + j) % 7, i % 5))
+                    .collect()
+            })
+            .collect();
+        let c = silkmoth_collection::Collection::build(
+            &raw,
+            silkmoth_collection::Tokenization::Whitespace,
+        );
+        let engine = Engine::builder(c)
+            .metric(RelatednessMetric::Similarity)
+            .phi(SimilarityFunction::Jaccard)
+            .delta(0.6)
+            .build()
+            .unwrap();
+        let r = engine.collection().set(0).clone();
+        for floor in [0.0, 0.2, 0.6] {
+            let run = engine.query(&r).floor(floor).run().unwrap();
+            let mut iter = engine.query(&r).floor(floor).iter().unwrap();
+            if floor == 0.0 {
+                // Floor 0 admits every set, so this floor is guaranteed to
+                // span multiple chunks.
+                assert!(iter.remaining_candidates() > super::ITER_CHUNK);
+            }
+            let mut streamed: Vec<(u32, f64)> = iter.by_ref().collect();
+            streamed.sort_unstable_by_key(|&(sid, _)| sid);
+            assert_eq!(streamed, run.results, "floor={floor}");
+            assert_eq!(iter.stats(), run.stats, "floor={floor}");
+            assert_eq!(iter.remaining_candidates(), 0);
+        }
+    }
+
+    #[test]
+    fn iter_early_termination_skips_filtering_of_later_chunks() {
+        // With floor 0 every set is a candidate and every verification
+        // succeeds, so after one next() only the first chunk can have been
+        // filtered: the NN filter's sim_evals for later chunks must not
+        // have been spent yet.
+        let raw: Vec<Vec<String>> = (0..(2 * super::ITER_CHUNK + 9))
+            .map(|i| vec![format!("a{} b{}", i % 13, i % 3), format!("c{}", i % 4)])
+            .collect();
+        let c = silkmoth_collection::Collection::build(
+            &raw,
+            silkmoth_collection::Tokenization::Whitespace,
+        );
+        let engine = Engine::builder(c)
+            .metric(RelatednessMetric::Similarity)
+            .phi(SimilarityFunction::Jaccard)
+            .delta(0.7)
+            .build()
+            .unwrap();
+        let r = engine.collection().set(0).clone();
+        let full = engine.query(&r).floor(0.0).run().unwrap();
+        let mut iter = engine.query(&r).floor(0.0).iter().unwrap();
+        iter.next().expect("floor 0 always yields");
+        let partial = iter.stats();
+        assert!(
+            partial.after_nn < full.stats.after_nn,
+            "later chunks must not have been filtered yet ({} vs {})",
+            partial.after_nn,
+            full.stats.after_nn
+        );
+        assert!(partial.verified < full.stats.verified);
+        // Draining afterwards still converges to the run() stats.
+        iter.by_ref().for_each(drop);
+        assert_eq!(iter.stats(), full.stats);
     }
 
     #[test]

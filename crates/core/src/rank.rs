@@ -1,0 +1,82 @@
+//! Deterministic result ranking and merging, shared by
+//! [`Query::top_k`](crate::Query::top_k) and scatter-gather layers
+//! (e.g. a sharded engine) that must reproduce single-engine output
+//! exactly.
+
+use silkmoth_collection::SetIdx;
+
+/// Ranks `(set id, score)` results in the documented top-k order —
+/// **score descending, ties broken by ascending set id** — and truncates
+/// to the `k` best.
+///
+/// Scores produced by verification are never NaN, so the ordering is
+/// total and the result deterministic.
+pub fn rank_top_k(results: &mut Vec<(SetIdx, f64)>, k: usize) {
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    results.truncate(k);
+}
+
+/// Merges per-partition result lists into one list with single-engine
+/// ordering: with `k`, the global top-k under [`rank_top_k`]'s order;
+/// without, all results in ascending set-id order (the plain
+/// [`Query::run`](crate::Query::run) order).
+///
+/// Ids must already be in one global id space and each id must appear in
+/// at most one partition. Because ranking is a total order over the
+/// *union* of the inputs, the merge is provably identical to running an
+/// unpartitioned engine: any per-partition truncation to `k` is lossless
+/// for the global top-k (an item outside its own partition's top-k is
+/// outranked by `k` items globally too).
+pub fn merge_partitioned(parts: Vec<Vec<(SetIdx, f64)>>, k: Option<usize>) -> Vec<(SetIdx, f64)> {
+    let mut all: Vec<(SetIdx, f64)> = parts.into_iter().flatten().collect();
+    match k {
+        Some(k) => rank_top_k(&mut all, k),
+        None => all.sort_unstable_by_key(|&(sid, _)| sid),
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_orders_score_desc_then_id_asc() {
+        let mut v = vec![(3, 0.5), (1, 0.9), (2, 0.5), (0, 0.1)];
+        rank_top_k(&mut v, 3);
+        assert_eq!(v, vec![(1, 0.9), (2, 0.5), (3, 0.5)]);
+    }
+
+    #[test]
+    fn rank_truncates_and_handles_small_k() {
+        let mut v = vec![(0, 0.2), (1, 0.8)];
+        rank_top_k(&mut v, 0);
+        assert!(v.is_empty());
+        let mut v = vec![(0, 0.2)];
+        rank_top_k(&mut v, 10);
+        assert_eq!(v, vec![(0, 0.2)]);
+    }
+
+    #[test]
+    fn merge_without_k_is_id_sorted() {
+        let parts = vec![vec![(4, 0.3), (9, 0.7)], vec![(1, 0.5)], vec![]];
+        assert_eq!(
+            merge_partitioned(parts, None),
+            vec![(1, 0.5), (4, 0.3), (9, 0.7)]
+        );
+    }
+
+    #[test]
+    fn merge_with_k_matches_global_ranking() {
+        // Per-partition truncation to k composed with the global merge
+        // equals ranking the full union.
+        let full = vec![(0, 0.9), (1, 0.4), (2, 0.9), (3, 0.6), (4, 0.4)];
+        let mut want = full.clone();
+        rank_top_k(&mut want, 2);
+        let mut p0 = vec![full[0], full[3]]; // partition {0, 3}
+        let mut p1 = vec![full[1], full[2], full[4]]; // partition {1, 2, 4}
+        rank_top_k(&mut p0, 2);
+        rank_top_k(&mut p1, 2);
+        assert_eq!(merge_partitioned(vec![p0, p1], Some(2)), want);
+    }
+}

@@ -1,0 +1,60 @@
+//! # silkmoth-server
+//!
+//! The SilkMoth network service: a sharded, multi-threaded HTTP front
+//! over the owned, `Send + Sync` [`Engine`](silkmoth_core::Engine),
+//! built entirely on `std` (no crates.io access — the wire format uses
+//! the in-crate [`json`] subset, the transport the in-crate [`http`]
+//! server).
+//!
+//! Three layers:
+//!
+//! * [`shard`] — [`ShardedEngine`]: the collection hash-partitioned
+//!   across N engines, scatter-gather search/discovery with output
+//!   **provably identical** to one unsharded engine (global ids, global
+//!   top-k rank, bit-identical scores — see the module docs for why);
+//! * [`http`] — an HTTP/1.1 server on [`std::net::TcpListener`] with a
+//!   fixed worker pool, keep-alive, and graceful drain on shutdown;
+//! * [`service`] — the routes: `POST /search`, `POST /discover`,
+//!   `GET /stats` (cumulative per-shard [`PassStats`] merged), and
+//!   `GET /healthz`.
+//!
+//! ## Example
+//!
+//! ```
+//! use silkmoth_core::{EngineConfig, RelatednessMetric};
+//! use silkmoth_text::SimilarityFunction;
+//! use silkmoth_server::{serve, ShardedEngine};
+//!
+//! let raw = vec![
+//!     vec!["77 Mass Ave Boston MA", "5th St 02115 Seattle WA"],
+//!     vec!["77 Massachusetts Avenue Boston MA", "Fifth Street Seattle WA 02115"],
+//! ];
+//! let cfg = EngineConfig::full(
+//!     RelatednessMetric::Similarity,
+//!     SimilarityFunction::Jaccard,
+//!     0.25,
+//!     0.0,
+//! );
+//! let engine = ShardedEngine::build(&raw, cfg, 2).unwrap();
+//!
+//! // Scatter-gather directly…
+//! let out = engine.search(&["77 Mass Ave Boston MA"], Some(1), Some(0.2)).unwrap();
+//! assert_eq!(out.results.len(), 1);
+//!
+//! // …or over HTTP: bind an ephemeral port, then shut down gracefully.
+//! let server = serve(engine, "127.0.0.1:0", 2).unwrap();
+//! let addr = server.addr();
+//! server.shutdown();
+//! ```
+//!
+//! [`PassStats`]: silkmoth_core::PassStats
+
+pub mod http;
+pub mod json;
+pub mod service;
+pub mod shard;
+
+pub use http::{read_simple_response, HttpServer, Request, Response};
+pub use json::{Json, JsonError};
+pub use service::{serve, SearchService};
+pub use shard::{merge_stats, ShardedDiscoveryOutput, ShardedEngine, ShardedSearchOutput};

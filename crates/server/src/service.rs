@@ -1,0 +1,444 @@
+//! The SilkMoth network service: HTTP routes over a [`ShardedEngine`].
+//!
+//! ## Endpoints
+//!
+//! | Route            | Body                                             | Response |
+//! |------------------|--------------------------------------------------|----------|
+//! | `POST /search`   | `{"reference": [elem, …], "k"?: n, "floor"?: f}` | `{"results": [{"set", "score"}, …], "stats": {…}}` |
+//! | `POST /discover` | `{"references": [[elem, …], …]}`                 | `{"pairs": [{"r", "s", "score"}, …], "stats": {…}}` |
+//! | `GET /stats`     | —                                                | request counters + cumulative per-shard and merged [`PassStats`] |
+//! | `GET /healthz`   | —                                                | `{"status": "ok", …}` |
+//!
+//! Set ids in responses are **global** (the line number of the set in
+//! the served input), identical to what one unsharded engine would
+//! report. Errors come back as `{"error": "…"}` with a 4xx status.
+
+use std::io;
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use silkmoth_core::{ConfigError, PassStats};
+
+use crate::http::{self, HttpServer, Request, Response};
+use crate::json::{obj, Json};
+use crate::shard::{merge_stats, ShardedEngine};
+
+/// Shared service state: the engine plus cumulative observability
+/// counters for `GET /stats`.
+#[derive(Debug)]
+pub struct SearchService {
+    engine: ShardedEngine,
+    searches: AtomicU64,
+    discoveries: AtomicU64,
+    /// Cumulative pass stats per shard, merged in after every request.
+    shard_stats: Vec<Mutex<PassStats>>,
+}
+
+impl SearchService {
+    /// Wraps an engine in fresh service state.
+    pub fn new(engine: ShardedEngine) -> Self {
+        let shard_stats = (0..engine.shard_count())
+            .map(|_| Mutex::new(PassStats::default()))
+            .collect();
+        Self {
+            engine,
+            searches: AtomicU64::new(0),
+            discoveries: AtomicU64::new(0),
+            shard_stats,
+        }
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Routes one request. Pure request → response, so it is directly
+    /// testable without a socket.
+    pub fn handle(&self, req: &Request) -> Response {
+        let path = req.path.split('?').next().unwrap_or("");
+        match (req.method.as_str(), path) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/stats") => self.stats(),
+            ("POST", "/search") => self.search(&req.body),
+            ("POST", "/discover") => self.discover(&req.body),
+            (_, "/healthz" | "/stats" | "/search" | "/discover") => {
+                error_response(405, "method not allowed for this route")
+            }
+            _ => error_response(404, "no such route"),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::json(
+            200,
+            obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("shards", Json::Num(self.engine.shard_count() as f64)),
+                ("sets", Json::Num(self.engine.len() as f64)),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn stats(&self) -> Response {
+        let per_shard: Vec<PassStats> = self
+            .shard_stats
+            .iter()
+            .map(|m| *m.lock().expect("stats lock poisoned"))
+            .collect();
+        let sizes = self.engine.shard_sizes();
+        let shards_json: Vec<Json> = per_shard
+            .iter()
+            .zip(&sizes)
+            .map(|(stats, &sets)| {
+                let mut o = stats_json_pairs(stats);
+                o.insert(0, ("sets".to_owned(), Json::Num(sets as f64)));
+                Json::Obj(o)
+            })
+            .collect();
+        Response::json(
+            200,
+            obj(vec![
+                (
+                    "requests",
+                    obj(vec![
+                        (
+                            "search",
+                            Json::Num(self.searches.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "discover",
+                            Json::Num(self.discoveries.load(Ordering::Relaxed) as f64),
+                        ),
+                    ]),
+                ),
+                ("shards", Json::Arr(shards_json)),
+                (
+                    "merged",
+                    Json::Obj(stats_json_pairs(&merge_stats(&per_shard))),
+                ),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn search(&self, body: &[u8]) -> Response {
+        let doc = match parse_body(body) {
+            Ok(doc) => doc,
+            Err(resp) => return resp,
+        };
+        let reference = match string_array(doc.get("reference"), "reference") {
+            Ok(r) => r,
+            Err(resp) => return resp,
+        };
+        let k = match optional_usize(&doc, "k") {
+            Ok(k) => k,
+            Err(resp) => return resp,
+        };
+        let floor = match optional_f64(&doc, "floor") {
+            Ok(f) => f,
+            Err(resp) => return resp,
+        };
+        let out = match self.engine.search(&reference, k, floor) {
+            Ok(out) => out,
+            Err(e) => return config_error_response(&e),
+        };
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.accumulate(&out.shard_stats);
+        let results: Vec<Json> = out
+            .results
+            .iter()
+            .map(|&(set, score)| {
+                obj(vec![
+                    ("set", Json::Num(f64::from(set))),
+                    ("score", Json::Num(score)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            obj(vec![
+                ("results", Json::Arr(results)),
+                ("stats", Json::Obj(stats_json_pairs(&out.merged_stats()))),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn discover(&self, body: &[u8]) -> Response {
+        let doc = match parse_body(body) {
+            Ok(doc) => doc,
+            Err(resp) => return resp,
+        };
+        let refs_json = match doc.get("references").and_then(Json::as_array) {
+            Some(r) if !r.is_empty() => r,
+            _ => {
+                return error_response(
+                    400,
+                    "'references' must be a non-empty array of element-string arrays",
+                )
+            }
+        };
+        let mut references: Vec<Vec<String>> = Vec::with_capacity(refs_json.len());
+        for (i, r) in refs_json.iter().enumerate() {
+            match string_array(Some(r), "references") {
+                Ok(set) => references.push(set),
+                Err(_) => {
+                    return error_response(
+                        400,
+                        &format!("references[{i}] must be a non-empty array of strings"),
+                    )
+                }
+            }
+        }
+        let out = self.engine.discover(&references);
+        self.discoveries.fetch_add(1, Ordering::Relaxed);
+        self.accumulate(&out.shard_stats);
+        let pairs: Vec<Json> = out
+            .pairs
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("r", Json::Num(f64::from(p.r))),
+                    ("s", Json::Num(f64::from(p.s))),
+                    ("score", Json::Num(p.score)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            obj(vec![
+                ("pairs", Json::Arr(pairs)),
+                ("stats", Json::Obj(stats_json_pairs(&out.merged_stats()))),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn accumulate(&self, per_shard: &[PassStats]) {
+        for (mutex, stats) in self.shard_stats.iter().zip(per_shard) {
+            mutex.lock().expect("stats lock poisoned").merge(stats);
+        }
+    }
+}
+
+/// Binds `addr` and serves `engine` on `threads` HTTP workers; every
+/// search request additionally scatters across the engine's shards on
+/// scoped threads. Shut down gracefully with [`HttpServer::shutdown`]
+/// or block with [`HttpServer::wait`].
+pub fn serve<A: ToSocketAddrs>(
+    engine: ShardedEngine,
+    addr: A,
+    threads: usize,
+) -> io::Result<HttpServer> {
+    let service = Arc::new(SearchService::new(engine));
+    http::serve(addr, threads, move |req: &Request| service.handle(req))
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| error_response(400, "request body is not UTF-8"))?;
+    let doc = Json::parse(text).map_err(|e| error_response(400, &format!("request body: {e}")))?;
+    if matches!(doc, Json::Obj(_)) {
+        Ok(doc)
+    } else {
+        Err(error_response(400, "request body must be a JSON object"))
+    }
+}
+
+fn string_array(v: Option<&Json>, field: &str) -> Result<Vec<String>, Response> {
+    let items = v.and_then(Json::as_array).ok_or_else(|| {
+        error_response(
+            400,
+            &format!("'{field}' must be a non-empty array of strings"),
+        )
+    })?;
+    if items.is_empty() {
+        return Err(error_response(
+            400,
+            &format!("'{field}' must be a non-empty array of strings"),
+        ));
+    }
+    items
+        .iter()
+        .map(|e| e.as_str().map(str::to_owned))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| error_response(400, &format!("'{field}' must contain only strings")))
+}
+
+fn optional_usize(doc: &Json, field: &str) -> Result<Option<usize>, Response> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_usize().map(Some).ok_or_else(|| {
+            error_response(400, &format!("'{field}' must be a non-negative integer"))
+        }),
+    }
+}
+
+fn optional_f64(doc: &Json, field: &str) -> Result<Option<f64>, Response> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| error_response(400, &format!("'{field}' must be a number"))),
+    }
+}
+
+fn error_response(status: u16, msg: &str) -> Response {
+    Response::json(
+        status,
+        obj(vec![("error", Json::Str(msg.into()))]).to_string(),
+    )
+}
+
+fn config_error_response(e: &ConfigError) -> Response {
+    error_response(400, &e.to_string())
+}
+
+/// [`PassStats`] as ordered JSON object fields.
+fn stats_json_pairs(stats: &PassStats) -> Vec<(String, Json)> {
+    let num = |v: f64| Json::Num(v);
+    vec![
+        ("candidates".into(), num(stats.candidates as f64)),
+        ("after_check".into(), num(stats.after_check as f64)),
+        ("after_nn".into(), num(stats.after_nn as f64)),
+        ("verified".into(), num(stats.verified as f64)),
+        ("results".into(), num(stats.results as f64)),
+        ("sim_evals".into(), num(stats.sim_evals as f64)),
+        ("reduced_pairs".into(), num(stats.reduced_pairs as f64)),
+        ("signature_cost".into(), num(stats.signature_cost as f64)),
+        ("degenerate".into(), num(f64::from(stats.degenerate))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silkmoth_core::{EngineConfig, RelatednessMetric};
+    use silkmoth_text::SimilarityFunction;
+
+    fn service() -> SearchService {
+        let raw: Vec<Vec<String>> = (0..20)
+            .map(|i| {
+                (0..3)
+                    .map(|j| format!("w{} w{} shared{}", (i * 3 + j) % 7, (i + j) % 5, i % 4))
+                    .collect()
+            })
+            .collect();
+        let cfg = EngineConfig::full(
+            RelatednessMetric::Similarity,
+            SimilarityFunction::Jaccard,
+            0.5,
+            0.0,
+        );
+        SearchService::new(ShardedEngine::build(&raw, cfg, 3).unwrap())
+    }
+
+    fn post(service: &SearchService, path: &str, body: &str) -> (u16, Json) {
+        let req = Request::new("POST", path, body.as_bytes().to_vec());
+        let resp = service.handle(&req);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, doc)
+    }
+
+    fn get(service: &SearchService, path: &str) -> (u16, Json) {
+        let req = Request::new("GET", path, Vec::new());
+        let resp = service.handle(&req);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, doc)
+    }
+
+    #[test]
+    fn healthz_reports_shape() {
+        let s = service();
+        let (status, doc) = get(&s, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("shards").and_then(Json::as_usize), Some(3));
+        assert_eq!(doc.get("sets").and_then(Json::as_usize), Some(20));
+    }
+
+    #[test]
+    fn search_roundtrip_and_stats_accumulate() {
+        let s = service();
+        let (status, doc) = post(
+            &s,
+            "/search",
+            r#"{"reference": ["w0 w1 shared0", "w3 w4 shared0"], "k": 5, "floor": 0.2}"#,
+        );
+        assert_eq!(status, 200, "{doc}");
+        let results = doc.get("results").and_then(Json::as_array).unwrap();
+        assert!(!results.is_empty());
+        // Scores are sorted descending under k.
+        let scores: Vec<f64> = results
+            .iter()
+            .map(|r| r.get("score").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        // /stats saw the pass.
+        let (_, stats) = get(&s, "/stats");
+        assert_eq!(
+            stats
+                .get("requests")
+                .and_then(|r| r.get("search"))
+                .and_then(Json::as_usize),
+            Some(1)
+        );
+        let merged = stats.get("merged").unwrap();
+        assert!(merged.get("candidates").and_then(Json::as_usize).unwrap() > 0);
+        assert_eq!(
+            stats.get("shards").and_then(Json::as_array).map(<[_]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn discover_roundtrip() {
+        let s = service();
+        let (status, doc) = post(
+            &s,
+            "/discover",
+            r#"{"references": [["w0 w1 shared0", "w3 w4 shared0"], ["nothing matches this"]]}"#,
+        );
+        assert_eq!(status, 200, "{doc}");
+        let pairs = doc.get("pairs").and_then(Json::as_array).unwrap();
+        assert!(pairs
+            .iter()
+            .all(|p| p.get("r").is_some() && p.get("s").is_some() && p.get("score").is_some()));
+    }
+
+    #[test]
+    fn bad_requests_get_400() {
+        let s = service();
+        for (path, body) in [
+            ("/search", "not json"),
+            ("/search", "[1,2,3]"),
+            ("/search", r#"{"reference": []}"#),
+            ("/search", r#"{"reference": [42]}"#),
+            ("/search", r#"{"reference": ["a"], "k": -1}"#),
+            ("/search", r#"{"reference": ["a"], "k": 1.5}"#),
+            ("/search", r#"{"reference": ["a"], "floor": "x"}"#),
+            ("/search", r#"{"reference": ["a"], "floor": 1.5}"#),
+            ("/discover", r#"{"references": []}"#),
+            ("/discover", r#"{"references": [[]]}"#),
+            ("/discover", r#"{"references": [["a"], [3]]}"#),
+        ] {
+            let (status, doc) = post(&s, path, body);
+            assert_eq!(status, 400, "{path} {body} → {doc}");
+            assert!(doc.get("error").is_some(), "{path} {body}");
+        }
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let s = service();
+        assert_eq!(get(&s, "/nope").0, 404);
+        assert_eq!(post(&s, "/healthz", "").0, 405);
+        assert_eq!(get(&s, "/search").0, 405);
+        // Query strings are ignored for routing.
+        assert_eq!(get(&s, "/healthz?verbose=1").0, 200);
+    }
+}

@@ -1,0 +1,357 @@
+//! Hash-partitioned scatter-gather over per-shard [`Engine`]s.
+//!
+//! ## Why sharded output is identical to a single engine
+//!
+//! 1. Each shard's engine is **exact** (the SilkMoth guarantee): it
+//!    returns precisely the sets of *its* partition whose relatedness to
+//!    the reference clears the threshold, with exact scores. Signatures
+//!    and filters only affect pruning, never results.
+//! 2. A relatedness score depends only on the two sets' element strings:
+//!    φ is a function of the per-pair token-equality classes (and, for
+//!    edit similarity, the raw characters), both preserved by every
+//!    shard's own dictionary encoding — unknown reference tokens get
+//!    fresh ids that are consistent within the reference. The maximum
+//!    matching is deterministic on an identical weight matrix, so scores
+//!    are **bit-identical**, not merely approximately equal.
+//! 3. The partition is disjoint and covering, so the union of shard
+//!    results equals the unsharded result set; the gather step restores
+//!    the single-engine ordering (ascending global id, or top-k rank via
+//!    [`rank`](silkmoth_core::rank)). Per-shard `top_k` truncation is
+//!    lossless for the global top-k: an item outside its own shard's
+//!    top-k is outranked by k items globally too.
+
+use std::sync::Arc;
+
+use silkmoth_collection::{Collection, SetIdx, SetRecord};
+use silkmoth_core::rank::merge_partitioned;
+use silkmoth_core::{ConfigError, Engine, EngineConfig, PassStats, RelatedPair};
+
+/// A collection hash-partitioned across N [`Engine`] shards, answering
+/// searches by scatter-gather with output identical to one unsharded
+/// engine (see the module docs for the argument).
+///
+/// The engine shards are `Send + Sync`, so a `ShardedEngine` drops
+/// straight into server state behind an [`Arc`].
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    /// Per shard: local set id → global set id (ascending).
+    global_ids: Vec<Vec<SetIdx>>,
+    cfg: EngineConfig,
+    total: usize,
+}
+
+/// Scatter-gather search output: results carry **global** set ids, and
+/// per-shard pass stats ride along for observability.
+#[derive(Debug, Clone)]
+pub struct ShardedSearchOutput {
+    /// Related sets `(global id, score)` in single-engine order.
+    pub results: Vec<(SetIdx, f64)>,
+    /// One [`PassStats`] per shard, indexed by shard id.
+    pub shard_stats: Vec<PassStats>,
+}
+
+/// Scatter-gather discovery output with global set ids on the
+/// collection side.
+#[derive(Debug, Clone)]
+pub struct ShardedDiscoveryOutput {
+    /// All related pairs, sorted by `(r, s)` with `s` global.
+    pub pairs: Vec<RelatedPair>,
+    /// One [`PassStats`] per shard, indexed by shard id.
+    pub shard_stats: Vec<PassStats>,
+}
+
+/// Merges per-shard stats into one (summing counters).
+pub fn merge_stats(shard_stats: &[PassStats]) -> PassStats {
+    let mut total = PassStats::default();
+    for s in shard_stats {
+        total.merge(s);
+    }
+    total
+}
+
+impl ShardedSearchOutput {
+    /// All shards' stats merged.
+    pub fn merged_stats(&self) -> PassStats {
+        merge_stats(&self.shard_stats)
+    }
+}
+
+impl ShardedDiscoveryOutput {
+    /// All shards' stats merged.
+    pub fn merged_stats(&self) -> PassStats {
+        merge_stats(&self.shard_stats)
+    }
+}
+
+/// FNV-1a over the set id's little-endian bytes — the partition function.
+/// Deterministic and stable across runs, so a collection always shards
+/// the same way.
+fn shard_of(gid: SetIdx, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in gid.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+impl ShardedEngine {
+    /// Partitions `raw` sets across `shards` engines (FNV-1a on the
+    /// global set id) and builds each shard's collection, dictionary,
+    /// index, and engine. `shards` is clamped to at least 1; a shard may
+    /// end up empty, which is harmless.
+    ///
+    /// The tokenization is derived from `cfg` (as the CLI does), so the
+    /// per-shard collections always match the configuration.
+    pub fn build<S: AsRef<str>>(
+        raw: &[Vec<S>],
+        cfg: EngineConfig,
+        shards: usize,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let n = shards.max(1);
+        let mut parts: Vec<Vec<Vec<&str>>> = vec![Vec::new(); n];
+        let mut global_ids: Vec<Vec<SetIdx>> = vec![Vec::new(); n];
+        for (gid, set) in raw.iter().enumerate() {
+            let shard = shard_of(gid as SetIdx, n);
+            parts[shard].push(set.iter().map(AsRef::as_ref).collect());
+            global_ids[shard].push(gid as SetIdx);
+        }
+        let tokenization = cfg.tokenization();
+        let shards = parts
+            .into_iter()
+            .map(|part| Engine::new(Collection::build(&part, tokenization), cfg))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shards,
+            global_ids,
+            cfg,
+            total: raw.len(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total sets across all shards.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when the collection has no sets.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The shared engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Sets per shard, indexed by shard id.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.global_ids.iter().map(Vec::len).collect()
+    }
+
+    /// The shard engines (for inspection; ids inside are shard-local).
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// RELATED SET SEARCH across all shards for a reference given as raw
+    /// element strings, with the [`Query`](silkmoth_core::Query)-level
+    /// `k`/`floor` knobs. Each shard encodes the reference against its
+    /// own dictionary, runs one pass, and the gather merges to
+    /// single-engine order with global ids.
+    pub fn search<S: AsRef<str> + Sync>(
+        &self,
+        elements: &[S],
+        k: Option<usize>,
+        floor: Option<f64>,
+    ) -> Result<ShardedSearchOutput, ConfigError> {
+        let strs: Vec<&str> = elements.iter().map(AsRef::as_ref).collect();
+        let per_shard = self.scatter(|engine| {
+            let r = engine.collection().encode_set(&strs);
+            let mut query = engine.query(&r);
+            if let Some(k) = k {
+                query = query.top_k(k);
+            }
+            if let Some(f) = floor {
+                query = query.floor(f);
+            }
+            query.run()
+        })?;
+        let mut shard_stats = Vec::with_capacity(self.shards.len());
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for (shard, out) in per_shard.into_iter().enumerate() {
+            shard_stats.push(out.stats);
+            parts.push(self.globalize(shard, out.results));
+        }
+        Ok(ShardedSearchOutput {
+            results: merge_partitioned(parts, k),
+            shard_stats,
+        })
+    }
+
+    /// RELATED SET DISCOVERY across all shards for references given as
+    /// raw element-string sets: one search pass per (reference, shard),
+    /// gathered into globally-sorted pairs.
+    pub fn discover<S: AsRef<str> + Sync>(&self, refs: &[Vec<S>]) -> ShardedDiscoveryOutput {
+        let per_shard = self
+            .scatter(|engine| {
+                let encoded: Vec<SetRecord> = refs
+                    .iter()
+                    .map(|set| {
+                        let strs: Vec<&str> = set.iter().map(AsRef::as_ref).collect();
+                        engine.collection().encode_set(&strs)
+                    })
+                    .collect();
+                Ok(engine.discover(&encoded))
+            })
+            .expect("discovery passes cannot fail");
+        let mut shard_stats = Vec::with_capacity(self.shards.len());
+        let mut pairs: Vec<RelatedPair> = Vec::new();
+        for (shard, out) in per_shard.into_iter().enumerate() {
+            shard_stats.push(out.stats);
+            pairs.extend(out.pairs.into_iter().map(|p| RelatedPair {
+                r: p.r,
+                s: self.global_ids[shard][p.s as usize],
+                score: p.score,
+            }));
+        }
+        pairs.sort_unstable_by(|a, b| a.r.cmp(&b.r).then(a.s.cmp(&b.s)));
+        ShardedDiscoveryOutput { pairs, shard_stats }
+    }
+
+    /// Runs `pass` once per shard — on scoped threads when there is more
+    /// than one shard — and gathers the outputs in shard order.
+    fn scatter<T, F>(&self, pass: F) -> Result<Vec<T>, ConfigError>
+    where
+        T: Send,
+        F: Fn(&Engine) -> Result<T, ConfigError> + Sync,
+    {
+        if self.shards.len() == 1 {
+            return Ok(vec![pass(&self.shards[0])?]);
+        }
+        let mut outputs = Vec::with_capacity(self.shards.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|engine| scope.spawn(|| pass(engine)))
+                .collect();
+            for h in handles {
+                outputs.push(h.join().expect("shard worker panicked"));
+            }
+        });
+        outputs.into_iter().collect()
+    }
+
+    /// Maps one shard's local result ids to global ids.
+    fn globalize(&self, shard: usize, results: Vec<(SetIdx, f64)>) -> Vec<(SetIdx, f64)> {
+        results
+            .into_iter()
+            .map(|(sid, score)| (self.global_ids[shard][sid as usize], score))
+            .collect()
+    }
+}
+
+/// A `ShardedEngine` is freely shareable across server workers.
+#[allow(dead_code)]
+fn _assert_send_sync(e: ShardedEngine) -> Arc<dyn Send + Sync> {
+    Arc::new(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silkmoth_core::RelatednessMetric;
+    use silkmoth_text::SimilarityFunction;
+
+    fn cfg(delta: f64) -> EngineConfig {
+        EngineConfig::full(
+            RelatednessMetric::Similarity,
+            SimilarityFunction::Jaccard,
+            delta,
+            0.0,
+        )
+    }
+
+    fn corpus(n: usize) -> Vec<Vec<String>> {
+        (0..n)
+            .map(|i| {
+                (0..3)
+                    .map(|j| format!("w{} w{} shared{}", (i * 3 + j) % 7, (i + j) % 5, i % 4))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_covering() {
+        let raw = corpus(40);
+        let sharded = ShardedEngine::build(&raw, cfg(0.6), 3).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.len(), 40);
+        let mut seen: Vec<SetIdx> = sharded.global_ids.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn zero_shards_clamped_to_one() {
+        let raw = corpus(5);
+        let sharded = ShardedEngine::build(&raw, cfg(0.6), 0).unwrap();
+        assert_eq!(sharded.shard_count(), 1);
+    }
+
+    #[test]
+    fn empty_shards_are_harmless() {
+        // 3 sets over 7 shards: most shards are empty, searches still work.
+        let raw = corpus(3);
+        let sharded = ShardedEngine::build(&raw, cfg(0.5), 7).unwrap();
+        let out = sharded.search(&raw[0], None, None).unwrap();
+        assert!(out.results.iter().any(|&(gid, _)| gid == 0));
+        assert_eq!(out.shard_stats.len(), 7);
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_build() {
+        let raw = corpus(4);
+        assert!(matches!(
+            ShardedEngine::build(&raw, cfg(0.0), 2),
+            Err(ConfigError::DeltaOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_floor_propagates() {
+        let raw = corpus(8);
+        let sharded = ShardedEngine::build(&raw, cfg(0.6), 2).unwrap();
+        assert!(matches!(
+            sharded.search(&raw[0], None, Some(1.5)),
+            Err(ConfigError::FloorOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn search_matches_unsharded_engine() {
+        let raw = corpus(60);
+        let tokenization = cfg(0.5).tokenization();
+        let single = Engine::new(Collection::build(&raw, tokenization), cfg(0.5)).unwrap();
+        let sharded = ShardedEngine::build(&raw, cfg(0.5), 4).unwrap();
+        for rid in [0usize, 17, 42] {
+            let r = single.collection().set(rid as SetIdx).clone();
+            let want = single.query(&r).run().unwrap().results;
+            let got = sharded.search(&raw[rid], None, None).unwrap().results;
+            assert_eq!(got.len(), want.len(), "rid={rid}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.0, b.0, "rid={rid}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "rid={rid}");
+            }
+        }
+    }
+}

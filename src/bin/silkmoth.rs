@@ -19,11 +19,12 @@
 //! silkmoth search   --input lake.sets --reference q.sets --top-k 10 --floor 0.3
 //! silkmoth discover --input titles.sets --phi eds --alpha 0.8 --delta 0.8
 //! silkmoth stats    --input data.sets
+//! silkmoth serve    --input lake.sets --port 7700 --shards 4 --threads 8
 //! ```
 
 use silkmoth::{
-    Collection, Engine, FilterKind, RelatednessMetric, SignatureScheme, SimilarityFunction,
-    Tokenization,
+    Collection, Engine, EngineConfig, FilterKind, RelatednessMetric, ShardedEngine,
+    SignatureScheme, SimilarityFunction, Tokenization,
 };
 use std::io::Read;
 use std::process::exit;
@@ -45,10 +46,13 @@ struct Cli {
     top_k: Option<usize>,
     floor: Option<f64>,
     quiet: bool,
+    addr: String,
+    port: u16,
+    shards: usize,
 }
 
 const USAGE: &str = "\
-usage: silkmoth <discover|search|stats> [options]
+usage: silkmoth <discover|search|stats|serve> [options]
 
 options:
   --input FILE        sets file (one set per line; elements separated by the
@@ -63,19 +67,32 @@ options:
   --filter F          none | check | nn               (default: nn)
   --no-reduction      disable reduction-based verification
   --delimiter C       element delimiter               (default: '|')
-  --threads N         worker threads for discover and search, 0 = all
-                      (default: 0)
+  --threads N         worker threads for discover/search, or HTTP workers
+                      for serve; 0 = all (default: 0)
   --top-k K           search: keep only the K most related sets per
                       reference (score desc, then set id asc)
   --floor F           search: report sets with relatedness >= F in [0,1]
                       instead of the engine delta
   --quiet             print only result pairs
+  --addr A            serve: bind address             (default: 127.0.0.1)
+  --port P            serve: TCP port                 (default: 7700)
+  --shards N          serve: engine shards            (default: 4)
+
+serve exposes POST /search, POST /discover, GET /stats, GET /healthz
+(JSON wire format; see the README for the schema and curl examples).
 ";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("{USAGE}");
     exit(2);
+}
+
+/// The value of option `flag`, or a failure naming the flag that was
+/// short an argument.
+fn opt_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| fail(&format!("missing value for {flag}")))
 }
 
 fn parse_cli() -> Cli {
@@ -97,9 +114,12 @@ fn parse_cli() -> Cli {
         top_k: None,
         floor: None,
         quiet: false,
+        addr: "127.0.0.1".into(),
+        port: 7700,
+        shards: 4,
     };
     while let Some(a) = args.next() {
-        let mut val = || args.next().unwrap_or_else(|| fail("missing option value"));
+        let mut val = || opt_value(&mut args, &a);
         match a.as_str() {
             "--input" => cli.input = Some(val()),
             "--reference" => cli.reference = Some(val()),
@@ -140,6 +160,9 @@ fn parse_cli() -> Cli {
             "--top-k" => cli.top_k = Some(val().parse().unwrap_or_else(|_| fail("bad --top-k"))),
             "--floor" => cli.floor = Some(val().parse().unwrap_or_else(|_| fail("bad --floor"))),
             "--quiet" => cli.quiet = true,
+            "--addr" => cli.addr = val(),
+            "--port" => cli.port = val().parse().unwrap_or_else(|_| fail("bad --port")),
+            "--shards" => cli.shards = val().parse().unwrap_or_else(|_| fail("bad --shards")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -195,6 +218,38 @@ fn main() {
         SimilarityFunction::Eds { q } | SimilarityFunction::NEds { q } => Tokenization::QGram { q },
         _ => Tokenization::Whitespace,
     };
+    if cli.command == "serve" {
+        let cfg = EngineConfig {
+            metric: cli.metric,
+            similarity,
+            delta: cli.delta,
+            alpha: cli.alpha,
+            scheme: cli.scheme,
+            filter: cli.filter,
+            reduction: !cli.no_reduction,
+        };
+        let engine =
+            ShardedEngine::build(&raw, cfg, cli.shards).unwrap_or_else(|e| fail(&e.to_string()));
+        let threads = match cli.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        };
+        let (sets, shards) = (engine.len(), engine.shard_count());
+        let bind = format!("{}:{}", cli.addr, cli.port);
+        let server = silkmoth::server::serve(engine, bind.as_str(), threads)
+            .unwrap_or_else(|e| fail(&format!("binding {bind}: {e}")));
+        eprintln!(
+            "# silkmoth-server listening on http://{} — {} sets, {} shards, {} workers",
+            server.addr(),
+            sets,
+            shards,
+            threads,
+        );
+        eprintln!("# endpoints: POST /search, POST /discover, GET /stats, GET /healthz");
+        server.wait();
+        return;
+    }
+
     let collection = Collection::build(&raw, tokenization);
 
     if cli.command == "stats" {

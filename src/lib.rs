@@ -16,7 +16,11 @@
 //! * [`core`] — signature schemes, the check and nearest-neighbor
 //!   filters, verification, the [`Engine`], and the brute-force baseline;
 //! * [`datagen`] — deterministic synthetic workloads mirroring the
-//!   paper's evaluation datasets.
+//!   paper's evaluation datasets;
+//! * [`server`] — the network service: [`ShardedEngine`] scatter-gather
+//!   over hash-partitioned engine shards (output identical to one
+//!   unsharded engine) behind a multi-threaded HTTP/1.1 front
+//!   (`silkmoth serve`, or [`server::serve`] from code).
 //!
 //! ## Example
 //!
@@ -67,6 +71,7 @@ pub use silkmoth_collection as collection;
 pub use silkmoth_core as core;
 pub use silkmoth_datagen as datagen;
 pub use silkmoth_matching as matching;
+pub use silkmoth_server as server;
 pub use silkmoth_text as text;
 
 pub use silkmoth_collection::{Collection, Element, InvertedIndex, SetRecord, Tokenization};
@@ -76,4 +81,5 @@ pub use silkmoth_core::{
 };
 pub use silkmoth_datagen::{ColumnsConfig, DblpConfig, SchemaConfig};
 pub use silkmoth_matching::{max_weight_assignment, WeightMatrix};
+pub use silkmoth_server::{ShardedDiscoveryOutput, ShardedEngine, ShardedSearchOutput};
 pub use silkmoth_text::SimilarityFunction;
