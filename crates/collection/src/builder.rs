@@ -76,6 +76,42 @@ pub(crate) fn build_collection<S: AsRef<str>>(
     Collection::from_parts(sets, dict, tokenization)
 }
 
+/// Incremental append (see [`Collection::append_sets`]): interns each
+/// new element's distinct tokens into the existing dictionary (bumping
+/// posting counts, assigning fresh trailing ids to unseen tokens), then
+/// encodes the element exactly as the two-pass build would.
+pub(crate) fn append_sets<S: AsRef<str>>(
+    collection: &mut Collection,
+    raw: &[Vec<S>],
+) -> std::ops::Range<crate::SetIdx> {
+    let tokenization = collection.tokenization;
+    let start = collection.sets.len() as crate::SetIdx;
+    let mut distinct: Vec<String> = Vec::new();
+    for set in raw {
+        let mut elements = Vec::with_capacity(set.len());
+        for elem in set {
+            let text = elem.as_ref();
+            distinct.clear();
+            distinct.extend(tokenization.raw_tokens(text));
+            distinct.sort_unstable();
+            distinct.dedup();
+            for t in &distinct {
+                collection.dict.intern_posting(t);
+            }
+            let dict = &collection.dict;
+            elements.push(encode_element(text, tokenization, |t| {
+                dict.id(t).expect("token interned above")
+            }));
+        }
+        collection.sets.push(SetRecord {
+            elements: elements.into(),
+        });
+        collection.live.push(true);
+    }
+    collection.live_count += raw.len();
+    start..collection.sets.len() as crate::SetIdx
+}
+
 /// Encodes one element, resolving token strings to ids via `resolve`.
 fn encode_element(
     text: &str,
@@ -218,6 +254,78 @@ mod tests {
         assert!(zzz0.is_some());
         // Known token resolves to the dictionary id.
         assert!(e1.tokens.contains(&c.dict().id("alpha").unwrap()));
+    }
+
+    #[test]
+    fn append_grows_dictionary_without_moving_ids() {
+        let raw = vec![vec!["a b", "a c"], vec!["a", "b d"]];
+        let mut c = Collection::build(&raw, Tokenization::Whitespace);
+        let before: Vec<(String, u32)> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|t| (t.to_string(), c.dict().id(t).unwrap()))
+            .collect();
+        let ids = c.append_sets(&[vec!["a z"], vec!["z y"]]);
+        assert_eq!(ids, 2..4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.live_len(), 4);
+        // Established ids never move; new tokens get trailing ids.
+        for (t, id) in &before {
+            assert_eq!(c.dict().id(t), Some(*id), "{t}");
+        }
+        assert!(c.dict().id("z").unwrap() >= 4);
+        assert!(c.dict().id("y").unwrap() >= 4);
+        // Frequencies track postings: "a" gained one element, "z" two.
+        assert_eq!(c.dict().frequency(c.dict().id("a").unwrap()), 4);
+        assert_eq!(c.dict().frequency(c.dict().id("z").unwrap()), 2);
+        // Appended elements encode exactly like a fresh build's would
+        // (same token equality classes).
+        let fresh = Collection::build(
+            &[raw[0].clone(), raw[1].clone(), vec!["a z"], vec!["z y"]],
+            Tokenization::Whitespace,
+        );
+        assert_eq!(
+            c.set(2).elements[0].tokens.len(),
+            fresh.set(2).elements[0].tokens.len()
+        );
+    }
+
+    #[test]
+    fn remove_tombstones_and_compact_rebuilds() {
+        let raw = vec![vec!["a b"], vec!["c d"], vec!["e f"], vec!["a f"]];
+        let mut c = Collection::build(&raw, Tokenization::Whitespace);
+        assert_eq!(c.remove_sets(&[1, 3, 3]).unwrap(), 2, "idempotent per id");
+        assert_eq!(c.live_len(), 2);
+        assert!(c.is_live(0) && !c.is_live(1) && c.is_live(2) && !c.is_live(3));
+        assert_eq!(c.live_ids().collect::<Vec<_>>(), vec![0, 2]);
+        // Unknown ids are an error and mutate nothing.
+        assert_eq!(
+            c.remove_sets(&[0, 9]),
+            Err(crate::UpdateError::NoSuchSet(9))
+        );
+        assert!(c.is_live(0));
+
+        let remap = c.compact();
+        assert_eq!(remap, vec![Some(0), None, Some(1), None]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.live_len(), 2);
+        // Compaction is exactly a fresh build over the live raw texts.
+        let fresh = Collection::build(&[vec!["a b"], vec!["e f"]], Tokenization::Whitespace);
+        assert_eq!(c.dict().len(), fresh.dict().len());
+        for (a, b) in c.sets().iter().zip(fresh.sets()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn qgram_append_records_chunks() {
+        let mut c = Collection::build(&[vec!["abcdef"]], Tokenization::QGram { q: 3 });
+        c.append_sets(&[vec!["abcd"]]);
+        let e = &c.set(1).elements[0];
+        assert_eq!(e.chunks.len(), 2); // ⌈4/3⌉
+        for &ch in e.chunks.iter() {
+            assert!(e.tokens.binary_search(&ch).is_ok());
+        }
+        assert_eq!(e.chars.len(), 4);
     }
 
     #[test]

@@ -21,6 +21,13 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"SMC1";
 
+/// Largest q-gram length a corpus may declare. Decoding replays the
+/// collection build, whose q-gram padding allocates `O(q)` per element —
+/// an unchecked corrupt header could demand gigabytes (or `q = 0`, which
+/// the tokenizer rejects by panic), so the header is validated instead.
+/// Real corpora use single-digit q (the paper's experiments use 2–4).
+pub const MAX_Q: usize = 64;
+
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -32,6 +39,8 @@ pub enum CodecError {
     BadUtf8,
     /// Unknown tokenization tag.
     BadTokenization(u8),
+    /// Declared q-gram length outside `1..=MAX_Q`.
+    BadQ(usize),
 }
 
 impl std::fmt::Display for CodecError {
@@ -41,6 +50,7 @@ impl std::fmt::Display for CodecError {
             Self::Truncated => write!(f, "corpus truncated"),
             Self::BadUtf8 => write!(f, "corpus contains invalid UTF-8"),
             Self::BadTokenization(t) => write!(f, "unknown tokenization tag {t}"),
+            Self::BadQ(q) => write!(f, "q-gram length {q} outside 1..={MAX_Q}"),
         }
     }
 }
@@ -48,8 +58,12 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Serializes a collection (its raw texts + tokenization).
+///
+/// Only **live** sets are written: tombstoned slots are skipped, so an
+/// encode → decode round-trip of a mutated collection yields its
+/// [`compact`](Collection::compact)ed form (ids renumbered densely).
 pub fn encode(collection: &Collection) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + collection.len() * 32);
+    let mut buf = BytesMut::with_capacity(64 + collection.live_len() * 32);
     buf.put_slice(MAGIC);
     match collection.tokenization() {
         Tokenization::Whitespace => {
@@ -61,8 +75,9 @@ pub fn encode(collection: &Collection) -> Bytes {
             buf.put_u32_le(q as u32);
         }
     }
-    buf.put_u64_le(collection.len() as u64);
-    for set in collection.sets() {
+    buf.put_u64_le(collection.live_len() as u64);
+    for sid in collection.live_ids() {
+        let set = collection.set(sid);
         buf.put_u32_le(set.len() as u32);
         for e in set.elements.iter() {
             buf.put_u32_le(e.text.len() as u32);
@@ -85,20 +100,25 @@ pub fn decode(mut buf: &[u8]) -> Result<Collection, CodecError> {
     let q = buf.get_u32_le() as usize;
     let tokenization = match tag {
         0 => Tokenization::Whitespace,
-        1 => Tokenization::QGram { q },
+        1 if (1..=MAX_Q).contains(&q) => Tokenization::QGram { q },
+        1 => return Err(CodecError::BadQ(q)),
         t => return Err(CodecError::BadTokenization(t)),
     };
     if buf.remaining() < 8 {
         return Err(CodecError::Truncated);
     }
     let n_sets = buf.get_u64_le() as usize;
-    let mut raw: Vec<Vec<String>> = Vec::with_capacity(n_sets);
+    // Capacity hints are clamped by what the buffer could possibly hold
+    // (every set needs ≥ 4 bytes), so a corrupted header declaring 2⁶⁴
+    // sets cannot trigger a huge up-front allocation — it just runs into
+    // `Truncated` on the first missing byte.
+    let mut raw: Vec<Vec<String>> = Vec::with_capacity(n_sets.min(buf.remaining() / 4));
     for _ in 0..n_sets {
         if buf.remaining() < 4 {
             return Err(CodecError::Truncated);
         }
         let n_elems = buf.get_u32_le() as usize;
-        let mut set = Vec::with_capacity(n_elems);
+        let mut set = Vec::with_capacity(n_elems.min(buf.remaining() / 4));
         for _ in 0..n_elems {
             if buf.remaining() < 4 {
                 return Err(CodecError::Truncated);

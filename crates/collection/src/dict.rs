@@ -66,6 +66,27 @@ impl TokenDict {
     pub fn frequency(&self, id: TokenId) -> u32 {
         self.freq.get(id as usize).copied().unwrap_or(0)
     }
+
+    /// Interns `token` for an incremental append, counting one more
+    /// posting: an existing token keeps its id (frequency bumped), a new
+    /// token is appended with the next free id.
+    ///
+    /// Appended ids are **not** re-sorted into the decreasing-frequency
+    /// order `from_counts` establishes — that order is a signature-cost
+    /// heuristic, never a correctness requirement, and
+    /// [`Collection::compact`](crate::Collection::compact) restores it.
+    pub(crate) fn intern_posting(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.by_token.get(token) {
+            self.freq[id as usize] += 1;
+            return id;
+        }
+        let id = self.tokens.len() as TokenId;
+        let boxed: Box<str> = token.into();
+        self.by_token.insert(boxed.clone(), id);
+        self.tokens.push(boxed);
+        self.freq.push(1);
+        id
+    }
 }
 
 #[cfg(test)]

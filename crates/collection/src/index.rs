@@ -17,9 +17,17 @@ pub struct Posting {
 
 /// Inverted index over a [`Collection`]: for each token `t`, `I[t]` is the
 /// sorted list of `(set, element)` postings containing `t`.
+///
+/// The index supports **append-only incremental maintenance**
+/// ([`append_sets`](Self::append_sets)): new sets always carry ids past
+/// every indexed set, so their postings extend each list's sorted tail
+/// in place. Tombstoned sets keep their postings — the search layer
+/// filters candidates by liveness — and a
+/// [`Collection::compact`](crate::Collection::compact) is paired with a
+/// full rebuild.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
-    lists: Vec<Box<[Posting]>>,
+    lists: Vec<Vec<Posting>>,
     total_postings: usize,
 }
 
@@ -30,22 +38,32 @@ impl InvertedIndex {
     /// are visited in id order, so each list comes out sorted without a
     /// final sort.
     pub fn build(collection: &Collection) -> Self {
-        let mut lists: Vec<Vec<Posting>> = vec![Vec::new(); collection.dict().len()];
-        let mut total = 0usize;
-        for (sid, set) in collection.sets().iter().enumerate() {
+        let mut index = Self {
+            lists: vec![Vec::new(); collection.dict().len()],
+            total_postings: 0,
+        };
+        index.append_sets(collection, 0);
+        index
+    }
+
+    /// Appends the postings of sets `from..collection.len()` — the sets
+    /// a [`Collection::append_sets`](crate::Collection::append_sets)
+    /// just added. `from` must be the collection's slot count *before*
+    /// that append (so every already-indexed posting has `set < from`),
+    /// which keeps each list sorted without re-sorting.
+    pub fn append_sets(&mut self, collection: &Collection, from: SetIdx) {
+        // The appended sets may have grown the dictionary.
+        self.lists.resize(collection.dict().len(), Vec::new());
+        for (sid, set) in collection.sets().iter().enumerate().skip(from as usize) {
             for (eid, elem) in set.elements.iter().enumerate() {
                 for &t in elem.tokens.iter() {
-                    lists[t as usize].push(Posting {
+                    self.lists[t as usize].push(Posting {
                         set: sid as SetIdx,
                         elem: eid as ElemIdx,
                     });
-                    total += 1;
+                    self.total_postings += 1;
                 }
             }
-        }
-        Self {
-            lists: lists.into_iter().map(Vec::into_boxed_slice).collect(),
-            total_postings: total,
         }
     }
 
@@ -53,7 +71,7 @@ impl InvertedIndex {
     /// tokens) yield an empty list.
     #[inline]
     pub fn list(&self, t: TokenId) -> &[Posting] {
-        self.lists.get(t as usize).map(AsRef::as_ref).unwrap_or(&[])
+        self.lists.get(t as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// `|I[t]|` — the signature-selection cost of token `t` (§4.3).
@@ -150,6 +168,28 @@ mod tests {
         let (_, i) = index();
         // Elements: {a,b},{b,c},{a},{c,d},{b,d} → 2+2+1+2+2 = 9.
         assert_eq!(i.total_postings(), 9);
+    }
+
+    #[test]
+    fn incremental_append_equals_full_rebuild() {
+        let raw = vec![vec!["a b", "b c"], vec!["a", "c d"]];
+        let mut c = Collection::build(&raw, Tokenization::Whitespace);
+        let mut i = InvertedIndex::build(&c);
+        let from = c.len() as SetIdx;
+        c.append_sets(&[vec!["b z"], vec!["z d"]]);
+        i.append_sets(&c, from);
+
+        let rebuilt = InvertedIndex::build(&c);
+        assert_eq!(i.num_tokens(), rebuilt.num_tokens());
+        assert_eq!(i.total_postings(), rebuilt.total_postings());
+        for t in 0..i.num_tokens() as u32 {
+            assert_eq!(i.list(t), rebuilt.list(t), "token {t}");
+            assert!(i.list(t).windows(2).all(|w| w[0] < w[1]), "sorted {t}");
+        }
+        // The new token's list exists and points at the appended sets.
+        let z = c.dict().id("z").unwrap();
+        assert_eq!(i.cost(z), 2);
+        assert!(i.list(z).iter().all(|p| p.set >= from));
     }
 
     #[test]

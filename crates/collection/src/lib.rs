@@ -43,12 +43,55 @@ pub type SetIdx = u32;
 /// Index of an element inside a set.
 pub type ElemIdx = u32;
 
+/// Errors from the incremental-update API ([`Collection::remove_sets`]
+/// and the engine layers built on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The referenced set id was never assigned (or was dropped by a
+    /// compaction) — nothing was mutated.
+    NoSuchSet(SetIdx),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSuchSet(id) => write!(f, "no such set: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
 /// A corpus of sets sharing one token dictionary.
+///
+/// ## Incremental updates
+///
+/// A collection is mutable after the initial build:
+/// [`append_sets`](Self::append_sets) encodes new sets against the
+/// existing dictionary (growing it in place — new tokens get fresh ids
+/// past the end, so established ids never move), and
+/// [`remove_sets`](Self::remove_sets) **tombstones** sets in place: the
+/// slot and its id survive, but the set is no longer
+/// [`is_live`](Self::is_live) and every search layer skips it at
+/// candidate admission. [`len`](Self::len) counts slots (live + dead);
+/// [`live_len`](Self::live_len) counts live sets.
+///
+/// Tombstoning and dictionary growth trade index freshness for O(1)
+/// removal and append-only index maintenance: dead sets keep their
+/// postings and the dictionary keeps its (now possibly stale)
+/// frequency order. Neither affects *correctness* — frequencies and
+/// posting-list costs only steer signature selection, and candidates
+/// are liveness-filtered — but a heavily-mutated collection prunes
+/// less effectively until [`compact`](Self::compact) rewrites it.
 #[derive(Debug, Clone)]
 pub struct Collection {
     sets: Vec<SetRecord>,
     dict: TokenDict,
     tokenization: Tokenization,
+    /// Liveness per slot; `false` marks a tombstoned set.
+    live: Vec<bool>,
+    /// Number of `true` entries in `live`.
+    live_count: usize,
 }
 
 impl Collection {
@@ -62,14 +105,94 @@ impl Collection {
         builder::build_collection(raw, tokenization)
     }
 
-    /// Number of sets.
+    /// Number of set *slots* (live and tombstoned). Slot ids are stable:
+    /// removal never shifts them, so this is also the exclusive upper
+    /// bound on valid [`SetIdx`] values.
     pub fn len(&self) -> usize {
         self.sets.len()
     }
 
-    /// True if the collection holds no sets.
+    /// True if the collection holds no set slots.
     pub fn is_empty(&self) -> bool {
         self.sets.is_empty()
+    }
+
+    /// Number of live (non-tombstoned) sets.
+    pub fn live_len(&self) -> usize {
+        self.live_count
+    }
+
+    /// True when the slot exists and has not been tombstoned.
+    /// Out-of-range ids are simply not live.
+    #[inline]
+    pub fn is_live(&self, id: SetIdx) -> bool {
+        self.live.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// The ids of all live sets, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = SetIdx> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l)
+            .map(|(i, _)| i as SetIdx)
+    }
+
+    /// Appends new sets, encoding them against the existing dictionary:
+    /// known tokens keep their ids, unknown tokens are interned with
+    /// fresh ids past the current end (never reshuffling established
+    /// ids), and per-token posting counts grow accordingly. Returns the
+    /// ids assigned to the new sets, in input order.
+    ///
+    /// The dictionary's decreasing-frequency id order — a signature-cost
+    /// heuristic, not a correctness requirement — degrades as appends
+    /// accumulate; [`compact`](Self::compact) restores it.
+    pub fn append_sets<S: AsRef<str>>(&mut self, raw: &[Vec<S>]) -> std::ops::Range<SetIdx> {
+        builder::append_sets(self, raw)
+    }
+
+    /// Tombstones the given set ids. Already-tombstoned ids are no-ops
+    /// (removal is idempotent); an id that was never assigned is an
+    /// [`UpdateError::NoSuchSet`] and **nothing** is mutated. Returns how
+    /// many sets were newly tombstoned.
+    pub fn remove_sets(&mut self, ids: &[SetIdx]) -> Result<usize, UpdateError> {
+        if let Some(&bad) = ids.iter().find(|&&id| (id as usize) >= self.sets.len()) {
+            return Err(UpdateError::NoSuchSet(bad));
+        }
+        let mut removed = 0;
+        for &id in ids {
+            if std::mem::replace(&mut self.live[id as usize], false) {
+                removed += 1;
+            }
+        }
+        self.live_count -= removed;
+        Ok(removed)
+    }
+
+    /// Rewrites the collection from its live sets only: tombstoned slots
+    /// are dropped, remaining sets are renumbered densely (preserving
+    /// relative order), and the dictionary is rebuilt in fresh
+    /// decreasing-frequency order. Returns the slot remapping, `old id →
+    /// new id` (`None` for dropped slots).
+    ///
+    /// Equivalent to `Collection::build` over the live raw texts — the
+    /// compacted collection is byte-for-byte what a from-scratch build
+    /// would produce.
+    pub fn compact(&mut self) -> Vec<Option<SetIdx>> {
+        let mut remap = Vec::with_capacity(self.sets.len());
+        let mut next = 0 as SetIdx;
+        let mut raw: Vec<Vec<&str>> = Vec::with_capacity(self.live_count);
+        for (i, set) in self.sets.iter().enumerate() {
+            if self.live[i] {
+                remap.push(Some(next));
+                next += 1;
+                raw.push(set.elements.iter().map(|e| e.text.as_ref()).collect());
+            } else {
+                remap.push(None);
+            }
+        }
+        *self = builder::build_collection(&raw, self.tokenization);
+        remap
     }
 
     /// The sets, in insertion order.
@@ -113,7 +236,10 @@ impl Collection {
         dict: TokenDict,
         tokenization: Tokenization,
     ) -> Self {
+        let live_count = sets.len();
         Self {
+            live: vec![true; live_count],
+            live_count,
             sets,
             dict,
             tokenization,

@@ -34,10 +34,14 @@ impl std::fmt::Display for CollectionStats {
 }
 
 pub(crate) fn compute(c: &Collection) -> CollectionStats {
-    let num_sets = c.len();
+    // Tombstoned sets are excluded: stats describe the live corpus.
+    // (`distinct_tokens` is the dictionary size, which until a compact
+    // may retain tokens appearing only in removed sets.)
+    let num_sets = c.live_len();
     let mut num_elements = 0usize;
     let mut total_postings = 0usize;
-    for set in c.sets() {
+    for sid in c.live_ids() {
+        let set = c.set(sid);
         num_elements += set.len();
         for e in set.elements.iter() {
             total_postings += e.tokens.len();

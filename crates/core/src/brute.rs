@@ -12,14 +12,15 @@ use crate::phi::Phi;
 use crate::verify::{verify_pair, VerifyCost};
 use silkmoth_collection::{Collection, SetRecord};
 
-/// All sets of `collection` related to `r`, by exhaustive verification.
+/// All live sets of `collection` related to `r`, by exhaustive
+/// verification (tombstoned sets are skipped, mirroring the engine).
 pub fn search(r: &SetRecord, collection: &Collection, cfg: &EngineConfig) -> Vec<(u32, f64)> {
     let phi = Phi::new(cfg.similarity, cfg.alpha);
     let mut cost = VerifyCost::default();
     let mut out = Vec::new();
-    for (sid, s) in collection.sets().iter().enumerate() {
-        if let Some(score) = verify_pair(r, s, cfg, &phi, &mut cost) {
-            out.push((sid as u32, score));
+    for sid in collection.live_ids() {
+        if let Some(score) = verify_pair(r, collection.set(sid), cfg, &phi, &mut cost) {
+            out.push((sid, score));
         }
     }
     out
@@ -52,9 +53,9 @@ pub fn discover_self(collection: &Collection, cfg: &EngineConfig) -> Vec<Related
     let phi = Phi::new(cfg.similarity, cfg.alpha);
     let mut cost = VerifyCost::default();
     let mut out = Vec::new();
-    let sets = collection.sets();
-    for (rid, r) in sets.iter().enumerate() {
-        for (sid, s) in sets.iter().enumerate() {
+    for rid in collection.live_ids() {
+        let r = collection.set(rid);
+        for sid in collection.live_ids() {
             let admit = match cfg.metric {
                 RelatednessMetric::Similarity => sid > rid,
                 RelatednessMetric::Containment => sid != rid,
@@ -62,10 +63,10 @@ pub fn discover_self(collection: &Collection, cfg: &EngineConfig) -> Vec<Related
             if !admit {
                 continue;
             }
-            if let Some(score) = verify_pair(r, s, cfg, &phi, &mut cost) {
+            if let Some(score) = verify_pair(r, collection.set(sid), cfg, &phi, &mut cost) {
                 out.push(RelatedPair {
-                    r: rid as u32,
-                    s: sid as u32,
+                    r: rid,
+                    s: sid,
                     score,
                 });
             }

@@ -7,7 +7,7 @@ use crate::builder::EngineBuilder;
 use crate::config::{ConfigError, EngineConfig, RelatednessMetric};
 use crate::filter::{PassStats, Restriction, Searcher};
 use crate::query::Query;
-use silkmoth_collection::{Collection, InvertedIndex, SetIdx, SetRecord};
+use silkmoth_collection::{Collection, InvertedIndex, SetIdx, SetRecord, UpdateError};
 
 /// One related pair found by discovery.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +37,36 @@ pub struct DiscoveryOutput {
     pub pairs: Vec<RelatedPair>,
     /// Aggregated counters over all passes.
     pub stats: PassStats,
+}
+
+/// One mutation of an engine's collection, applied by
+/// [`Engine::apply`] (or routed to the owning shard by
+/// `ShardedEngine::apply` in `silkmoth-server`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// Append new sets (raw element strings), assigning them the next
+    /// free ids.
+    Append(Vec<Vec<String>>),
+    /// Tombstone the given set ids. Idempotent per id; an id that was
+    /// never assigned fails with [`UpdateError::NoSuchSet`] without
+    /// mutating anything.
+    Remove(Vec<SetIdx>),
+    /// Drop tombstoned slots, renumber the survivors densely, and
+    /// rebuild dictionary + index from scratch.
+    Compact,
+}
+
+/// What an [`Engine::apply`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Ids assigned to appended sets, in input order (empty otherwise).
+    pub appended: Vec<SetIdx>,
+    /// How many sets were newly tombstoned (0 otherwise).
+    pub removed: usize,
+    /// For [`Update::Compact`]: the slot remapping `old id → new id`
+    /// (`None` entries are dropped tombstones). `None` for the other
+    /// updates — their ids are stable.
+    pub remap: Option<Vec<Option<SetIdx>>>,
 }
 
 /// The SilkMoth engine: an indexed collection plus a configuration.
@@ -126,6 +156,63 @@ impl Engine {
     /// The shared handle to the indexed collection (cheap to clone).
     pub fn collection_arc(&self) -> &Arc<Collection> {
         &self.collection
+    }
+
+    /// Applies one mutation to the engine's collection, keeping the
+    /// inverted index (the prefilter state every search pass reads)
+    /// consistent without a full rebuild where possible:
+    ///
+    /// * [`Update::Append`] encodes the new sets against the existing
+    ///   dictionary (growing it in place) and extends the index's
+    ///   posting lists — appended ids are past every indexed set, so
+    ///   each list's sort order is preserved;
+    /// * [`Update::Remove`] tombstones in O(ids): postings stay, and
+    ///   candidate admission filters by liveness instead;
+    /// * [`Update::Compact`] rewrites collection, dictionary, and index
+    ///   from the live sets (identical to a from-scratch build).
+    ///
+    /// The collection lives behind an [`Arc`]; if other handles to it
+    /// exist (from [`collection_arc`](Self::collection_arc)), the update
+    /// operates copy-on-write on this engine's own clone and the other
+    /// handles keep the pre-update snapshot.
+    ///
+    /// After any sequence of updates, search/discover output is
+    /// **byte-identical** (ids modulo the documented renumbering,
+    /// scores bit-for-bit, tie order) to an engine freshly built from
+    /// the equivalent live sets — enforced by
+    /// `tests/update_equivalence.rs`.
+    pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, UpdateError> {
+        match update {
+            Update::Append(sets) => {
+                let collection = Arc::make_mut(&mut self.collection);
+                let from = collection.len() as SetIdx;
+                let appended = collection.append_sets(&sets).collect();
+                self.index.append_sets(collection, from);
+                Ok(UpdateOutcome {
+                    appended,
+                    removed: 0,
+                    remap: None,
+                })
+            }
+            Update::Remove(ids) => {
+                let removed = Arc::make_mut(&mut self.collection).remove_sets(&ids)?;
+                Ok(UpdateOutcome {
+                    appended: Vec::new(),
+                    removed,
+                    remap: None,
+                })
+            }
+            Update::Compact => {
+                let collection = Arc::make_mut(&mut self.collection);
+                let remap = collection.compact();
+                self.index = InvertedIndex::build(collection);
+                Ok(UpdateOutcome {
+                    appended: Vec::new(),
+                    removed: 0,
+                    remap: Some(remap),
+                })
+            }
+        }
     }
 
     /// Starts a [`Query`] for reference `r`: a parameterized search that
@@ -255,6 +342,10 @@ impl Engine {
         searcher: &mut Searcher<'_>,
         rid: SetIdx,
     ) -> (Vec<(SetIdx, f64)>, PassStats) {
+        // Tombstoned sets participate on neither side of a self-join.
+        if !self.collection.is_live(rid) {
+            return (Vec::new(), PassStats::default());
+        }
         let restriction = match self.cfg.metric {
             RelatednessMetric::Similarity => Restriction {
                 min_exclusive: Some(rid),
@@ -420,6 +511,75 @@ mod tests {
             assert_eq!(serial.pairs, parallel.pairs, "threads={threads}");
             assert_eq!(serial.stats, parallel.stats, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn apply_append_extends_results_like_a_rebuild() {
+        let raw = vec![vec!["a b c".to_string()], vec!["x y z".to_string()]];
+        let cfg = jaccard_cfg(RelatednessMetric::Similarity, 0.9);
+        let mut engine = Engine::new(
+            silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace),
+            cfg,
+        )
+        .unwrap();
+        let out = engine
+            .apply(Update::Append(vec![
+                vec!["a b c".into()],
+                vec!["p q".into()],
+            ]))
+            .unwrap();
+        assert_eq!(out.appended, vec![2, 3]);
+        let r = engine.collection().set(0).clone();
+        let results = engine.search(&r).results;
+        assert_eq!(results.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [0, 2]);
+        // Self-discovery sees the appended duplicate too.
+        let pairs = engine.discover_self().pairs;
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].r, pairs[0].s), (0, 2));
+    }
+
+    #[test]
+    fn apply_remove_tombstones_and_compact_renumbers() {
+        let raw: Vec<Vec<String>> = (0..5).map(|i| vec![format!("a b c{i}")]).collect();
+        let cfg = jaccard_cfg(RelatednessMetric::Similarity, 0.3);
+        let mut engine = Engine::new(
+            silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace),
+            cfg,
+        )
+        .unwrap();
+        let r = engine.collection().set(0).clone();
+        assert_eq!(engine.search(&r).results.len(), 5);
+
+        assert_eq!(engine.apply(Update::Remove(vec![1, 3])).unwrap().removed, 2);
+        let ids: Vec<_> = engine.search(&r).results.iter().map(|&(s, _)| s).collect();
+        assert_eq!(ids, [0, 2, 4], "tombstoned sets never match");
+        assert!(matches!(
+            engine.apply(Update::Remove(vec![17])),
+            Err(UpdateError::NoSuchSet(17))
+        ));
+
+        let remap = engine.apply(Update::Compact).unwrap().remap.unwrap();
+        assert_eq!(remap, vec![Some(0), None, Some(1), None, Some(2)]);
+        assert_eq!(engine.collection().len(), 3);
+        let ids: Vec<_> = engine.search(&r).results.iter().map(|&(s, _)| s).collect();
+        assert_eq!(ids, [0, 1, 2], "compaction renumbers densely");
+    }
+
+    #[test]
+    fn apply_is_copy_on_write_for_shared_collections() {
+        let (c, r) = table2();
+        let shared = Arc::new(c);
+        let mut engine = Engine::new(
+            shared.clone(),
+            jaccard_cfg(RelatednessMetric::Containment, 0.7),
+        )
+        .unwrap();
+        engine.apply(Update::Remove(vec![3])).unwrap();
+        // The outside handle still sees the pre-update snapshot…
+        assert_eq!(shared.live_len(), 4);
+        assert!(!Arc::ptr_eq(engine.collection_arc(), &shared));
+        // …while the engine's own search reflects the removal.
+        assert!(engine.search(&r).results.is_empty());
     }
 
     #[test]

@@ -208,6 +208,7 @@ impl<'a> Searcher<'a> {
         if signature.degenerate {
             for sid in 0..self.collection.len() as SetIdx {
                 if restriction.admits(sid)
+                    && self.collection.is_live(sid)
                     && size_check(
                         self.cfg.metric,
                         self.cfg.delta,
@@ -239,10 +240,15 @@ impl<'a> Searcher<'a> {
                     if !restriction.admits(sid) {
                         continue;
                     }
-                    // Locate or admit the candidate slot.
+                    // Locate or admit the candidate slot. Tombstoned sets
+                    // keep their postings in the index but are never
+                    // admitted as candidates.
                     let slot = if self.cand_stamp[sid as usize] == self.version {
                         self.cand_slot[sid as usize] as usize
                     } else {
+                        if !self.collection.is_live(sid) {
+                            continue;
+                        }
                         if !size_check(
                             self.cfg.metric,
                             self.cfg.delta,

@@ -84,11 +84,12 @@ pub use config::{
     ConfigError, EngineConfig, FilterKind, RelatednessMetric, SignatureScheme, FILTER_EPS,
     VERIFY_EPS,
 };
-pub use engine::{DiscoveryOutput, Engine, RelatedPair, SearchOutput};
+pub use engine::{DiscoveryOutput, Engine, RelatedPair, SearchOutput, Update, UpdateOutcome};
 pub use explain::{explain_pair, ElementExplanation, PairExplanation};
 pub use filter::{PassStats, Restriction, Searcher};
 pub use optimal::optimal_signature;
 pub use phi::{IdentityKey, Phi};
 pub use query::{Query, QueryIter};
 pub use signature::{generate as generate_signature, SigElem, SigKind, SigParams, Signature};
+pub use silkmoth_collection::UpdateError;
 pub use verify::{matching_score, relatedness, size_check, verify_pair, VerifyCost};

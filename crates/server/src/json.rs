@@ -402,9 +402,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // `f64::from_str` saturates huge magnitudes (e.g. `1e999`) to
+        // infinity rather than failing; reject those here so a parsed
+        // document never carries a non-finite number.
         text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
             .map(Json::Num)
-            .map_err(|_| self.err("number out of range"))
+            .ok_or_else(|| self.err("number out of range"))
     }
 }
 

@@ -6,19 +6,30 @@
 //! |------------------|--------------------------------------------------|----------|
 //! | `POST /search`   | `{"reference": [elem, …], "k"?: n, "floor"?: f}` | `{"results": [{"set", "score"}, …], "stats": {…}}` |
 //! | `POST /discover` | `{"references": [[elem, …], …]}`                 | `{"pairs": [{"r", "s", "score"}, …], "stats": {…}}` |
+//! | `POST /sets`     | `{"sets": [[elem, …], …]}`                       | `{"appended": [id, …], "sets": n}` |
+//! | `DELETE /sets`   | `{"ids": [id, …]}`                               | `{"removed": n, "sets": n}` |
+//! | `POST /compact`  | —                                                | `{"sets": n}` |
 //! | `GET /stats`     | —                                                | request counters + cumulative per-shard and merged [`PassStats`] |
 //! | `GET /healthz`   | —                                                | `{"status": "ok", …}` |
 //!
 //! Set ids in responses are **global** (the line number of the set in
-//! the served input), identical to what one unsharded engine would
-//! report. Errors come back as `{"error": "…"}` with a 4xx status.
+//! the served input; appended sets continue the numbering), identical
+//! to what one unsharded engine would report, and stable across every
+//! update including compaction. `DELETE /sets` is idempotent per id
+//! but rejects ids that were never assigned (404). Errors come back as
+//! `{"error": "…"}` with a 4xx status.
+//!
+//! Updates take the engine's write lock; searches share a read lock,
+//! so an ingest waits for in-flight searches and vice versa, and every
+//! search sees either all or none of an update.
 
 use std::io;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
-use silkmoth_core::{ConfigError, PassStats};
+use silkmoth_collection::UpdateError;
+use silkmoth_core::{ConfigError, PassStats, Update};
 
 use crate::http::{self, HttpServer, Request, Response};
 use crate::json::{obj, Json};
@@ -28,9 +39,10 @@ use crate::shard::{merge_stats, ShardedEngine};
 /// counters for `GET /stats`.
 #[derive(Debug)]
 pub struct SearchService {
-    engine: ShardedEngine,
+    engine: RwLock<ShardedEngine>,
     searches: AtomicU64,
     discoveries: AtomicU64,
+    updates: AtomicU64,
     /// Cumulative pass stats per shard, merged in after every request.
     shard_stats: Vec<Mutex<PassStats>>,
 }
@@ -42,16 +54,18 @@ impl SearchService {
             .map(|_| Mutex::new(PassStats::default()))
             .collect();
         Self {
-            engine,
+            engine: RwLock::new(engine),
             searches: AtomicU64::new(0),
             discoveries: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             shard_stats,
         }
     }
 
-    /// The engine being served.
-    pub fn engine(&self) -> &ShardedEngine {
-        &self.engine
+    /// Read access to the engine being served (shared with in-flight
+    /// searches; blocks while an update holds the write lock).
+    pub fn engine(&self) -> RwLockReadGuard<'_, ShardedEngine> {
+        self.engine.read().expect("engine lock poisoned")
     }
 
     /// Routes one request. Pure request → response, so it is directly
@@ -63,7 +77,10 @@ impl SearchService {
             ("GET", "/stats") => self.stats(),
             ("POST", "/search") => self.search(&req.body),
             ("POST", "/discover") => self.discover(&req.body),
-            (_, "/healthz" | "/stats" | "/search" | "/discover") => {
+            ("POST", "/sets") => self.append(&req.body),
+            ("DELETE", "/sets") => self.remove(&req.body),
+            ("POST", "/compact") => self.compact(),
+            (_, "/healthz" | "/stats" | "/search" | "/discover" | "/sets" | "/compact") => {
                 error_response(405, "method not allowed for this route")
             }
             _ => error_response(404, "no such route"),
@@ -71,12 +88,13 @@ impl SearchService {
     }
 
     fn healthz(&self) -> Response {
+        let engine = self.engine();
         Response::json(
             200,
             obj(vec![
                 ("status", Json::Str("ok".into())),
-                ("shards", Json::Num(self.engine.shard_count() as f64)),
-                ("sets", Json::Num(self.engine.len() as f64)),
+                ("shards", Json::Num(engine.shard_count() as f64)),
+                ("sets", Json::Num(engine.len() as f64)),
             ])
             .to_string(),
         )
@@ -88,7 +106,10 @@ impl SearchService {
             .iter()
             .map(|m| *m.lock().expect("stats lock poisoned"))
             .collect();
-        let sizes = self.engine.shard_sizes();
+        let (sizes, total) = {
+            let engine = self.engine();
+            (engine.shard_sizes(), engine.len())
+        };
         let shards_json: Vec<Json> = per_shard
             .iter()
             .zip(&sizes)
@@ -112,8 +133,13 @@ impl SearchService {
                             "discover",
                             Json::Num(self.discoveries.load(Ordering::Relaxed) as f64),
                         ),
+                        (
+                            "update",
+                            Json::Num(self.updates.load(Ordering::Relaxed) as f64),
+                        ),
                     ]),
                 ),
+                ("sets", Json::Num(total as f64)),
                 ("shards", Json::Arr(shards_json)),
                 (
                     "merged",
@@ -141,7 +167,7 @@ impl SearchService {
             Ok(f) => f,
             Err(resp) => return resp,
         };
-        let out = match self.engine.search(&reference, k, floor) {
+        let out = match self.engine().search(&reference, k, floor) {
             Ok(out) => out,
             Err(e) => return config_error_response(&e),
         };
@@ -193,7 +219,7 @@ impl SearchService {
                 }
             }
         }
-        let out = self.engine.discover(&references);
+        let out = self.engine().discover(&references);
         self.discoveries.fetch_add(1, Ordering::Relaxed);
         self.accumulate(&out.shard_stats);
         let pairs: Vec<Json> = out
@@ -214,6 +240,101 @@ impl SearchService {
                 ("stats", Json::Obj(stats_json_pairs(&out.merged_stats()))),
             ])
             .to_string(),
+        )
+    }
+
+    fn append(&self, body: &[u8]) -> Response {
+        let doc = match parse_body(body) {
+            Ok(doc) => doc,
+            Err(resp) => return resp,
+        };
+        let sets_json = match doc.get("sets").and_then(Json::as_array) {
+            Some(s) if !s.is_empty() => s,
+            _ => {
+                return error_response(
+                    400,
+                    "'sets' must be a non-empty array of element-string arrays",
+                )
+            }
+        };
+        let mut sets: Vec<Vec<String>> = Vec::with_capacity(sets_json.len());
+        for (i, s) in sets_json.iter().enumerate() {
+            match string_array(Some(s), "sets") {
+                Ok(set) => sets.push(set),
+                Err(_) => {
+                    return error_response(
+                        400,
+                        &format!("sets[{i}] must be a non-empty array of strings"),
+                    )
+                }
+            }
+        }
+        let mut engine = self.engine.write().expect("engine lock poisoned");
+        let out = engine
+            .apply(Update::Append(sets))
+            .expect("append cannot fail");
+        let total = engine.len();
+        drop(engine);
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        let appended: Vec<Json> = out
+            .appended
+            .iter()
+            .map(|&gid| Json::Num(f64::from(gid)))
+            .collect();
+        Response::json(
+            200,
+            obj(vec![
+                ("appended", Json::Arr(appended)),
+                ("sets", Json::Num(total as f64)),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn remove(&self, body: &[u8]) -> Response {
+        let doc = match parse_body(body) {
+            Ok(doc) => doc,
+            Err(resp) => return resp,
+        };
+        let ids_json = match doc.get("ids").and_then(Json::as_array) {
+            Some(ids) if !ids.is_empty() => ids,
+            _ => return error_response(400, "'ids' must be a non-empty array of set ids"),
+        };
+        let mut ids = Vec::with_capacity(ids_json.len());
+        for v in ids_json {
+            match v.as_usize() {
+                Some(id) if id <= u32::MAX as usize => ids.push(id as u32),
+                _ => return error_response(400, "'ids' must contain non-negative set ids"),
+            }
+        }
+        let mut engine = self.engine.write().expect("engine lock poisoned");
+        match engine.apply(Update::Remove(ids)) {
+            Ok(out) => {
+                let total = engine.len();
+                drop(engine);
+                self.updates.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    200,
+                    obj(vec![
+                        ("removed", Json::Num(out.removed as f64)),
+                        ("sets", Json::Num(total as f64)),
+                    ])
+                    .to_string(),
+                )
+            }
+            Err(e @ UpdateError::NoSuchSet(_)) => error_response(404, &e.to_string()),
+        }
+    }
+
+    fn compact(&self) -> Response {
+        let mut engine = self.engine.write().expect("engine lock poisoned");
+        engine.apply(Update::Compact).expect("compact cannot fail");
+        let total = engine.len();
+        drop(engine);
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        Response::json(
+            200,
+            obj(vec![("sets", Json::Num(total as f64))]).to_string(),
         )
     }
 
@@ -438,7 +559,65 @@ mod tests {
         assert_eq!(get(&s, "/nope").0, 404);
         assert_eq!(post(&s, "/healthz", "").0, 405);
         assert_eq!(get(&s, "/search").0, 405);
+        assert_eq!(get(&s, "/sets").0, 405);
+        assert_eq!(get(&s, "/compact").0, 405);
         // Query strings are ignored for routing.
         assert_eq!(get(&s, "/healthz?verbose=1").0, 200);
+    }
+
+    #[test]
+    fn update_routes_mutate_and_validate() {
+        let s = service();
+        // Malformed update bodies are 400s.
+        for (method, body) in [
+            ("POST", "not json"),
+            ("POST", r#"{"sets": []}"#),
+            ("POST", r#"{"sets": [[]]}"#),
+            ("POST", r#"{"sets": [["a"], [1]]}"#),
+            ("DELETE", r#"{"ids": []}"#),
+            ("DELETE", r#"{"ids": [-1]}"#),
+            ("DELETE", r#"{"ids": ["x"]}"#),
+            ("DELETE", r#"{"ids": [1.5]}"#),
+        ] {
+            let req = Request::new(method, "/sets", body.as_bytes().to_vec());
+            let resp = s.handle(&req);
+            assert_eq!(resp.status, 400, "{method} {body}");
+        }
+
+        // Append, then search for the new set.
+        let (status, doc) = post(&s, "/sets", r#"{"sets": [["unique marker element"]]}"#);
+        assert_eq!(status, 200, "{doc}");
+        assert_eq!(
+            doc.get("appended").and_then(Json::as_array).map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(doc.get("sets").and_then(Json::as_usize), Some(21));
+        let (_, found) = post(
+            &s,
+            "/search",
+            r#"{"reference": ["unique marker element"], "floor": 0.9}"#,
+        );
+        let hits = found.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get("set").and_then(Json::as_usize), Some(20));
+
+        // Remove it again; unknown ids are a named 404.
+        let req = Request::new("DELETE", "/sets", br#"{"ids": [20]}"#.to_vec());
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 200);
+        let req = Request::new("DELETE", "/sets", br#"{"ids": [555]}"#.to_vec());
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 404);
+
+        // /stats reflects the update count and the live set count.
+        let (_, stats) = get(&s, "/stats");
+        assert_eq!(
+            stats
+                .get("requests")
+                .and_then(|r| r.get("update"))
+                .and_then(Json::as_usize),
+            Some(2)
+        );
+        assert_eq!(stats.get("sets").and_then(Json::as_usize), Some(20));
     }
 }

@@ -22,9 +22,11 @@
 
 use std::sync::Arc;
 
-use silkmoth_collection::{Collection, SetIdx, SetRecord};
+use silkmoth_collection::{Collection, SetIdx, SetRecord, UpdateError};
 use silkmoth_core::rank::merge_partitioned;
-use silkmoth_core::{ConfigError, Engine, EngineConfig, PassStats, RelatedPair};
+use silkmoth_core::{
+    ConfigError, Engine, EngineConfig, PassStats, RelatedPair, Update, UpdateOutcome,
+};
 
 /// A collection hash-partitioned across N [`Engine`] shards, answering
 /// searches by scatter-gather with output identical to one unsharded
@@ -32,13 +34,28 @@ use silkmoth_core::{ConfigError, Engine, EngineConfig, PassStats, RelatedPair};
 ///
 /// The engine shards are `Send + Sync`, so a `ShardedEngine` drops
 /// straight into server state behind an [`Arc`].
+///
+/// ## Incremental updates
+///
+/// [`apply`](Self::apply) routes each mutation to the owning shard:
+/// appended sets take the next free **global** ids (monotonic, never
+/// reused) and land on the shard FNV-1a picks for that id — the same
+/// partition function [`build`](Self::build) uses, so an
+/// incrementally-grown sharded engine partitions exactly like a
+/// freshly-built one over the same id space. Removals tombstone in the
+/// owning shard. Global ids are stable across **every** update,
+/// including [`Update::Compact`] (compaction rewrites each shard's
+/// internal storage; the global id map just drops its dead entries).
 #[derive(Debug)]
 pub struct ShardedEngine {
     shards: Vec<Engine>,
-    /// Per shard: local set id → global set id (ascending).
+    /// Per shard: local set slot → global set id (ascending).
     global_ids: Vec<Vec<SetIdx>>,
     cfg: EngineConfig,
-    total: usize,
+    /// Live (non-tombstoned) sets across all shards.
+    live: usize,
+    /// Next global id to assign; ids are never reused.
+    next_gid: SetIdx,
 }
 
 /// Scatter-gather search output: results carry **global** set ids, and
@@ -126,7 +143,8 @@ impl ShardedEngine {
             shards,
             global_ids,
             cfg,
-            total: raw.len(),
+            live: raw.len(),
+            next_gid: raw.len() as SetIdx,
         })
     }
 
@@ -135,14 +153,14 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// Total sets across all shards.
+    /// Live sets across all shards (tombstoned sets excluded).
     pub fn len(&self) -> usize {
-        self.total
+        self.live
     }
 
-    /// True when the collection has no sets.
+    /// True when the collection has no live sets.
     pub fn is_empty(&self) -> bool {
-        self.total == 0
+        self.live == 0
     }
 
     /// The shared engine configuration.
@@ -150,9 +168,96 @@ impl ShardedEngine {
         &self.cfg
     }
 
-    /// Sets per shard, indexed by shard id.
+    /// Live sets per shard, indexed by shard id.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.global_ids.iter().map(Vec::len).collect()
+        self.shards
+            .iter()
+            .map(|e| e.collection().live_len())
+            .collect()
+    }
+
+    /// Applies one mutation, routed to the owning shard(s); see the
+    /// type-level docs for the id-stability guarantees. The returned
+    /// [`UpdateOutcome`] carries **global** ids; `remap` is always
+    /// `None` because compaction never renumbers global ids.
+    pub fn apply(&mut self, update: Update) -> Result<UpdateOutcome, UpdateError> {
+        let n = self.shards.len();
+        match update {
+            Update::Append(sets) => {
+                let mut parts: Vec<Vec<Vec<String>>> = vec![Vec::new(); n];
+                let mut appended = Vec::with_capacity(sets.len());
+                for set in sets {
+                    let gid = self.next_gid;
+                    self.next_gid += 1;
+                    let shard = shard_of(gid, n);
+                    parts[shard].push(set);
+                    self.global_ids[shard].push(gid);
+                    appended.push(gid);
+                }
+                for (shard, part) in parts.into_iter().enumerate() {
+                    if !part.is_empty() {
+                        self.shards[shard]
+                            .apply(Update::Append(part))
+                            .expect("append cannot fail");
+                    }
+                }
+                self.live += appended.len();
+                Ok(UpdateOutcome {
+                    appended,
+                    removed: 0,
+                    remap: None,
+                })
+            }
+            Update::Remove(gids) => {
+                // Resolve every global id to (shard, local slot) before
+                // mutating anything, so an unknown id leaves the engine
+                // untouched. A compacted-away gid no longer appears in
+                // its shard's id map and is equally NoSuchSet.
+                let mut per_shard: Vec<Vec<SetIdx>> = vec![Vec::new(); n];
+                for &gid in &gids {
+                    let shard = shard_of(gid, n);
+                    let local = self.global_ids[shard]
+                        .binary_search(&gid)
+                        .map_err(|_| UpdateError::NoSuchSet(gid))?;
+                    per_shard[shard].push(local as SetIdx);
+                }
+                let mut removed = 0;
+                for (shard, locals) in per_shard.into_iter().enumerate() {
+                    if !locals.is_empty() {
+                        removed += self.shards[shard]
+                            .apply(Update::Remove(locals))
+                            .expect("locals were just resolved")
+                            .removed;
+                    }
+                }
+                self.live -= removed;
+                Ok(UpdateOutcome {
+                    appended: Vec::new(),
+                    removed,
+                    remap: None,
+                })
+            }
+            Update::Compact => {
+                for (shard, engine) in self.shards.iter_mut().enumerate() {
+                    let out = engine.apply(Update::Compact)?;
+                    let local_remap = out.remap.expect("compact returns a remap");
+                    // Retained locals keep their relative order, so the
+                    // global map compacts by dropping dead entries.
+                    let old = std::mem::take(&mut self.global_ids[shard]);
+                    self.global_ids[shard] = old
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(local, _)| local_remap[local].is_some())
+                        .map(|(_, gid)| gid)
+                        .collect();
+                }
+                Ok(UpdateOutcome {
+                    appended: Vec::new(),
+                    removed: 0,
+                    remap: None,
+                })
+            }
+        }
     }
 
     /// The shard engines (for inspection; ids inside are shard-local).
@@ -335,6 +440,74 @@ mod tests {
             sharded.search(&raw[0], None, Some(1.5)),
             Err(ConfigError::FloorOutOfRange(_))
         ));
+    }
+
+    #[test]
+    fn incremental_append_partitions_like_a_fresh_build() {
+        // Appending one set at a time must land every set on the same
+        // shard a from-scratch build would choose (FNV-1a on the global
+        // id), so incremental and fresh sharded engines agree exactly.
+        let raw = corpus(30);
+        let mut grown = ShardedEngine::build(&raw[..10], cfg(0.5), 3).unwrap();
+        for set in &raw[10..] {
+            let out = grown.apply(Update::Append(vec![set.clone()])).unwrap();
+            assert_eq!(out.appended.len(), 1);
+        }
+        let fresh = ShardedEngine::build(&raw, cfg(0.5), 3).unwrap();
+        assert_eq!(grown.len(), fresh.len());
+        assert_eq!(grown.shard_sizes(), fresh.shard_sizes());
+        assert_eq!(grown.global_ids, fresh.global_ids);
+        for rid in [0usize, 12, 29] {
+            let want = fresh.search(&raw[rid], None, None).unwrap().results;
+            let got = grown.search(&raw[rid], None, None).unwrap().results;
+            assert_eq!(got.len(), want.len(), "rid={rid}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.0, b.0, "rid={rid}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "rid={rid}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_routes_to_owning_shard_and_validates_first() {
+        let raw = corpus(20);
+        let mut sharded = ShardedEngine::build(&raw, cfg(0.5), 3).unwrap();
+        let out = sharded.apply(Update::Remove(vec![4, 4, 9])).unwrap();
+        assert_eq!(out.removed, 2, "duplicate ids are idempotent");
+        assert_eq!(sharded.len(), 18);
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 18);
+        // Removed sets disappear from results.
+        let hits = sharded
+            .search(&raw[4], Some(30), Some(0.0))
+            .unwrap()
+            .results;
+        assert!(hits.iter().all(|&(gid, _)| gid != 4 && gid != 9));
+        // An unknown gid fails by name without touching anything.
+        assert_eq!(
+            sharded.apply(Update::Remove(vec![0, 99])),
+            Err(UpdateError::NoSuchSet(99))
+        );
+        assert_eq!(sharded.len(), 18);
+    }
+
+    #[test]
+    fn compact_keeps_global_ids_stable() {
+        let raw = corpus(24);
+        let mut sharded = ShardedEngine::build(&raw, cfg(0.5), 7).unwrap();
+        sharded.apply(Update::Remove(vec![2, 3, 11, 17])).unwrap();
+        let before = sharded.search(&raw[5], None, None).unwrap().results;
+        let out = sharded.apply(Update::Compact).unwrap();
+        assert_eq!(out.remap, None, "global ids never renumber");
+        assert_eq!(sharded.len(), 20);
+        let after = sharded.search(&raw[5], None, None).unwrap().results;
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Appends after a compact continue the old numbering.
+        let out = sharded.apply(Update::Append(vec![raw[0].clone()])).unwrap();
+        assert_eq!(out.appended, vec![24]);
     }
 
     #[test]

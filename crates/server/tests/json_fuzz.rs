@@ -1,0 +1,175 @@
+//! Fuzz-style round-trip and robustness tests for `server::json`.
+//!
+//! Two obligations:
+//!
+//! 1. **Round-trip**: any value tree the encoder can produce parses back
+//!    to an identical tree (`encode → decode = id`). Trees are generated
+//!    randomly (vendored proptest, seeded; case seed printed on failure)
+//!    with adversarial strings — quotes, backslashes, control
+//!    characters, surrogate-needing astral-plane characters.
+//! 2. **Never panic**: malformed inputs — truncations, deep nesting, bad
+//!    escapes, huge numbers, random garbage — must come back as `Err`,
+//!    not a panic, an abort, or an OOM.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silkmoth_server::Json;
+
+/// Characters chosen to stress every escaping path: plain ASCII,
+/// JSON-special, raw controls, multibyte, and astral (surrogate pairs in
+/// `\u` form).
+const STRESS_CHARS: [char; 14] = [
+    'a', 'Z', '9', ' ', '"', '\\', '/', '\n', '\t', '\u{0}', '\u{1b}', 'é', 'ω', '🚀',
+];
+
+fn gen_string(rng: &mut StdRng) -> String {
+    let n = rng.random_range(0..12usize);
+    (0..n)
+        .map(|_| STRESS_CHARS[rng.random_range(0..STRESS_CHARS.len())])
+        .collect()
+}
+
+/// A finite number; integers are favored so both `Display` branches
+/// (integer-exact and shortest-float) are exercised.
+fn gen_number(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..4u32) {
+        0 => rng.random_range(0..2000u32) as f64 - 1000.0,
+        // Integer-valued but beyond the i64-exact display cutoff.
+        1 => 9.1e15 + rng.random_range(0..1000u64) as f64,
+        2 => rng.random::<f64>() * 1e-8,
+        _ => (rng.random::<f64>() - 0.5) * 1e12,
+    }
+}
+
+fn gen_tree(rng: &mut StdRng, depth: usize) -> Json {
+    let variants: u32 = if depth == 0 { 4 } else { 6 };
+    match rng.random_range(0..variants) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.random()),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.random_range(0..5usize);
+            Json::Arr((0..n).map(|_| gen_tree(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0..5usize);
+            Json::Obj(
+                (0..n)
+                    .map(|_| (gen_string(rng), gen_tree(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn random_value_trees_roundtrip_identically(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let tree = gen_tree(rng, 4);
+        let encoded = tree.to_string();
+        // Documents are newline-safe by contract: one per line is valid
+        // framing.
+        prop_assert!(!encoded.contains('\n'), "encoding must be newline-safe: {encoded:?}");
+        let back = Json::parse(&encoded).unwrap_or_else(|e| {
+            panic!("encoder output must parse: {e} in {encoded:?}")
+        });
+        prop_assert_eq!(&back, &tree, "round-trip mismatch for {}", encoded);
+        // Encoding is deterministic, so a second round-trip is a fixpoint.
+        prop_assert_eq!(back.to_string(), encoded);
+    }
+
+    // Parsing arbitrary garbage (printable and not) must never panic;
+    // whether it parses is the input's business.
+    #[test]
+    fn random_garbage_never_panics(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let n = rng.random_range(0..64usize);
+        let garbage: String = (0..n)
+            .map(|_| char::from_u32(rng.random_range(0..0x250u32)).unwrap_or('?'))
+            .collect();
+        let _ = Json::parse(&garbage);
+    }
+
+    // Every truncation of a valid document is handled (usually an error;
+    // a prefix that happens to be a complete document, e.g. of `1234`,
+    // may legally parse) — never a panic.
+    #[test]
+    fn truncations_of_valid_documents_never_panic(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let encoded = gen_tree(rng, 3).to_string();
+        for cut in 0..encoded.len() {
+            if encoded.is_char_boundary(cut) {
+                let _ = Json::parse(&encoded[..cut]);
+            }
+        }
+        // Trailing garbage after a complete document is always an error.
+        prop_assert!(Json::parse(&format!("{encoded} x")).is_err());
+    }
+}
+
+#[test]
+fn malformed_corpus_errors_never_panics() {
+    let corpus: Vec<String> = vec![
+        // Truncated structures.
+        "{".into(),
+        "[".into(),
+        r#"{"a""#.into(),
+        r#"{"a":"#.into(),
+        r#"["#.into(),
+        r#"[1,"#.into(),
+        r#""unterminated"#.into(),
+        // Bad escapes.
+        r#""\x""#.into(),
+        r#""\u12""#.into(),
+        r#""\u{41}""#.into(),
+        r#""\ud800""#.into(),
+        r#""\ud800A""#.into(),
+        r#""\udc00""#.into(),
+        "\"raw\ncontrol\"".into(),
+        // Number abuse: huge magnitudes must be rejected (f64 parsing
+        // saturates to infinity, which the wire format forbids), and
+        // huge digit strings must not blow up.
+        "1e999".into(),
+        "-1e999".into(),
+        "1".repeat(400),
+        format!("-{}", "9".repeat(400)),
+        "1e".into(),
+        "1.".into(),
+        "-".into(),
+        "+1".into(),
+        "0x10".into(),
+        "nan".into(),
+        "inf".into(),
+        // Deep nesting beyond the documented cap.
+        "[".repeat(1000) + &"]".repeat(1000),
+        "{\"a\":".repeat(500) + "1" + &"}".repeat(500),
+        // Structural junk.
+        "[1,]".into(),
+        "{,}".into(),
+        r#"{"a" 1}"#.into(),
+        r#"{"a":1,}"#.into(),
+        "[] []".into(),
+    ];
+    for bad in &corpus {
+        assert!(
+            Json::parse(bad).is_err(),
+            "must reject (not panic on): {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn huge_but_valid_numbers_near_the_edge_parse() {
+    // The largest finite f64 is ~1.8e308: values inside the range stay
+    // accepted, the first power of ten beyond is rejected.
+    assert!(Json::parse("1.7e308").is_ok());
+    assert!(Json::parse("-1.7e308").is_ok());
+    assert!(Json::parse("1e309").is_err());
+    // Tiny magnitudes underflow to 0.0, which is finite and fine.
+    assert_eq!(Json::parse("1e-999").unwrap(), Json::Num(0.0));
+}

@@ -20,6 +20,7 @@
 //! silkmoth discover --input titles.sets --phi eds --alpha 0.8 --delta 0.8
 //! silkmoth stats    --input data.sets
 //! silkmoth serve    --input lake.sets --port 7700 --shards 4 --threads 8
+//! silkmoth update   --input lake.sets --append new.sets --remove 3,17 --output lake.sets
 //! ```
 
 use silkmoth::{
@@ -34,6 +35,9 @@ struct Cli {
     command: String,
     input: Option<String>,
     reference: Option<String>,
+    append: Option<String>,
+    remove: Vec<u32>,
+    output: Option<String>,
     metric: RelatednessMetric,
     phi: String,
     delta: f64,
@@ -52,12 +56,17 @@ struct Cli {
 }
 
 const USAGE: &str = "\
-usage: silkmoth <discover|search|stats|serve> [options]
+usage: silkmoth <discover|search|stats|serve|update> [options]
 
 options:
   --input FILE        sets file (one set per line; elements separated by the
                       delimiter; '-' for stdin)
   --reference FILE    reference sets file (search mode)
+  --append FILE       update: sets file to append to the collection
+  --remove IDS        update: comma-separated set ids (input line numbers,
+                      0-based) to remove
+  --output FILE       update: where to write the updated collection
+                      (default: stdout)
   --metric M          similarity | containment        (default: similarity)
   --phi F             jaccard | dice | cosine | eds | neds  (default: jaccard)
   --delta D           relatedness threshold in (0,1]  (default: 0.7)
@@ -76,10 +85,15 @@ options:
   --quiet             print only result pairs
   --addr A            serve: bind address             (default: 127.0.0.1)
   --port P            serve: TCP port                 (default: 7700)
-  --shards N          serve: engine shards            (default: 4)
+  --shards N          serve: engine shards, >= 1      (default: 4)
 
-serve exposes POST /search, POST /discover, GET /stats, GET /healthz
-(JSON wire format; see the README for the schema and curl examples).
+serve exposes POST /search, POST /discover, POST /sets, DELETE /sets,
+POST /compact, GET /stats, GET /healthz (JSON wire format; see the
+README for the schema and curl examples).
+
+update applies --append and/or --remove to the collection through the
+incremental-update layer, compacts it, and writes the surviving sets
+(one per line) to --output.
 ";
 
 fn fail(msg: &str) -> ! {
@@ -102,6 +116,9 @@ fn parse_cli() -> Cli {
         command,
         input: None,
         reference: None,
+        append: None,
+        remove: Vec::new(),
+        output: None,
         metric: RelatednessMetric::Similarity,
         phi: "jaccard".into(),
         delta: 0.7,
@@ -123,6 +140,18 @@ fn parse_cli() -> Cli {
         match a.as_str() {
             "--input" => cli.input = Some(val()),
             "--reference" => cli.reference = Some(val()),
+            "--append" => cli.append = Some(val()),
+            "--remove" => {
+                cli.remove = val()
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("bad set id '{s}' in --remove")))
+                    })
+                    .collect()
+            }
+            "--output" => cli.output = Some(val()),
             "--metric" => {
                 cli.metric = match val().as_str() {
                     "similarity" => RelatednessMetric::Similarity,
@@ -189,6 +218,48 @@ fn read_sets(path: &str, delimiter: char) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// `silkmoth update`: applies `--append` / `--remove` through the
+/// incremental-update layer, compacts, and writes the surviving sets.
+/// Every failure path is a named CLI error (missing files, bad ids) —
+/// never a panic.
+fn run_update(cli: &Cli, raw: &[Vec<String>], tokenization: Tokenization) {
+    if cli.append.is_none() && cli.remove.is_empty() {
+        fail("update needs --append and/or --remove");
+    }
+    let mut collection = Collection::build(raw, tokenization);
+    let mut appended = 0;
+    let removed = match collection.remove_sets(&cli.remove) {
+        Ok(n) => n,
+        Err(e) => fail(&format!("--remove: {e} (input has {} sets)", raw.len())),
+    };
+    if let Some(path) = &cli.append {
+        let new_sets = read_sets(path, cli.delimiter);
+        appended = collection.append_sets(&new_sets).len();
+    }
+    collection.compact();
+
+    let delim = cli.delimiter.to_string();
+    let mut out = String::new();
+    for set in collection.sets() {
+        let line: Vec<&str> = set.elements.iter().map(|e| e.text.as_ref()).collect();
+        out.push_str(&line.join(&delim));
+        out.push('\n');
+    }
+    match &cli.output {
+        Some(path) => {
+            std::fs::write(path, &out).unwrap_or_else(|e| fail(&format!("writing {path}: {e}")))
+        }
+        None => print!("{out}"),
+    }
+    if !cli.quiet {
+        eprintln!(
+            "# update: {} sets in, {appended} appended, {removed} removed, {} sets out",
+            raw.len(),
+            collection.len(),
+        );
+    }
+}
+
 fn main() {
     let cli = parse_cli();
     let input = cli
@@ -218,7 +289,15 @@ fn main() {
         SimilarityFunction::Eds { q } | SimilarityFunction::NEds { q } => Tokenization::QGram { q },
         _ => Tokenization::Whitespace,
     };
+    if cli.command == "update" {
+        run_update(&cli, &raw, tokenization);
+        return;
+    }
+
     if cli.command == "serve" {
+        if cli.shards == 0 {
+            fail("--shards must be at least 1");
+        }
         let cfg = EngineConfig {
             metric: cli.metric,
             similarity,
@@ -245,7 +324,10 @@ fn main() {
             shards,
             threads,
         );
-        eprintln!("# endpoints: POST /search, POST /discover, GET /stats, GET /healthz");
+        eprintln!(
+            "# endpoints: POST /search, POST /discover, POST /sets, DELETE /sets, \
+             POST /compact, GET /stats, GET /healthz"
+        );
         server.wait();
         return;
     }

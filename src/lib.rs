@@ -74,10 +74,13 @@ pub use silkmoth_matching as matching;
 pub use silkmoth_server as server;
 pub use silkmoth_text as text;
 
-pub use silkmoth_collection::{Collection, Element, InvertedIndex, SetRecord, Tokenization};
+pub use silkmoth_collection::{
+    Collection, Element, InvertedIndex, SetIdx, SetRecord, Tokenization, UpdateError,
+};
 pub use silkmoth_core::{
     brute, ConfigError, DiscoveryOutput, Engine, EngineBuilder, EngineConfig, FilterKind,
     PassStats, Query, QueryIter, RelatedPair, RelatednessMetric, SearchOutput, SignatureScheme,
+    Update, UpdateOutcome,
 };
 pub use silkmoth_datagen::{ColumnsConfig, DblpConfig, SchemaConfig};
 pub use silkmoth_matching::{max_weight_assignment, WeightMatrix};

@@ -1,0 +1,458 @@
+//! Differential property harness for incremental collection updates.
+//!
+//! Correctness of the mutation layer is defined *differentially*: after
+//! **any** sequence of appends, removals, and compactions, the output of
+//! search / top-k / discover must be **byte-identical** — same ids, same
+//! tie order, bit-for-bit equal scores — to an engine freshly built from
+//! the equivalent live raw sets. This harness generates random op/query
+//! interleavings (vendored proptest, seeded deterministically per test;
+//! on failure the runner prints the case seed for reproduction) and
+//! checks that equivalence simultaneously for:
+//!
+//! * the unsharded [`Engine`] mutated through [`Engine::apply`]
+//!   (including id renumbering across `Update::Compact`), and
+//! * [`ShardedEngine`]s with shard counts {1, 2, 7}, whose global ids
+//!   are stable across every update.
+//!
+//! Removal renumbers nothing, so incremental ids and fresh-build ids
+//! relate by the order-preserving "live order" map; order-preservation
+//! is what keeps top-k tie order comparable.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silkmoth::server::{Json, Request, SearchService};
+use silkmoth::{
+    Collection, Engine, EngineConfig, RelatednessMetric, SetIdx, ShardedEngine, SimilarityFunction,
+    Update,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn cfg(rng: &mut StdRng) -> EngineConfig {
+    let metric = if rng.random::<bool>() {
+        RelatednessMetric::Similarity
+    } else {
+        RelatednessMetric::Containment
+    };
+    let delta = [0.4, 0.6, 0.8][rng.random_range(0..3usize)];
+    let alpha = [0.0, 0.3][rng.random_range(0..2usize)];
+    EngineConfig::full(metric, SimilarityFunction::Jaccard, delta, alpha)
+}
+
+fn gen_element(rng: &mut StdRng) -> String {
+    let n = rng.random_range(1..=4usize);
+    (0..n)
+        .map(|_| {
+            if rng.random::<bool>() {
+                format!("w{}", rng.random_range(0..12u32))
+            } else {
+                format!("shared{}", rng.random_range(0..4u32))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_set(rng: &mut StdRng) -> Vec<String> {
+    let n = rng.random_range(1..=4usize);
+    (0..n).map(|_| gen_element(rng)).collect()
+}
+
+/// The harness state: one incremental engine per flavor plus the model
+/// (live raw sets per stable global id).
+struct Harness {
+    cfg: EngineConfig,
+    /// gid → live raw set (`None` = removed). Gids are the sharded
+    /// engines' stable global ids; slots are never reused.
+    slots: Vec<Option<Vec<String>>>,
+    sharded: Vec<ShardedEngine>,
+    /// The unsharded engine mutated through `Engine::apply`.
+    inc: Engine,
+    /// gid → the unsharded engine's current id for that set (compaction
+    /// renumbers these via the returned remap).
+    inc_ids: HashMap<SetIdx, SetIdx>,
+}
+
+impl Harness {
+    fn new(rng: &mut StdRng) -> Self {
+        let cfg = cfg(rng);
+        let n = rng.random_range(8..=16usize);
+        let base: Vec<Vec<String>> = (0..n).map(|_| gen_set(rng)).collect();
+        let sharded = SHARD_COUNTS
+            .iter()
+            .map(|&s| ShardedEngine::build(&base, cfg, s).expect("valid config"))
+            .collect();
+        let inc = Engine::new(Collection::build(&base, cfg.tokenization()), cfg).unwrap();
+        Self {
+            cfg,
+            inc_ids: (0..n as SetIdx).map(|i| (i, i)).collect(),
+            slots: base.into_iter().map(Some).collect(),
+            sharded,
+            inc,
+        }
+    }
+
+    fn live_gids(&self) -> Vec<SetIdx> {
+        (0..self.slots.len() as SetIdx)
+            .filter(|&g| self.slots[g as usize].is_some())
+            .collect()
+    }
+
+    fn append(&mut self, sets: Vec<Vec<String>>) {
+        for engine in &mut self.sharded {
+            let out = engine.apply(Update::Append(sets.clone())).unwrap();
+            // Every flavor assigns the same monotonic ids.
+            let want: Vec<SetIdx> = (0..sets.len())
+                .map(|i| (self.slots.len() + i) as SetIdx)
+                .collect();
+            assert_eq!(out.appended, want, "sharded gid assignment");
+        }
+        let out = self.inc.apply(Update::Append(sets.clone())).unwrap();
+        for (i, &inc_id) in out.appended.iter().enumerate() {
+            self.inc_ids
+                .insert((self.slots.len() + i) as SetIdx, inc_id);
+        }
+        self.slots.extend(sets.into_iter().map(Some));
+    }
+
+    fn remove(&mut self, gids: Vec<SetIdx>) {
+        for engine in &mut self.sharded {
+            engine.apply(Update::Remove(gids.clone())).unwrap();
+        }
+        let inc_ids: Vec<SetIdx> = gids.iter().map(|g| self.inc_ids[g]).collect();
+        self.inc.apply(Update::Remove(inc_ids)).unwrap();
+        for g in gids {
+            self.slots[g as usize] = None;
+        }
+    }
+
+    fn compact(&mut self) {
+        for engine in &mut self.sharded {
+            engine.apply(Update::Compact).unwrap();
+        }
+        let remap = self.inc.apply(Update::Compact).unwrap().remap.unwrap();
+        // Survivors follow the remap; tombstoned gids drop out of the map
+        // for good (their `remap` entry is `None`).
+        self.inc_ids = self
+            .inc_ids
+            .iter()
+            .filter_map(|(&g, &i)| remap[i as usize].map(|ni| (g, ni)))
+            .collect();
+    }
+
+    /// The fresh-build comparator: an engine over exactly the live raw
+    /// sets, plus the dense-id → gid map (ascending, order-preserving).
+    fn fresh(&self) -> (Engine, Vec<SetIdx>) {
+        let gids = self.live_gids();
+        let raw: Vec<Vec<String>> = gids
+            .iter()
+            .map(|&g| self.slots[g as usize].clone().unwrap())
+            .collect();
+        let engine = Engine::new(Collection::build(&raw, self.cfg.tokenization()), self.cfg)
+            .expect("fresh rebuild");
+        (engine, gids)
+    }
+
+    /// Runs one query on every incremental flavor and asserts each
+    /// output byte-identical to the fresh rebuild.
+    fn check_query(&self, elems: &[String], k: Option<usize>, floor: Option<f64>) {
+        let (fresh, gids) = self.fresh();
+        let r = fresh.collection().encode_set(elems);
+        let mut query = fresh.query(&r);
+        if let Some(k) = k {
+            query = query.top_k(k);
+        }
+        if let Some(f) = floor {
+            query = query.floor(f);
+        }
+        // Fresh results in the stable gid space.
+        let want: Vec<(SetIdx, u64)> = query
+            .run()
+            .unwrap()
+            .results
+            .into_iter()
+            .map(|(fid, score)| (gids[fid as usize], score.to_bits()))
+            .collect();
+
+        for engine in &self.sharded {
+            let got: Vec<(SetIdx, u64)> = engine
+                .search(elems, k, floor)
+                .unwrap()
+                .results
+                .into_iter()
+                .map(|(gid, score)| (gid, score.to_bits()))
+                .collect();
+            assert_eq!(
+                got,
+                want,
+                "sharded({}) vs fresh rebuild, k={k:?} floor={floor:?}",
+                engine.shard_count()
+            );
+        }
+
+        // The unsharded incremental engine reports its own (possibly
+        // compacted) ids; map them back to gids. The inc→gid map is
+        // order-preserving, so tie order survives the translation.
+        let gid_of: HashMap<SetIdx, SetIdx> = self.inc_ids.iter().map(|(&g, &i)| (i, g)).collect();
+        let r_inc = self.inc.collection().encode_set(elems);
+        let mut query = self.inc.query(&r_inc);
+        if let Some(k) = k {
+            query = query.top_k(k);
+        }
+        if let Some(f) = floor {
+            query = query.floor(f);
+        }
+        let got: Vec<(SetIdx, u64)> = query
+            .run()
+            .unwrap()
+            .results
+            .into_iter()
+            .map(|(iid, score)| (gid_of[&iid], score.to_bits()))
+            .collect();
+        assert_eq!(
+            got, want,
+            "Engine::apply vs fresh rebuild, k={k:?} floor={floor:?}"
+        );
+    }
+
+    /// Batched discovery across all flavors vs the fresh rebuild.
+    fn check_discover(&self, refs: &[Vec<String>]) {
+        let (fresh, gids) = self.fresh();
+        let encoded: Vec<_> = refs
+            .iter()
+            .map(|set| fresh.collection().encode_set(set))
+            .collect();
+        let want: Vec<(u32, SetIdx, u64)> = fresh
+            .discover(&encoded)
+            .pairs
+            .into_iter()
+            .map(|p| (p.r, gids[p.s as usize], p.score.to_bits()))
+            .collect();
+        for engine in &self.sharded {
+            let got: Vec<(u32, SetIdx, u64)> = engine
+                .discover(refs)
+                .pairs
+                .into_iter()
+                .map(|p| (p.r, p.s, p.score.to_bits()))
+                .collect();
+            assert_eq!(
+                got,
+                want,
+                "sharded({}) discover vs fresh rebuild",
+                engine.shard_count()
+            );
+        }
+
+        // The unsharded Engine::apply path too (ids mapped back to gids).
+        let gid_of: HashMap<SetIdx, SetIdx> = self.inc_ids.iter().map(|(&g, &i)| (i, g)).collect();
+        let encoded_inc: Vec<_> = refs
+            .iter()
+            .map(|set| self.inc.collection().encode_set(set))
+            .collect();
+        let got: Vec<(u32, SetIdx, u64)> = self
+            .inc
+            .discover(&encoded_inc)
+            .pairs
+            .into_iter()
+            .map(|p| (p.r, gid_of[&p.s], p.score.to_bits()))
+            .collect();
+        assert_eq!(got, want, "Engine::apply discover vs fresh rebuild");
+    }
+
+    fn check_counts(&self) {
+        let live = self.live_gids().len();
+        for engine in &self.sharded {
+            assert_eq!(
+                engine.len(),
+                live,
+                "sharded({}) live count",
+                engine.shard_count()
+            );
+            assert_eq!(engine.shard_sizes().iter().sum::<usize>(), live);
+        }
+        assert_eq!(self.inc.collection().live_len(), live);
+    }
+}
+
+// The tentpole property: random interleavings of appends, removals,
+// compactions, and queries — every query byte-identical to a fresh
+// rebuild, across shard counts {1, 2, 7} and the unsharded
+// `Engine::apply` path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_update_sequence_is_equivalent_to_a_rebuild(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let mut h = Harness::new(rng);
+        for _ in 0..12 {
+            match rng.random_range(0..100u32) {
+                0..=29 => {
+                    let n = rng.random_range(1..=3usize);
+                    h.append((0..n).map(|_| gen_set(rng)).collect());
+                }
+                30..=49 => {
+                    let live = h.live_gids();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let n = rng.random_range(1..=3usize).min(live.len());
+                    let mut gids: Vec<SetIdx> = (0..n)
+                        .map(|_| live[rng.random_range(0..live.len())])
+                        .collect();
+                    // Duplicates are legal (idempotent removal).
+                    if rng.random::<bool>() {
+                        gids.dedup();
+                    }
+                    h.remove(gids);
+                }
+                50..=59 => h.compact(),
+                _ => {
+                    let elems = match h.live_gids().as_slice() {
+                        // Query a live set's own elements half the time…
+                        live if !live.is_empty() && rng.random::<bool>() => {
+                            let g = live[rng.random_range(0..live.len())];
+                            h.slots[g as usize].clone().unwrap()
+                        }
+                        // …or a fresh random reference.
+                        _ => gen_set(rng),
+                    };
+                    let k = [None, Some(1), Some(3)][rng.random_range(0..3usize)];
+                    let floor = [None, Some(0.0), Some(0.3)][rng.random_range(0..3usize)];
+                    h.check_query(&elems, k, floor);
+                }
+            }
+            h.check_counts();
+        }
+        // Always finish with a full sweep: plain search, ranked search,
+        // and batched discovery.
+        let elems = gen_set(rng);
+        h.check_query(&elems, None, None);
+        h.check_query(&elems, Some(5), Some(0.0));
+        h.check_discover(&[gen_set(rng), gen_set(rng)]);
+    }
+}
+
+/// Removing an id that was never assigned fails by name and mutates
+/// nothing, on both engine flavors.
+#[test]
+fn remove_of_unknown_id_is_a_named_error_and_a_no_op() {
+    let raw: Vec<Vec<String>> = (0..6).map(|i| vec![format!("w{i} shared0")]).collect();
+    let cfg = EngineConfig::full(
+        RelatednessMetric::Similarity,
+        SimilarityFunction::Jaccard,
+        0.5,
+        0.0,
+    );
+
+    let mut engine = Engine::new(Collection::build(&raw, cfg.tokenization()), cfg).unwrap();
+    let err = engine.apply(Update::Remove(vec![2, 99])).unwrap_err();
+    assert_eq!(err.to_string(), "no such set: 99");
+    assert!(
+        engine.collection().is_live(2),
+        "validation precedes mutation"
+    );
+
+    let mut sharded = ShardedEngine::build(&raw, cfg, 3).unwrap();
+    let err = sharded.apply(Update::Remove(vec![0, 77])).unwrap_err();
+    assert_eq!(err.to_string(), "no such set: 77");
+    assert_eq!(sharded.len(), 6);
+
+    // After compaction the dropped gid is gone for good.
+    sharded.apply(Update::Remove(vec![4])).unwrap();
+    sharded.apply(Update::Compact).unwrap();
+    let err = sharded.apply(Update::Remove(vec![4])).unwrap_err();
+    assert_eq!(err.to_string(), "no such set: 4");
+    // …while surviving gids are still addressable.
+    assert_eq!(sharded.apply(Update::Remove(vec![5])).unwrap().removed, 1);
+}
+
+/// The service acceptance path: `POST /sets` / `DELETE /sets` mutate the
+/// served engine and `GET /stats` + `GET /healthz` reflect the post-update
+/// live set counts.
+#[test]
+fn service_stats_reflect_post_update_set_counts() {
+    let raw: Vec<Vec<String>> = (0..10)
+        .map(|i| vec![format!("w{} shared{}", i % 5, i % 3)])
+        .collect();
+    let cfg = EngineConfig::full(
+        RelatednessMetric::Similarity,
+        SimilarityFunction::Jaccard,
+        0.5,
+        0.0,
+    );
+    let service = SearchService::new(ShardedEngine::build(&raw, cfg, 3).unwrap());
+
+    let call = |method: &str, path: &str, body: &str| {
+        let resp = service.handle(&Request::new(method, path, body.as_bytes().to_vec()));
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, doc)
+    };
+    let sets_of = |doc: &Json| doc.get("sets").and_then(Json::as_usize).unwrap();
+
+    let (status, doc) = call("POST", "/sets", r#"{"sets": [["w0 shared0"], ["w9 w9"]]}"#);
+    assert_eq!(status, 200, "{doc}");
+    let appended = doc.get("appended").and_then(Json::as_array).unwrap();
+    assert_eq!(appended.len(), 2);
+    assert_eq!(
+        appended[0].as_usize(),
+        Some(10),
+        "ids continue the numbering"
+    );
+    assert_eq!(sets_of(&doc), 12);
+
+    let (status, doc) = call("DELETE", "/sets", r#"{"ids": [0, 10]}"#);
+    assert_eq!(status, 200, "{doc}");
+    assert_eq!(doc.get("removed").and_then(Json::as_usize), Some(2));
+    assert_eq!(sets_of(&doc), 10);
+
+    for path in ["/stats", "/healthz"] {
+        let (status, doc) = call("GET", path, "");
+        assert_eq!(status, 200);
+        assert_eq!(sets_of(&doc), 10, "{path} must reflect updates");
+    }
+
+    // A removed set no longer matches searches; an appended one does.
+    let (status, doc) = call(
+        "POST",
+        "/search",
+        r#"{"reference": ["w9 w9"], "floor": 0.9}"#,
+    );
+    assert_eq!(status, 200, "{doc}");
+    let hits: Vec<usize> = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.get("set").and_then(Json::as_usize).unwrap())
+        .collect();
+    assert_eq!(hits, vec![11]);
+
+    // Unknown ids are a named 404; /compact keeps counts and gids stable.
+    let (status, doc) = call("DELETE", "/sets", r#"{"ids": [999]}"#);
+    assert_eq!(status, 404);
+    assert!(doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("no such set"));
+    let (status, doc) = call("POST", "/compact", "");
+    assert_eq!(status, 200);
+    assert_eq!(sets_of(&doc), 10);
+    let (_, doc) = call(
+        "POST",
+        "/search",
+        r#"{"reference": ["w9 w9"], "floor": 0.9}"#,
+    );
+    let hits: Vec<usize> = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.get("set").and_then(Json::as_usize).unwrap())
+        .collect();
+    assert_eq!(hits, vec![11], "global ids survive compaction");
+}

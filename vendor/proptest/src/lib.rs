@@ -403,6 +403,30 @@ pub enum CaseResult {
     Rejected,
 }
 
+/// Prints the failing case's coordinates while a panic unwinds out of
+/// [`run_cases`], so a failure seen in CI (debug *or* release mode) can
+/// be reproduced exactly: seeds derive only from the test name and the
+/// printed attempt number, never from time or environment.
+struct FailureReport<'a> {
+    name: &'a str,
+    attempt: u32,
+    case_seed: u64,
+    armed: bool,
+}
+
+impl Drop for FailureReport<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: test '{}' failed on attempt {} (case rng seed {:#018x}); \
+                 seeds are deterministic per test name, so rerunning the test \
+                 reproduces this case",
+                self.name, self.attempt, self.case_seed,
+            );
+        }
+    }
+}
+
 /// Runs `cases` deterministic cases of `body`, seeding from `name`.
 pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut StdRng) -> CaseResult) {
     let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
@@ -413,9 +437,18 @@ pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut StdRng) -> Ca
     // Mirror proptest's behavior of replacing rejected cases, with a cap
     // so a pathological prop_assume! cannot loop forever.
     while accepted < cases && attempts < cases.saturating_mul(16) {
-        let mut rng = StdRng::seed_from_u64(seed ^ (attempts as u64).wrapping_mul(0x9e37_79b9));
+        let case_seed = seed ^ (attempts as u64).wrapping_mul(0x9e37_79b9);
+        let mut rng = StdRng::seed_from_u64(case_seed);
         attempts += 1;
-        match body(&mut rng) {
+        let mut report = FailureReport {
+            name,
+            attempt: attempts,
+            case_seed,
+            armed: true,
+        };
+        let outcome = body(&mut rng);
+        report.armed = false;
+        match outcome {
             CaseResult::Ok => accepted += 1,
             CaseResult::Rejected => {}
         }
