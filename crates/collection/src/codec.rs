@@ -57,15 +57,15 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Serializes a collection (its raw texts + tokenization).
-///
-/// Only **live** sets are written: tombstoned slots are skipped, so an
-/// encode → decode round-trip of a mutated collection yields its
-/// [`compact`](Collection::compact)ed form (ids renumbered densely).
-pub fn encode(collection: &Collection) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + collection.live_len() * 32);
+/// Serializes raw sets of element texts under a tokenization — the
+/// byte format [`encode`] wraps a [`Collection`] into, exposed directly
+/// so callers that already hold raw texts (the `silkmoth-storage`
+/// snapshot writer) can reuse the format without building a throwaway
+/// collection first.
+pub fn encode_sets<S: AsRef<str>, V: AsRef<[S]>>(sets: &[V], tokenization: Tokenization) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + sets.len() * 32);
     buf.put_slice(MAGIC);
-    match collection.tokenization() {
+    match tokenization {
         Tokenization::Whitespace => {
             buf.put_u8(0);
             buf.put_u32_le(0);
@@ -75,20 +75,44 @@ pub fn encode(collection: &Collection) -> Bytes {
             buf.put_u32_le(q as u32);
         }
     }
-    buf.put_u64_le(collection.live_len() as u64);
-    for sid in collection.live_ids() {
-        let set = collection.set(sid);
+    buf.put_u64_le(sets.len() as u64);
+    for set in sets {
+        let set = set.as_ref();
         buf.put_u32_le(set.len() as u32);
-        for e in set.elements.iter() {
-            buf.put_u32_le(e.text.len() as u32);
-            buf.put_slice(e.text.as_bytes());
+        for text in set {
+            let text = text.as_ref();
+            buf.put_u32_le(text.len() as u32);
+            buf.put_slice(text.as_bytes());
         }
     }
     buf.freeze()
 }
 
-/// Deserializes a collection by replaying the deterministic build.
-pub fn decode(mut buf: &[u8]) -> Result<Collection, CodecError> {
+/// Serializes a collection (its raw texts + tokenization).
+///
+/// Only **live** sets are written: tombstoned slots are skipped, so an
+/// encode → decode round-trip of a mutated collection yields its
+/// [`compact`](Collection::compact)ed form (ids renumbered densely).
+pub fn encode(collection: &Collection) -> Bytes {
+    let sets: Vec<Vec<&str>> = collection
+        .live_ids()
+        .map(|sid| {
+            collection
+                .set(sid)
+                .elements
+                .iter()
+                .map(|e| e.text.as_ref())
+                .collect()
+        })
+        .collect();
+    encode_sets(&sets, collection.tokenization())
+}
+
+/// Deserializes the raw sets and tokenization written by
+/// [`encode_sets`] / [`encode`], without building the collection —
+/// the counterpart for callers that partition or post-process the raw
+/// texts themselves.
+pub fn decode_sets(mut buf: &[u8]) -> Result<(Vec<Vec<String>>, Tokenization), CodecError> {
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(CodecError::BadMagic);
     }
@@ -135,6 +159,12 @@ pub fn decode(mut buf: &[u8]) -> Result<Collection, CodecError> {
         }
         raw.push(set);
     }
+    Ok((raw, tokenization))
+}
+
+/// Deserializes a collection by replaying the deterministic build.
+pub fn decode(buf: &[u8]) -> Result<Collection, CodecError> {
+    let (raw, tokenization) = decode_sets(buf)?;
     Ok(Collection::build(&raw, tokenization))
 }
 
@@ -192,6 +222,37 @@ mod tests {
             let got = decode(&bytes[..cut]);
             assert!(got.is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn raw_roundtrip_preserves_empty_sets() {
+        // `decode` replays the build, but `decode_sets` must hand back
+        // the raw texts verbatim — including zero-element sets, which
+        // the storage layer uses as tombstoned-slot placeholders.
+        let raw: Vec<Vec<String>> = vec![vec!["a b".into(), "c".into()], vec![], vec!["".into()]];
+        let bytes = encode_sets(&raw, Tokenization::Whitespace);
+        let (back, tok) = decode_sets(&bytes).unwrap();
+        assert_eq!(back, raw);
+        assert_eq!(tok, Tokenization::Whitespace);
+    }
+
+    #[test]
+    fn encode_matches_encode_sets_on_live_texts() {
+        let (c, _) = table2();
+        let raw: Vec<Vec<&str>> = c
+            .live_ids()
+            .map(|sid| {
+                c.set(sid)
+                    .elements
+                    .iter()
+                    .map(|e| e.text.as_ref())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            encode(&c).as_ref() as &[u8],
+            encode_sets(&raw, c.tokenization()).as_ref() as &[u8]
+        );
     }
 
     #[test]

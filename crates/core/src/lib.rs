@@ -74,10 +74,12 @@ pub mod explain;
 mod filter;
 mod optimal;
 mod phi;
+mod policy;
 mod query;
 pub mod rank;
 pub mod signature;
 mod verify;
+pub mod wire;
 
 pub use builder::EngineBuilder;
 pub use config::{
@@ -89,6 +91,7 @@ pub use explain::{explain_pair, ElementExplanation, PairExplanation};
 pub use filter::{PassStats, Restriction, Searcher};
 pub use optimal::optimal_signature;
 pub use phi::{IdentityKey, Phi};
+pub use policy::CompactionPolicy;
 pub use query::{Query, QueryIter};
 pub use signature::{generate as generate_signature, SigElem, SigKind, SigParams, Signature};
 pub use silkmoth_collection::UpdateError;

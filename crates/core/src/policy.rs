@@ -1,0 +1,154 @@
+//! Auto-compaction and checkpoint policy for mutated collections.
+//!
+//! Removal tombstones in O(1) and appends keep the dictionary's (then
+//! increasingly stale) frequency order, so a heavily-mutated collection
+//! prunes less effectively until [`Update::Compact`] rewrites it (see
+//! `silkmoth-collection`'s docs). A [`CompactionPolicy`] decides *when*
+//! that rewrite — and, for durable stores, when a snapshot checkpoint —
+//! should happen, from two observable counters:
+//!
+//! * the **tombstone ratio** `dead / slots` of the collection, and
+//! * the **write-ahead-log length** (records since the last checkpoint)
+//!   for stores that keep one (`silkmoth-storage`).
+//!
+//! The policy is plain arithmetic over those counters, so it works
+//! unchanged for an in-memory [`Engine`](crate::Engine) or
+//! `ShardedEngine` (compaction only) and for a durable `Store`
+//! (compaction + snapshots). Both thresholds are *at-least* bounds: a
+//! value exactly at the threshold triggers.
+
+/// Threshold-based decision rule for automatic [`Update::Compact`]
+/// (tombstone ratio) and automatic snapshots (WAL length).
+///
+/// [`Update::Compact`]: crate::Update::Compact
+///
+/// ```
+/// use silkmoth_core::CompactionPolicy;
+///
+/// let policy = CompactionPolicy::default()
+///     .compact_at_dead_ratio(0.25)
+///     .snapshot_at_wal_records(1000);
+/// assert!(!policy.should_compact(8, 10)); // 2/10 dead: below threshold
+/// assert!(policy.should_compact(7, 10)); // 3/10 dead: over threshold
+/// assert!(policy.should_snapshot(1000)); // exactly at the threshold
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompactionPolicy {
+    /// Compact when `dead / slots >= ratio` (with at least one dead
+    /// slot). `None` disables automatic compaction.
+    pub max_dead_ratio: Option<f64>,
+    /// Snapshot when the WAL holds at least this many records (and at
+    /// least one). `None` disables automatic snapshots.
+    pub max_wal_records: Option<u64>,
+}
+
+impl CompactionPolicy {
+    /// The inert policy: never compacts, never snapshots.
+    pub const DISABLED: Self = Self {
+        max_dead_ratio: None,
+        max_wal_records: None,
+    };
+
+    /// Enables automatic compaction at the given dead-slot ratio
+    /// (clamped to `[0, 1]`; a ratio of 0 compacts as soon as any slot
+    /// is dead).
+    pub fn compact_at_dead_ratio(mut self, ratio: f64) -> Self {
+        self.max_dead_ratio = Some(ratio.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Enables automatic snapshots once the WAL holds `records` records
+    /// (a threshold of 0 behaves like 1: an empty WAL never snapshots).
+    pub fn snapshot_at_wal_records(mut self, records: u64) -> Self {
+        self.max_wal_records = Some(records);
+        self
+    }
+
+    /// True when a collection with `live` live sets out of `slots` total
+    /// slots should be compacted: at least one slot is dead and the dead
+    /// ratio is at or past the threshold.
+    pub fn should_compact(&self, live: usize, slots: usize) -> bool {
+        let Some(ratio) = self.max_dead_ratio else {
+            return false;
+        };
+        let dead = slots.saturating_sub(live);
+        dead > 0 && dead as f64 >= ratio * slots as f64
+    }
+
+    /// True when a WAL currently holding `wal_records` records should be
+    /// checkpointed into a fresh snapshot: the WAL is non-empty and at
+    /// or past the threshold.
+    pub fn should_snapshot(&self, wal_records: u64) -> bool {
+        let Some(max) = self.max_wal_records else {
+            return false;
+        };
+        wal_records > 0 && wal_records >= max
+    }
+
+    /// True when neither trigger is configured.
+    pub fn is_disabled(&self) -> bool {
+        self.max_dead_ratio.is_none() && self.max_wal_records.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_never_fires() {
+        let p = CompactionPolicy::DISABLED;
+        assert!(!p.should_compact(0, 10)); // even all-dead
+        assert!(!p.should_snapshot(u64::MAX));
+        assert!(p.is_disabled());
+        assert_eq!(CompactionPolicy::default(), p);
+    }
+
+    #[test]
+    fn ratio_zero_compacts_on_first_dead_slot_only() {
+        let p = CompactionPolicy::default().compact_at_dead_ratio(0.0);
+        assert!(!p.should_compact(10, 10), "no dead slots, nothing to do");
+        assert!(p.should_compact(9, 10), "any dead slot trips ratio 0");
+        assert!(!p.should_compact(0, 0), "empty collection never compacts");
+    }
+
+    #[test]
+    fn exactly_at_threshold_triggers() {
+        let p = CompactionPolicy::default().compact_at_dead_ratio(0.5);
+        assert!(!p.should_compact(6, 10), "4/10 below");
+        assert!(p.should_compact(5, 10), "5/10 exactly at the threshold");
+        assert!(p.should_compact(4, 10), "6/10 above");
+    }
+
+    #[test]
+    fn all_dead_triggers_any_enabled_ratio() {
+        for ratio in [0.0, 0.5, 1.0] {
+            let p = CompactionPolicy::default().compact_at_dead_ratio(ratio);
+            assert!(p.should_compact(0, 7), "ratio {ratio}");
+        }
+        // …including a ratio of exactly 1.0, where only all-dead fires.
+        let p = CompactionPolicy::default().compact_at_dead_ratio(1.0);
+        assert!(!p.should_compact(1, 7));
+    }
+
+    #[test]
+    fn ratio_is_clamped() {
+        let p = CompactionPolicy::default().compact_at_dead_ratio(7.5);
+        assert_eq!(p.max_dead_ratio, Some(1.0));
+        let p = CompactionPolicy::default().compact_at_dead_ratio(-1.0);
+        assert_eq!(p.max_dead_ratio, Some(0.0));
+    }
+
+    #[test]
+    fn snapshot_threshold_edges() {
+        let p = CompactionPolicy::default().snapshot_at_wal_records(3);
+        assert!(!p.should_snapshot(0));
+        assert!(!p.should_snapshot(2));
+        assert!(p.should_snapshot(3), "exactly at the threshold");
+        assert!(p.should_snapshot(4));
+        // Threshold 0 behaves like 1: an empty WAL never checkpoints.
+        let p = CompactionPolicy::default().snapshot_at_wal_records(0);
+        assert!(!p.should_snapshot(0));
+        assert!(p.should_snapshot(1));
+    }
+}

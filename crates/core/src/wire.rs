@@ -1,0 +1,298 @@
+//! Binary serialization of [`Update`]s — the payload format of
+//! `silkmoth-storage`'s write-ahead log.
+//!
+//! One encoded update is self-delimiting and carries, for
+//! [`Update::Compact`] on engines that renumber ids, the id remap the
+//! live engine produced — recovery replays the compaction and *verifies*
+//! it reproduced the recorded remap, turning any nondeterminism into a
+//! named error instead of a silently divergent engine.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! tag      u8: 1 = Append, 2 = Remove, 3 = Compact
+//! Append:  n_sets u32, per set: n_elems u32, per elem: len u32 + UTF-8
+//! Remove:  n u32, then n set ids (u32)
+//! Compact: has_remap u8; when 1: n u32, then n entries (u32;
+//!          u32::MAX encodes a dropped slot)
+//! ```
+//!
+//! Framing (length prefix, checksum) is the caller's job; decoding
+//! rejects trailing bytes so a mis-framed record can never be silently
+//! accepted.
+
+use crate::engine::Update;
+use silkmoth_collection::SetIdx;
+
+/// Sentinel for a dropped slot in an encoded compaction remap.
+const REMAP_NONE: u32 = u32::MAX;
+
+/// Decoding errors. Encoding is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// Unknown update tag.
+    BadTag(u8),
+    /// An element's bytes are not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after one complete update.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "encoded update truncated"),
+            Self::BadTag(t) => write!(f, "unknown update tag {t}"),
+            Self::BadUtf8 => write!(f, "encoded update contains invalid UTF-8"),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after encoded update"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One decoded WAL payload: the update plus, for compactions, the remap
+/// the original engine reported (see [`encode_update`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedUpdate {
+    /// The update to replay.
+    pub update: Update,
+    /// For [`Update::Compact`]: the recorded `old id → new id` remap
+    /// (`None` entries are dropped slots), when the engine produced one.
+    pub remap: Option<Vec<Option<SetIdx>>>,
+}
+
+/// Appends the encoding of `update` to `out`. For [`Update::Compact`],
+/// `remap` is the renumbering the engine will deterministically produce
+/// (engines with stable ids pass `None`); it is ignored for the other
+/// update kinds, whose ids are stable by construction.
+pub fn encode_update(update: &Update, remap: Option<&[Option<SetIdx>]>, out: &mut Vec<u8>) {
+    match update {
+        Update::Append(sets) => {
+            out.push(1);
+            put_u32(out, sets.len() as u32);
+            for set in sets {
+                put_u32(out, set.len() as u32);
+                for elem in set {
+                    put_u32(out, elem.len() as u32);
+                    out.extend_from_slice(elem.as_bytes());
+                }
+            }
+        }
+        Update::Remove(ids) => {
+            out.push(2);
+            put_u32(out, ids.len() as u32);
+            for &id in ids {
+                put_u32(out, id);
+            }
+        }
+        Update::Compact => {
+            out.push(3);
+            match remap {
+                None => out.push(0),
+                Some(entries) => {
+                    out.push(1);
+                    put_u32(out, entries.len() as u32);
+                    for entry in entries {
+                        put_u32(out, entry.unwrap_or(REMAP_NONE));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decodes exactly one update from `buf` (the full slice must be
+/// consumed — trailing bytes are an error, see the module docs).
+pub fn decode_update(buf: &[u8]) -> Result<DecodedUpdate, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let decoded = match r.u8()? {
+        1 => {
+            let n_sets = r.u32()? as usize;
+            // Capacity hints are clamped by what the buffer could hold
+            // (every set needs ≥ 4 bytes), so a corrupt count cannot
+            // force a huge allocation — it runs into `Truncated`.
+            let mut sets = Vec::with_capacity(n_sets.min(r.remaining() / 4));
+            for _ in 0..n_sets {
+                let n_elems = r.u32()? as usize;
+                let mut set = Vec::with_capacity(n_elems.min(r.remaining() / 4));
+                for _ in 0..n_elems {
+                    let len = r.u32()? as usize;
+                    let bytes = r.bytes(len)?;
+                    set.push(
+                        std::str::from_utf8(bytes)
+                            .map_err(|_| WireError::BadUtf8)?
+                            .to_owned(),
+                    );
+                }
+                sets.push(set);
+            }
+            DecodedUpdate {
+                update: Update::Append(sets),
+                remap: None,
+            }
+        }
+        2 => {
+            let n = r.u32()? as usize;
+            let mut ids = Vec::with_capacity(n.min(r.remaining() / 4));
+            for _ in 0..n {
+                ids.push(r.u32()?);
+            }
+            DecodedUpdate {
+                update: Update::Remove(ids),
+                remap: None,
+            }
+        }
+        3 => {
+            let remap = match r.u8()? {
+                0 => None,
+                _ => {
+                    let n = r.u32()? as usize;
+                    let mut entries = Vec::with_capacity(n.min(r.remaining() / 4));
+                    for _ in 0..n {
+                        let v = r.u32()?;
+                        entries.push((v != REMAP_NONE).then_some(v));
+                    }
+                    Some(entries)
+                }
+            };
+            DecodedUpdate {
+                update: Update::Compact,
+                remap,
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(decoded)
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let bytes = self.bytes(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(update: &Update, remap: Option<&[Option<SetIdx>]>) -> DecodedUpdate {
+        let mut buf = Vec::new();
+        encode_update(update, remap, &mut buf);
+        decode_update(&buf).expect("round-trip")
+    }
+
+    #[test]
+    fn append_roundtrips() {
+        let u = Update::Append(vec![
+            vec!["héllo wörld".into(), "".into()],
+            vec!["a b c".into()],
+        ]);
+        let d = roundtrip(&u, None);
+        assert_eq!(d.update, u);
+        assert_eq!(d.remap, None);
+    }
+
+    #[test]
+    fn remove_roundtrips() {
+        let u = Update::Remove(vec![0, 7, 7, u32::MAX - 1]);
+        assert_eq!(roundtrip(&u, None).update, u);
+    }
+
+    #[test]
+    fn compact_roundtrips_with_and_without_remap() {
+        let d = roundtrip(&Update::Compact, None);
+        assert_eq!(d.update, Update::Compact);
+        assert_eq!(d.remap, None);
+
+        let remap = vec![Some(0), None, Some(1), None];
+        let d = roundtrip(&Update::Compact, Some(&remap));
+        assert_eq!(d.update, Update::Compact);
+        assert_eq!(d.remap, Some(remap));
+    }
+
+    #[test]
+    fn remap_is_ignored_for_stable_id_updates() {
+        let remap = vec![Some(0)];
+        let u = Update::Remove(vec![1]);
+        let mut with = Vec::new();
+        encode_update(&u, Some(&remap), &mut with);
+        let mut without = Vec::new();
+        encode_update(&u, None, &mut without);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_never_a_panic() {
+        let u = Update::Append(vec![vec!["some words".into()], vec!["more".into()]]);
+        let mut buf = Vec::new();
+        encode_update(&u, None, &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_update(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_bytes_rejected() {
+        assert_eq!(decode_update(&[9]).unwrap_err(), WireError::BadTag(9));
+        let mut buf = Vec::new();
+        encode_update(&Update::Compact, None, &mut buf);
+        buf.push(0);
+        assert_eq!(
+            decode_update(&buf).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = Vec::new();
+        encode_update(&Update::Append(vec![vec!["ab".into()]]), None, &mut buf);
+        let len = buf.len();
+        buf[len - 1] = 0xFF; // clobber the second element byte
+        assert_eq!(decode_update(&buf).unwrap_err(), WireError::BadUtf8);
+    }
+
+    #[test]
+    fn corrupt_counts_cannot_demand_huge_allocations() {
+        // Tag Append + n_sets = u32::MAX, then nothing: must fail fast
+        // with Truncated, not allocate 2³² entries first.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_update(&buf).unwrap_err(), WireError::Truncated);
+    }
+}

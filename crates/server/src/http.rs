@@ -99,6 +99,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Extra headers beyond the framing ones (e.g. `Retry-After` on a
+    /// 503). Names must be valid header names; values a single line.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -108,7 +111,14 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Adds one extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -118,7 +128,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -336,14 +348,21 @@ pub fn read_simple_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, Vec<
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
         resp.body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()

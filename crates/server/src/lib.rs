@@ -49,12 +49,14 @@
 //!
 //! [`PassStats`]: silkmoth_core::PassStats
 
+pub mod durable;
 pub mod http;
 pub mod json;
 pub mod service;
 pub mod shard;
 
+pub use durable::ShardSpec;
 pub use http::{read_simple_response, HttpServer, Request, Response};
 pub use json::{Json, JsonError};
-pub use service::{serve, SearchService};
+pub use service::{serve, serve_service, EngineGuard, SearchService};
 pub use shard::{merge_stats, ShardedDiscoveryOutput, ShardedEngine, ShardedSearchOutput};

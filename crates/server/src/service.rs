@@ -1,4 +1,5 @@
-//! The SilkMoth network service: HTTP routes over a [`ShardedEngine`].
+//! The SilkMoth network service: HTTP routes over a [`ShardedEngine`] —
+//! ephemeral, or durable behind a `silkmoth-storage` [`Store`].
 //!
 //! ## Endpoints
 //!
@@ -9,8 +10,9 @@
 //! | `POST /sets`     | `{"sets": [[elem, …], …]}`                       | `{"appended": [id, …], "sets": n}` |
 //! | `DELETE /sets`   | `{"ids": [id, …]}`                               | `{"removed": n, "sets": n}` |
 //! | `POST /compact`  | —                                                | `{"sets": n}` |
-//! | `GET /stats`     | —                                                | request counters + cumulative per-shard and merged [`PassStats`] |
-//! | `GET /healthz`   | —                                                | `{"status": "ok", …}` |
+//! | `POST /snapshot` | —                                                | `{"snapshot_seq": n}` (durable mode; 409 otherwise) |
+//! | `GET /stats`     | —                                                | request counters, per-shard and merged [`PassStats`], and (durable) the storage generation |
+//! | `GET /healthz`   | —                                                | `{"status": "ok", "durable": b, …}` |
 //!
 //! Set ids in responses are **global** (the line number of the set in
 //! the served input; appended sets continue the numbering), identical
@@ -19,53 +21,180 @@
 //! but rejects ids that were never assigned (404). Errors come back as
 //! `{"error": "…"}` with a 4xx status.
 //!
+//! ## Durability
+//!
+//! In durable mode every update route is **WAL-logged and fsync'd
+//! before it is acknowledged** — a 200 means the mutation survives
+//! `kill -9`. `POST /snapshot` forces a checkpoint + WAL rotation, and
+//! the store's [`CompactionPolicy`] may compact/checkpoint
+//! automatically after any update. A storage failure (disk full,
+//! fsync error) is a 500 and the update is *not* acknowledged.
+//!
+//! ## Concurrency and backpressure
+//!
 //! Updates take the engine's write lock; searches share a read lock,
 //! so an ingest waits for in-flight searches and vice versa, and every
-//! search sees either all or none of an update.
+//! search sees either all or none of an update. Updates waiting for
+//! the write lock queue up; with
+//! [`with_max_inflight_updates`](SearchService::with_max_inflight_updates)
+//! the queue is bounded — excess updates are rejected immediately with
+//! `503` + `Retry-After` instead of pinning workers.
 
 use std::io;
 use std::net::ToSocketAddrs;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 use silkmoth_collection::UpdateError;
-use silkmoth_core::{ConfigError, PassStats, Update};
+use silkmoth_core::{CompactionPolicy, ConfigError, PassStats, Update, UpdateOutcome};
+use silkmoth_storage::{StorageError, Store};
 
 use crate::http::{self, HttpServer, Request, Response};
 use crate::json::{obj, Json};
 use crate::shard::{merge_stats, ShardedEngine};
 
-/// Shared service state: the engine plus cumulative observability
-/// counters for `GET /stats`.
+/// What the service serves: a bare engine, or an engine owned by a
+/// durable store that WAL-logs every update.
+#[derive(Debug)]
+enum Backend {
+    Ephemeral(ShardedEngine),
+    Durable(Store<ShardedEngine>),
+}
+
+impl Backend {
+    fn engine(&self) -> &ShardedEngine {
+        match self {
+            Self::Ephemeral(engine) => engine,
+            Self::Durable(store) => store.engine(),
+        }
+    }
+}
+
+/// Read access to the served engine (returned by
+/// [`SearchService::engine`]); dereferences to [`ShardedEngine`] and
+/// holds the service's read lock while alive.
+#[derive(Debug)]
+pub struct EngineGuard<'a>(RwLockReadGuard<'a, Backend>);
+
+impl Deref for EngineGuard<'_> {
+    type Target = ShardedEngine;
+
+    fn deref(&self) -> &ShardedEngine {
+        self.0.engine()
+    }
+}
+
+/// Decrements the in-flight update counter on drop (see
+/// [`SearchService::with_max_inflight_updates`]).
+struct InflightGuard<'a>(Option<&'a AtomicUsize>);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(counter) = self.0 {
+            counter.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Shared service state: the engine (plus its store, in durable mode)
+/// and cumulative observability counters for `GET /stats`.
 #[derive(Debug)]
 pub struct SearchService {
-    engine: RwLock<ShardedEngine>,
+    backend: RwLock<Backend>,
+    /// Ephemeral-mode auto-compaction (durable mode: the policy lives
+    /// in the store's `StoreConfig` so auto-actions are WAL-logged).
+    policy: CompactionPolicy,
+    /// `Some(n)`: at most n updates admitted concurrently (holding or
+    /// waiting for the write lock); the rest get 503.
+    max_inflight_updates: Option<usize>,
+    inflight_updates: AtomicUsize,
     searches: AtomicU64,
     discoveries: AtomicU64,
     updates: AtomicU64,
+    /// Ephemeral-mode policy compactions (durable mode reports the
+    /// store's own counter).
+    auto_compactions: AtomicU64,
     /// Cumulative pass stats per shard, merged in after every request.
     shard_stats: Vec<Mutex<PassStats>>,
 }
 
 impl SearchService {
-    /// Wraps an engine in fresh service state.
+    /// Wraps an engine in fresh ephemeral (in-memory only) service
+    /// state.
     pub fn new(engine: ShardedEngine) -> Self {
-        let shard_stats = (0..engine.shard_count())
+        Self::with_backend(Backend::Ephemeral(engine))
+    }
+
+    /// Wraps a durable store: every update route WAL-logs before
+    /// acknowledging, `POST /snapshot` checkpoints, and the store's
+    /// own policy drives auto-compaction/auto-snapshots.
+    pub fn durable(store: Store<ShardedEngine>) -> Self {
+        Self::with_backend(Backend::Durable(store))
+    }
+
+    fn with_backend(backend: Backend) -> Self {
+        let shard_stats = (0..backend.engine().shard_count())
             .map(|_| Mutex::new(PassStats::default()))
             .collect();
         Self {
-            engine: RwLock::new(engine),
+            backend: RwLock::new(backend),
+            policy: CompactionPolicy::DISABLED,
+            max_inflight_updates: None,
+            inflight_updates: AtomicUsize::new(0),
             searches: AtomicU64::new(0),
             discoveries: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            auto_compactions: AtomicU64::new(0),
             shard_stats,
         }
     }
 
+    /// Auto-compaction policy for the **ephemeral** backend (checked
+    /// after every update). In durable mode set the policy in the
+    /// store's `StoreConfig` instead, so policy actions are WAL-logged
+    /// like any other update; a policy set here is then ignored.
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bounds how many update requests may be in flight (applying, or
+    /// queued on the engine write lock) at once; beyond `n` (clamped
+    /// to ≥ 1), update routes answer `503` with a `Retry-After` header
+    /// instead of queuing unboundedly.
+    pub fn with_max_inflight_updates(mut self, n: usize) -> Self {
+        self.max_inflight_updates = Some(n.max(1));
+        self
+    }
+
     /// Read access to the engine being served (shared with in-flight
     /// searches; blocks while an update holds the write lock).
-    pub fn engine(&self) -> RwLockReadGuard<'_, ShardedEngine> {
-        self.engine.read().expect("engine lock poisoned")
+    pub fn engine(&self) -> EngineGuard<'_> {
+        EngineGuard(self.backend.read().expect("engine lock poisoned"))
+    }
+
+    /// Admits one update, or `None` when the in-flight bound is
+    /// reached.
+    fn admit_update(&self) -> Option<InflightGuard<'_>> {
+        let Some(max) = self.max_inflight_updates else {
+            return Some(InflightGuard(None));
+        };
+        let mut current = self.inflight_updates.load(Ordering::Relaxed);
+        loop {
+            if current >= max {
+                return None;
+            }
+            match self.inflight_updates.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(InflightGuard(Some(&self.inflight_updates))),
+                Err(observed) => current = observed,
+            }
+        }
     }
 
     /// Routes one request. Pure request → response, so it is directly
@@ -80,19 +209,27 @@ impl SearchService {
             ("POST", "/sets") => self.append(&req.body),
             ("DELETE", "/sets") => self.remove(&req.body),
             ("POST", "/compact") => self.compact(),
-            (_, "/healthz" | "/stats" | "/search" | "/discover" | "/sets" | "/compact") => {
-                error_response(405, "method not allowed for this route")
-            }
+            ("POST", "/snapshot") => self.snapshot(),
+            (
+                _,
+                "/healthz" | "/stats" | "/search" | "/discover" | "/sets" | "/compact"
+                | "/snapshot",
+            ) => error_response(405, "method not allowed for this route"),
             _ => error_response(404, "no such route"),
         }
     }
 
     fn healthz(&self) -> Response {
-        let engine = self.engine();
+        let backend = self.backend.read().expect("engine lock poisoned");
+        let engine = backend.engine();
         Response::json(
             200,
             obj(vec![
                 ("status", Json::Str("ok".into())),
+                (
+                    "durable",
+                    Json::Bool(matches!(*backend, Backend::Durable(_))),
+                ),
                 ("shards", Json::Num(engine.shard_count() as f64)),
                 ("sets", Json::Num(engine.len() as f64)),
             ])
@@ -106,9 +243,33 @@ impl SearchService {
             .iter()
             .map(|m| *m.lock().expect("stats lock poisoned"))
             .collect();
-        let (sizes, total) = {
-            let engine = self.engine();
-            (engine.shard_sizes(), engine.len())
+        let (sizes, total, slots, storage, auto_compactions) = {
+            let backend = self.backend.read().expect("engine lock poisoned");
+            let engine = backend.engine();
+            let (storage, auto) = match &*backend {
+                Backend::Ephemeral(_) => (None, self.auto_compactions.load(Ordering::Relaxed)),
+                Backend::Durable(store) => {
+                    let status = store.status();
+                    let storage = obj(vec![
+                        ("snapshot_seq", Json::Num(status.snapshot_seq as f64)),
+                        ("wal_records", Json::Num(status.wal_records as f64)),
+                        ("last_fsync_ok", Json::Bool(status.last_fsync_ok)),
+                        ("auto_snapshots", Json::Num(status.auto_snapshots as f64)),
+                        (
+                            "auto_compactions",
+                            Json::Num(status.auto_compactions as f64),
+                        ),
+                    ]);
+                    (Some(storage), status.auto_compactions)
+                }
+            };
+            (
+                engine.shard_sizes(),
+                engine.len(),
+                engine.slot_count(),
+                storage,
+                auto,
+            )
         };
         let shards_json: Vec<Json> = per_shard
             .iter()
@@ -119,35 +280,37 @@ impl SearchService {
                 Json::Obj(o)
             })
             .collect();
-        Response::json(
-            200,
-            obj(vec![
-                (
-                    "requests",
-                    obj(vec![
-                        (
-                            "search",
-                            Json::Num(self.searches.load(Ordering::Relaxed) as f64),
-                        ),
-                        (
-                            "discover",
-                            Json::Num(self.discoveries.load(Ordering::Relaxed) as f64),
-                        ),
-                        (
-                            "update",
-                            Json::Num(self.updates.load(Ordering::Relaxed) as f64),
-                        ),
-                    ]),
-                ),
-                ("sets", Json::Num(total as f64)),
-                ("shards", Json::Arr(shards_json)),
-                (
-                    "merged",
-                    Json::Obj(stats_json_pairs(&merge_stats(&per_shard))),
-                ),
-            ])
-            .to_string(),
-        )
+        let mut fields = vec![
+            (
+                "requests",
+                obj(vec![
+                    (
+                        "search",
+                        Json::Num(self.searches.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "discover",
+                        Json::Num(self.discoveries.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "update",
+                        Json::Num(self.updates.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            ("sets", Json::Num(total as f64)),
+            ("slots", Json::Num(slots as f64)),
+            ("auto_compactions", Json::Num(auto_compactions as f64)),
+        ];
+        if let Some(storage) = storage {
+            fields.push(("storage", storage));
+        }
+        fields.push(("shards", Json::Arr(shards_json)));
+        fields.push((
+            "merged",
+            Json::Obj(stats_json_pairs(&merge_stats(&per_shard))),
+        ));
+        Response::json(200, obj(fields).to_string())
     }
 
     fn search(&self, body: &[u8]) -> Response {
@@ -243,6 +406,39 @@ impl SearchService {
         )
     }
 
+    /// Applies one update through the backend — WAL-logged first in
+    /// durable mode, with the ephemeral compaction policy applied
+    /// afterwards in ephemeral mode. Returns the outcome and the
+    /// post-update live set count, or the ready-to-send error response.
+    fn apply_update(&self, update: Update) -> Result<(UpdateOutcome, usize), Response> {
+        let Some(_admitted) = self.admit_update() else {
+            return Err(overloaded_response());
+        };
+        let mut backend = self.backend.write().expect("engine lock poisoned");
+        let outcome = match &mut *backend {
+            Backend::Ephemeral(engine) => {
+                let outcome = engine.apply(update).map_err(update_error_response)?;
+                if self
+                    .policy
+                    .should_compact(engine.len(), engine.slot_count())
+                {
+                    engine.apply(Update::Compact).expect("compact cannot fail");
+                    self.auto_compactions.fetch_add(1, Ordering::Relaxed);
+                }
+                outcome
+            }
+            Backend::Durable(store) => match store.apply(update) {
+                Ok(receipt) => receipt.outcome,
+                Err(StorageError::Update(e)) => return Err(update_error_response(e)),
+                Err(e) => return Err(storage_error_response(&e)),
+            },
+        };
+        let total = backend.engine().len();
+        drop(backend);
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        Ok((outcome, total))
+    }
+
     fn append(&self, body: &[u8]) -> Response {
         let doc = match parse_body(body) {
             Ok(doc) => doc,
@@ -269,13 +465,10 @@ impl SearchService {
                 }
             }
         }
-        let mut engine = self.engine.write().expect("engine lock poisoned");
-        let out = engine
-            .apply(Update::Append(sets))
-            .expect("append cannot fail");
-        let total = engine.len();
-        drop(engine);
-        self.updates.fetch_add(1, Ordering::Relaxed);
+        let (out, total) = match self.apply_update(Update::Append(sets)) {
+            Ok(done) => done,
+            Err(resp) => return resp,
+        };
         let appended: Vec<Json> = out
             .appended
             .iter()
@@ -307,35 +500,49 @@ impl SearchService {
                 _ => return error_response(400, "'ids' must contain non-negative set ids"),
             }
         }
-        let mut engine = self.engine.write().expect("engine lock poisoned");
-        match engine.apply(Update::Remove(ids)) {
-            Ok(out) => {
-                let total = engine.len();
-                drop(engine);
-                self.updates.fetch_add(1, Ordering::Relaxed);
-                Response::json(
-                    200,
-                    obj(vec![
-                        ("removed", Json::Num(out.removed as f64)),
-                        ("sets", Json::Num(total as f64)),
-                    ])
-                    .to_string(),
-                )
-            }
-            Err(e @ UpdateError::NoSuchSet(_)) => error_response(404, &e.to_string()),
-        }
+        let (out, total) = match self.apply_update(Update::Remove(ids)) {
+            Ok(done) => done,
+            Err(resp) => return resp,
+        };
+        Response::json(
+            200,
+            obj(vec![
+                ("removed", Json::Num(out.removed as f64)),
+                ("sets", Json::Num(total as f64)),
+            ])
+            .to_string(),
+        )
     }
 
     fn compact(&self) -> Response {
-        let mut engine = self.engine.write().expect("engine lock poisoned");
-        engine.apply(Update::Compact).expect("compact cannot fail");
-        let total = engine.len();
-        drop(engine);
-        self.updates.fetch_add(1, Ordering::Relaxed);
+        let (_, total) = match self.apply_update(Update::Compact) {
+            Ok(done) => done,
+            Err(resp) => return resp,
+        };
         Response::json(
             200,
             obj(vec![("sets", Json::Num(total as f64))]).to_string(),
         )
+    }
+
+    fn snapshot(&self) -> Response {
+        let Some(_admitted) = self.admit_update() else {
+            return overloaded_response();
+        };
+        let mut backend = self.backend.write().expect("engine lock poisoned");
+        match &mut *backend {
+            Backend::Ephemeral(_) => error_response(
+                409,
+                "server is not durable; restart with --data-dir to enable snapshots",
+            ),
+            Backend::Durable(store) => match store.snapshot() {
+                Ok(seq) => Response::json(
+                    200,
+                    obj(vec![("snapshot_seq", Json::Num(seq as f64))]).to_string(),
+                ),
+                Err(e) => storage_error_response(&e),
+            },
+        }
     }
 
     fn accumulate(&self, per_shard: &[PassStats]) {
@@ -354,7 +561,16 @@ pub fn serve<A: ToSocketAddrs>(
     addr: A,
     threads: usize,
 ) -> io::Result<HttpServer> {
-    let service = Arc::new(SearchService::new(engine));
+    serve_service(Arc::new(SearchService::new(engine)), addr, threads)
+}
+
+/// Binds `addr` and serves an already-configured service (durable
+/// backend, backpressure bounds, policies) on `threads` HTTP workers.
+pub fn serve_service<A: ToSocketAddrs>(
+    service: Arc<SearchService>,
+    addr: A,
+    threads: usize,
+) -> io::Result<HttpServer> {
     http::serve(addr, threads, move |req: &Request| service.handle(req))
 }
 
@@ -415,6 +631,22 @@ fn error_response(status: u16, msg: &str) -> Response {
     )
 }
 
+/// The backpressure rejection: the client should retry shortly.
+fn overloaded_response() -> Response {
+    error_response(503, "too many updates in flight; retry shortly").with_header("Retry-After", "1")
+}
+
+fn update_error_response(e: UpdateError) -> Response {
+    match e {
+        UpdateError::NoSuchSet(_) => error_response(404, &e.to_string()),
+    }
+}
+
+/// A storage failure means the update was NOT durably acknowledged.
+fn storage_error_response(e: &StorageError) -> Response {
+    error_response(500, &format!("storage: {e}"))
+}
+
 fn config_error_response(e: &ConfigError) -> Response {
     error_response(400, &e.to_string())
 }
@@ -439,23 +671,30 @@ fn stats_json_pairs(stats: &PassStats) -> Vec<(String, Json)> {
 mod tests {
     use super::*;
     use silkmoth_core::{EngineConfig, RelatednessMetric};
+    use silkmoth_storage::StoreConfig;
     use silkmoth_text::SimilarityFunction;
 
-    fn service() -> SearchService {
-        let raw: Vec<Vec<String>> = (0..20)
+    fn corpus() -> Vec<Vec<String>> {
+        (0..20)
             .map(|i| {
                 (0..3)
                     .map(|j| format!("w{} w{} shared{}", (i * 3 + j) % 7, (i + j) % 5, i % 4))
                     .collect()
             })
-            .collect();
-        let cfg = EngineConfig::full(
+            .collect()
+    }
+
+    fn engine_cfg() -> EngineConfig {
+        EngineConfig::full(
             RelatednessMetric::Similarity,
             SimilarityFunction::Jaccard,
             0.5,
             0.0,
-        );
-        SearchService::new(ShardedEngine::build(&raw, cfg, 3).unwrap())
+        )
+    }
+
+    fn service() -> SearchService {
+        SearchService::new(ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap())
     }
 
     fn post(service: &SearchService, path: &str, body: &str) -> (u16, Json) {
@@ -478,6 +717,7 @@ mod tests {
         let (status, doc) = get(&s, "/healthz");
         assert_eq!(status, 200);
         assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("durable"), Some(&Json::Bool(false)));
         assert_eq!(doc.get("shards").and_then(Json::as_usize), Some(3));
         assert_eq!(doc.get("sets").and_then(Json::as_usize), Some(20));
     }
@@ -514,6 +754,9 @@ mod tests {
             stats.get("shards").and_then(Json::as_array).map(<[_]>::len),
             Some(3)
         );
+        // Ephemeral services report no storage section.
+        assert!(stats.get("storage").is_none());
+        assert_eq!(stats.get("slots").and_then(Json::as_usize), Some(20));
     }
 
     #[test]
@@ -561,6 +804,7 @@ mod tests {
         assert_eq!(get(&s, "/search").0, 405);
         assert_eq!(get(&s, "/sets").0, 405);
         assert_eq!(get(&s, "/compact").0, 405);
+        assert_eq!(get(&s, "/snapshot").0, 405);
         // Query strings are ignored for routing.
         assert_eq!(get(&s, "/healthz?verbose=1").0, 200);
     }
@@ -619,5 +863,96 @@ mod tests {
             Some(2)
         );
         assert_eq!(stats.get("sets").and_then(Json::as_usize), Some(20));
+    }
+
+    #[test]
+    fn snapshot_on_ephemeral_service_is_a_409() {
+        let s = service();
+        let (status, doc) = post(&s, "/snapshot", "");
+        assert_eq!(status, 409, "{doc}");
+        assert!(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("--data-dir"));
+    }
+
+    #[test]
+    fn ephemeral_policy_compacts_automatically() {
+        let raw = corpus();
+        let s = SearchService::new(ShardedEngine::build(&raw, engine_cfg(), 3).unwrap())
+            .with_policy(CompactionPolicy::default().compact_at_dead_ratio(0.2));
+        // Removing 4/20 sets crosses the 0.2 dead ratio: the service
+        // compacts on its own and /stats shows dense slots again.
+        let (status, _) = {
+            let req = Request::new("DELETE", "/sets", br#"{"ids": [1, 5, 9, 13]}"#.to_vec());
+            let resp = s.handle(&req);
+            (resp.status, ())
+        };
+        assert_eq!(status, 200);
+        let (_, stats) = get(&s, "/stats");
+        assert_eq!(stats.get("sets").and_then(Json::as_usize), Some(16));
+        assert_eq!(
+            stats.get("slots").and_then(Json::as_usize),
+            Some(16),
+            "auto-compaction dropped the tombstones"
+        );
+        assert_eq!(
+            stats.get("auto_compactions").and_then(Json::as_usize),
+            Some(1)
+        );
+        // Global ids survive the auto-compaction (stable-gid guarantee).
+        let (status, _) = {
+            let req = Request::new("DELETE", "/sets", br#"{"ids": [19]}"#.to_vec());
+            (s.handle(&req).status, ())
+        };
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn durable_service_logs_snapshots_and_reports_storage_stats() {
+        let dir =
+            std::env::temp_dir().join(format!("silkmoth-service-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap();
+        let store = Store::create(&dir, engine, StoreConfig::default()).unwrap();
+        let s = SearchService::durable(store);
+
+        let (status, doc) = get(&s, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("durable"), Some(&Json::Bool(true)));
+
+        let (status, doc) = post(&s, "/sets", r#"{"sets": [["durable marker"]]}"#);
+        assert_eq!(status, 200, "{doc}");
+        let (_, stats) = get(&s, "/stats");
+        let storage = stats.get("storage").expect("durable stats section");
+        assert_eq!(
+            storage.get("snapshot_seq").and_then(Json::as_usize),
+            Some(0)
+        );
+        assert_eq!(storage.get("wal_records").and_then(Json::as_usize), Some(1));
+        assert_eq!(storage.get("last_fsync_ok"), Some(&Json::Bool(true)));
+
+        // Forcing a checkpoint rotates the generation and empties the WAL.
+        let (status, doc) = post(&s, "/snapshot", "");
+        assert_eq!(status, 200, "{doc}");
+        assert_eq!(doc.get("snapshot_seq").and_then(Json::as_usize), Some(1));
+        let (_, stats) = get(&s, "/stats");
+        let storage = stats.get("storage").unwrap();
+        assert_eq!(
+            storage.get("snapshot_seq").and_then(Json::as_usize),
+            Some(1)
+        );
+        assert_eq!(storage.get("wal_records").and_then(Json::as_usize), Some(0));
+
+        // Unknown removes stay named 404s through the durable path (and
+        // are not logged: the WAL count is unchanged).
+        let req = Request::new("DELETE", "/sets", br#"{"ids": [999]}"#.to_vec());
+        assert_eq!(s.handle(&req).status, 404);
+        let (_, stats) = get(&s, "/stats");
+        let storage = stats.get("storage").unwrap();
+        assert_eq!(storage.get("wal_records").and_then(Json::as_usize), Some(0));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

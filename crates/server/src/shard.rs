@@ -78,6 +78,11 @@ pub struct ShardedDiscoveryOutput {
     pub shard_stats: Vec<PassStats>,
 }
 
+/// What [`ShardedEngine::capture`] hands back for a snapshot: the live
+/// `(gid, element texts)` pairs (ascending), the tombstoned gids
+/// (ascending), and the next gid to assign.
+pub type CapturedState = (Vec<(SetIdx, Vec<String>)>, Vec<SetIdx>, SetIdx);
+
 /// Merges per-shard stats into one (summing counters).
 pub fn merge_stats(shard_stats: &[PassStats]) -> PassStats {
     let mut total = PassStats::default();
@@ -148,9 +153,123 @@ impl ShardedEngine {
         })
     }
 
+    /// Rebuilds a sharded engine from recovered durable state: the live
+    /// sets with their stable **global** ids, the gids of tombstoned
+    /// (not yet compacted) slots, and the next gid to assign — the
+    /// [`EngineState`](silkmoth_storage::EngineState) a
+    /// `silkmoth-storage` snapshot holds.
+    ///
+    /// Both id lists must be ascending; their merge recreates each
+    /// shard's local slot order (which is always ascending-gid, for a
+    /// built *or* incrementally-grown engine). Tombstoned slots, whose
+    /// contents are gone for good, become empty placeholder sets —
+    /// no tokens, no postings, re-tombstoned before the shard engine is
+    /// built — so idempotent re-removal and per-shard compaction replay
+    /// exactly as they did on the live engine. Search output is
+    /// unaffected by the missing dead-set tokens: scores depend only on
+    /// token-equality classes (the PR 3 equivalence argument).
+    pub fn restore(
+        live: Vec<(SetIdx, Vec<String>)>,
+        dead: &[SetIdx],
+        next_gid: SetIdx,
+        cfg: EngineConfig,
+        shards: usize,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let n = shards.max(1);
+        let live_count = live.len();
+        let mut parts: Vec<Vec<Vec<String>>> = vec![Vec::new(); n];
+        let mut global_ids: Vec<Vec<SetIdx>> = vec![Vec::new(); n];
+        let mut dead_locals: Vec<Vec<SetIdx>> = vec![Vec::new(); n];
+        // Merge the two ascending id streams back into slot order.
+        let mut live = live.into_iter().peekable();
+        let mut dead = dead.iter().copied().peekable();
+        loop {
+            let take_dead = match (live.peek(), dead.peek()) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(&(lg, _)), Some(&dg)) => dg < lg,
+            };
+            let (gid, set) = if take_dead {
+                (dead.next().expect("peeked"), Vec::new())
+            } else {
+                live.next().expect("peeked")
+            };
+            let shard = shard_of(gid, n);
+            if take_dead {
+                dead_locals[shard].push(global_ids[shard].len() as SetIdx);
+            }
+            parts[shard].push(set);
+            global_ids[shard].push(gid);
+        }
+        let tokenization = cfg.tokenization();
+        let shards = parts
+            .into_iter()
+            .zip(&dead_locals)
+            .map(|(part, dead)| {
+                let mut collection = Collection::build(&part, tokenization);
+                collection
+                    .remove_sets(dead)
+                    .expect("dead locals index the slots just built");
+                Engine::new(collection, cfg)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shards,
+            global_ids,
+            cfg,
+            live: live_count,
+            next_gid,
+        })
+    }
+
+    /// The inverse of [`restore`](Self::restore): the live sets' raw
+    /// element texts keyed by global id (ascending), the tombstoned
+    /// gids (ascending), and the next gid.
+    pub fn capture(&self) -> CapturedState {
+        let mut live = Vec::with_capacity(self.live);
+        let mut dead = Vec::new();
+        for (shard, engine) in self.shards.iter().enumerate() {
+            let collection = engine.collection();
+            for local in 0..collection.len() {
+                let gid = self.global_ids[shard][local];
+                if collection.is_live(local as SetIdx) {
+                    let texts = collection
+                        .set(local as SetIdx)
+                        .elements
+                        .iter()
+                        .map(|e| e.text.to_string())
+                        .collect();
+                    live.push((gid, texts));
+                } else {
+                    dead.push(gid);
+                }
+            }
+        }
+        live.sort_unstable_by_key(|&(gid, _)| gid);
+        dead.sort_unstable();
+        (live, dead, self.next_gid)
+    }
+
+    /// True when `gid` currently addresses a slot (live or tombstoned);
+    /// compacted-away gids are gone for good.
+    pub fn has_gid(&self, gid: SetIdx) -> bool {
+        self.global_ids[shard_of(gid, self.shards.len())]
+            .binary_search(&gid)
+            .is_ok()
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total set *slots* (live + tombstoned) across all shards — with
+    /// [`len`](Self::len), the dead-slot ratio an auto-compaction
+    /// policy watches.
+    pub fn slot_count(&self) -> usize {
+        self.shards.iter().map(|e| e.collection().len()).sum()
     }
 
     /// Live sets across all shards (tombstoned sets excluded).

@@ -1,0 +1,370 @@
+//! # silkmoth-storage
+//!
+//! Durable persistence for SilkMoth engines: **snapshots + a
+//! write-ahead log** over the existing
+//! [`Update`]`::{Append, Remove, Compact}`
+//! mutation API, built entirely on `std` (files, `fsync`, atomic
+//! rename) like the rest of the workspace.
+//!
+//! ## On-disk layout
+//!
+//! A store directory holds exactly one *generation* at a time (plus,
+//! transiently, the generation being written):
+//!
+//! ```text
+//! <data-dir>/
+//!   snapshot-<seq>.smc   checkpoint: header + the live sets in the
+//!                        silkmoth-collection codec format + CRC-32
+//!   wal-<seq>.log        updates committed after snapshot <seq>:
+//!                        header, then length-prefixed, CRC-checked
+//!                        records (one encoded Update each)
+//! ```
+//!
+//! Every acknowledged [`Store::apply`] is **WAL-logged and fsync'd
+//! before the in-memory engine mutates** (the commit point); a
+//! [`Store::snapshot`] first creates the next generation's fresh WAL,
+//! then writes the checkpoint to a tempfile, `fsync`s, atomically
+//! renames it into place (the instant recovery starts preferring it —
+//! its WAL already exists), and only then retires the previous
+//! generation. Crash anywhere ⇒ recovery ([`Store::open`]) loads the
+//! newest valid snapshot and replays its WAL; a torn tail (an
+//! unacknowledged record interrupted mid-write) is detected by the
+//! record CRC and discarded.
+//!
+//! ## Recovery is differential
+//!
+//! The recovered engine is **byte-identical** — same ids, same tie
+//! order, bit-for-bit equal scores — to an in-memory engine that
+//! applied the same committed updates (and hence, by the PR 3
+//! equivalence theorem, to a fresh build over the surviving sets).
+//! Snapshots record tombstoned slot ids alongside the live sets, so
+//! idempotent re-removal and compaction renumbering replay exactly;
+//! compaction WAL records carry the id remap the live engine produced,
+//! and replay *verifies* it ([`StorageError::ReplayDivergence`]).
+//! `tests/` in this crate and `recovery_equivalence.rs` in
+//! `silkmoth-server` enforce this differentially, crash included.
+//!
+//! ## Format versioning
+//!
+//! Both file headers carry a format version (currently 1). The rule:
+//! any change to the byte layout bumps the version, and readers reject
+//! versions they don't know ([`StorageError::Corrupt`]) rather than
+//! guessing — an old binary never misreads a new store.
+//!
+//! The store is generic over [`StoreEngine`] — implemented here for the
+//! unsharded [`Engine`] and in
+//! `silkmoth-server` for its `ShardedEngine`, whose stable global ids
+//! snapshot/restore without renumbering.
+
+mod crc32;
+mod snapshot;
+mod store;
+mod wal;
+
+pub use snapshot::{load_snapshot, snapshot_bytes};
+pub use store::{ApplyReceipt, RecoveryReport, Store, StoreConfig, StoreStatus, WalDiscard};
+pub use wal::read_wal;
+
+use std::sync::Arc;
+
+use silkmoth_collection::{codec::CodecError, Collection, SetIdx, Tokenization, UpdateError};
+use silkmoth_core::{ConfigError, Engine, EngineConfig, Update, UpdateOutcome};
+
+/// Errors from the persistence layer. Everything that can go wrong on
+/// disk — corruption, torn files, replay mismatches — is a named
+/// variant; the storage layer never panics on untrusted bytes.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing (path included).
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A file failed structural validation (magic, version, CRC,
+    /// declared lengths).
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The directory has snapshot files but none of them validates.
+    NoValidSnapshot {
+        /// The store directory.
+        dir: String,
+    },
+    /// The directory holds no snapshot at all — it was never
+    /// initialized with [`Store::create`].
+    NotInitialized {
+        /// The store directory.
+        dir: String,
+    },
+    /// [`Store::create`] refused to clobber an existing store.
+    AlreadyInitialized {
+        /// The store directory.
+        dir: String,
+    },
+    /// The snapshot payload failed to decode.
+    Codec(CodecError),
+    /// The engine rejected the recovered state (e.g. the store's
+    /// tokenization does not match the serving configuration).
+    Config(ConfigError),
+    /// An update was rejected by the engine *before* being logged
+    /// (e.g. removing a set id that was never assigned). The store is
+    /// unchanged.
+    Update(UpdateError),
+    /// WAL replay produced a different outcome than the live engine
+    /// recorded — the store refuses to serve a silently divergent
+    /// engine.
+    ReplayDivergence {
+        /// Zero-based record index in the WAL.
+        record: u64,
+        /// What diverged.
+        detail: String,
+    },
+    /// The snapshot's id bookkeeping is internally inconsistent.
+    BadState(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { context, source } => write!(f, "{context}: {source}"),
+            Self::Corrupt { file, detail } => write!(f, "{file} is corrupt: {detail}"),
+            Self::NoValidSnapshot { dir } => {
+                write!(f, "no snapshot in {dir} passes validation")
+            }
+            Self::NotInitialized { dir } => {
+                write!(f, "{dir} holds no snapshot (store never created)")
+            }
+            Self::AlreadyInitialized { dir } => {
+                write!(f, "{dir} already holds a store")
+            }
+            Self::Codec(e) => write!(f, "snapshot payload: {e}"),
+            Self::Config(e) => write!(f, "recovered state rejected: {e}"),
+            Self::Update(e) => write!(f, "update rejected: {e}"),
+            Self::ReplayDivergence { record, detail } => {
+                write!(f, "WAL record {record} replayed divergently: {detail}")
+            }
+            Self::BadState(detail) => write!(f, "inconsistent snapshot state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Codec(e) => Some(e),
+            Self::Config(e) => Some(e),
+            Self::Update(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl StorageError {
+    pub(crate) fn io(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> Self {
+        let context = context.into();
+        move |source| Self::Io { context, source }
+    }
+}
+
+/// A serializable description of an engine's collection state: the live
+/// sets with their ids, the ids of tombstoned (not yet compacted)
+/// slots, and the next id to assign. What a snapshot stores and what
+/// [`StoreEngine::restore`] rebuilds from.
+///
+/// Dead ids matter for replay fidelity: removal is idempotent and
+/// compaction renumbering depends on the liveness pattern, so a
+/// restored engine must know *which* slots were tombstoned even though
+/// their contents are gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineState {
+    /// `(id, element texts)` for every live set, ascending by id.
+    pub live: Vec<(SetIdx, Vec<String>)>,
+    /// Ids of tombstoned slots, ascending.
+    pub dead: Vec<SetIdx>,
+    /// The next id the engine would assign to an appended set.
+    pub next_id: SetIdx,
+    /// The tokenization the engine's collection was built with.
+    pub tokenization: Tokenization,
+}
+
+impl EngineState {
+    /// Structural validation: both id lists strictly ascending,
+    /// mutually disjoint, and below `next_id`.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        let bad = |detail: String| Err(StorageError::BadState(detail));
+        if let Some(w) = self.live.windows(2).find(|w| w[0].0 >= w[1].0) {
+            return bad(format!("live id {} out of order", w[1].0));
+        }
+        if let Some(w) = self.dead.windows(2).find(|w| w[0] >= w[1]) {
+            return bad(format!("dead id {} out of order", w[1]));
+        }
+        let mut dead = self.dead.iter().peekable();
+        for &(id, _) in &self.live {
+            while dead.next_if(|&&d| d < id).is_some() {}
+            if dead.peek() == Some(&&id) {
+                return bad(format!("id {id} is both live and dead"));
+            }
+        }
+        if let Some(&id) = self
+            .live
+            .iter()
+            .map(|(id, _)| id)
+            .chain(&self.dead)
+            .find(|&&id| id >= self.next_id)
+        {
+            return bad(format!("id {id} is not below next id {}", self.next_id));
+        }
+        Ok(())
+    }
+}
+
+/// An engine a [`Store`] can persist: it can describe its collection as
+/// an [`EngineState`], be rebuilt from one, and pre-validate updates so
+/// nothing unreplayable is ever logged.
+///
+/// The contract the recovery harnesses enforce: for any update sequence
+/// `u1…un`, `restore(spec, capture(e))` followed by replaying `uk…un`
+/// yields an engine whose search/discover output is byte-identical to
+/// `e` after applying `u1…un` directly (where the capture happened
+/// after `u1…u(k-1)`).
+pub trait StoreEngine: Sized + Send {
+    /// Everything needed to rebuild the engine besides the data itself
+    /// (configuration, shard count, …) — supplied by the caller at
+    /// [`Store::open`], not stored on disk.
+    type Spec;
+
+    /// Rebuilds the engine from a recovered state.
+    fn restore(spec: &Self::Spec, state: EngineState) -> Result<Self, StorageError>;
+
+    /// Captures the current collection state for a snapshot.
+    fn capture(&self) -> EngineState;
+
+    /// Verifies `update` would be accepted, without mutating anything.
+    /// [`Store::apply`] calls this *before* writing the WAL record so a
+    /// rejected update (unknown id) is never logged — WAL records must
+    /// always replay.
+    fn check_update(&self, update: &Update) -> Result<(), UpdateError>;
+
+    /// Applies one update (the engine's own `apply`).
+    fn apply_update(&mut self, update: Update) -> Result<UpdateOutcome, UpdateError>;
+
+    /// The id remap the next [`Update::Compact`] will produce, `None`
+    /// for engines whose ids are stable across compaction. Logged with
+    /// the WAL record and verified on replay.
+    fn planned_remap(&self) -> Option<Vec<Option<SetIdx>>>;
+
+    /// Live (non-tombstoned) sets.
+    fn live_len(&self) -> usize;
+
+    /// Total set slots (live + tombstoned) — with
+    /// [`live_len`](Self::live_len), the input to
+    /// [`CompactionPolicy`](silkmoth_core::CompactionPolicy).
+    fn slot_len(&self) -> usize;
+}
+
+/// The unsharded engine persists directly: ids are its collection slot
+/// ids (renumbered by compaction exactly as the recorded remap says).
+impl StoreEngine for Engine {
+    type Spec = EngineConfig;
+
+    fn restore(spec: &Self::Spec, state: EngineState) -> Result<Self, StorageError> {
+        state.validate()?;
+        if state.live.len() + state.dead.len() != state.next_id as usize {
+            return Err(StorageError::BadState(format!(
+                "{} live + {} dead sets do not fill {} slots",
+                state.live.len(),
+                state.dead.len(),
+                state.next_id
+            )));
+        }
+        // Rebuild all slots in id order; tombstoned slots (whose
+        // contents are gone for good) become empty placeholder sets —
+        // they contribute no tokens and no postings, and are re-removed
+        // below, so they can never match a query. Search output is
+        // unaffected by the missing dead-set tokens: scores depend only
+        // on token-equality classes (the PR 3 equivalence argument).
+        let mut raw: Vec<Vec<String>> = vec![Vec::new(); state.next_id as usize];
+        for (id, set) in state.live {
+            raw[id as usize] = set;
+        }
+        let mut collection = Collection::build(&raw, state.tokenization);
+        collection
+            .remove_sets(&state.dead)
+            .expect("validated dead ids are in range");
+        Engine::new(collection, *spec).map_err(StorageError::Config)
+    }
+
+    fn capture(&self) -> EngineState {
+        let collection = self.collection();
+        let mut live = Vec::with_capacity(collection.live_len());
+        let mut dead = Vec::new();
+        for id in 0..collection.len() as SetIdx {
+            if collection.is_live(id) {
+                let texts = collection
+                    .set(id)
+                    .elements
+                    .iter()
+                    .map(|e| e.text.to_string())
+                    .collect();
+                live.push((id, texts));
+            } else {
+                dead.push(id);
+            }
+        }
+        EngineState {
+            live,
+            dead,
+            next_id: collection.len() as SetIdx,
+            tokenization: collection.tokenization(),
+        }
+    }
+
+    fn check_update(&self, update: &Update) -> Result<(), UpdateError> {
+        if let Update::Remove(ids) = update {
+            let slots = self.collection().len() as SetIdx;
+            if let Some(&bad) = ids.iter().find(|&&id| id >= slots) {
+                return Err(UpdateError::NoSuchSet(bad));
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_update(&mut self, update: Update) -> Result<UpdateOutcome, UpdateError> {
+        self.apply(update)
+    }
+
+    fn planned_remap(&self) -> Option<Vec<Option<SetIdx>>> {
+        let collection = self.collection();
+        let mut next = 0 as SetIdx;
+        Some(
+            (0..collection.len() as SetIdx)
+                .map(|id| {
+                    collection.is_live(id).then(|| {
+                        let new = next;
+                        next += 1;
+                        new
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    fn live_len(&self) -> usize {
+        self.collection().live_len()
+    }
+
+    fn slot_len(&self) -> usize {
+        self.collection().len()
+    }
+}
+
+#[allow(dead_code)]
+fn _engine_store_is_send(s: Store<Engine>) -> Arc<dyn Send> {
+    Arc::new(s)
+}

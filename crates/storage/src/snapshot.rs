@@ -1,0 +1,220 @@
+//! Snapshot files: one self-validating checkpoint of an engine's
+//! [`EngineState`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    "SMSS"                       4 bytes
+//! version  u32 (currently 1)            4 bytes
+//! seq      u64 — generation number      8 bytes
+//! next_id  u32                          4 bytes
+//! n_live   u32                          4 bytes
+//! n_dead   u32                          4 bytes
+//! live ids u32 × n_live (ascending)
+//! dead ids u32 × n_dead (ascending)
+//! payload_len u64
+//! payload  silkmoth_collection::codec::encode_sets of the live sets'
+//!          element texts, in live-id order (carries the tokenization)
+//! crc32    u32 over every preceding byte
+//! ```
+//!
+//! The payload reuses the collection codec wholesale, so a snapshot's
+//! data section is exactly the `.smc` corpus format the CLI and bench
+//! harness already read and write; the wrapper adds what durability
+//! needs on top: the id bookkeeping (dead slots, next id) and an
+//! end-to-end CRC.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use silkmoth_collection::codec;
+use silkmoth_collection::SetIdx;
+
+use crate::crc32::crc32;
+use crate::{EngineState, StorageError};
+
+const SNAP_MAGIC: &[u8; 4] = b"SMSS";
+const SNAP_VERSION: u32 = 1;
+
+/// Serializes one snapshot generation to bytes.
+pub fn snapshot_bytes(seq: u64, state: &EngineState) -> Vec<u8> {
+    let sets: Vec<&Vec<String>> = state.live.iter().map(|(_, set)| set).collect();
+    let payload = codec::encode_sets(&sets, state.tokenization);
+    let mut out =
+        Vec::with_capacity(44 + 4 * (state.live.len() + state.dead.len()) + payload.len());
+    out.extend_from_slice(SNAP_MAGIC);
+    out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&state.next_id.to_le_bytes());
+    out.extend_from_slice(&(state.live.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(state.dead.len() as u32).to_le_bytes());
+    for &(id, _) in &state.live {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    for &id in &state.dead {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses and fully validates snapshot bytes: magic, version, CRC,
+/// declared lengths, id ordering. Returns the generation number and the
+/// recovered state.
+pub fn parse_snapshot(bytes: &[u8], file: &str) -> Result<(u64, EngineState), StorageError> {
+    let corrupt = |detail: String| StorageError::Corrupt {
+        file: file.to_owned(),
+        detail,
+    };
+    if bytes.len() < 4 || &bytes[..4] != SNAP_MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    if bytes.len() < 28 + 8 + 4 {
+        return Err(corrupt("truncated header".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != SNAP_VERSION {
+        return Err(corrupt(format!(
+            "unknown snapshot format version {version}"
+        )));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let want_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != want_crc {
+        return Err(corrupt("CRC mismatch".into()));
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let next_id = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let n_live = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
+    let n_dead = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")) as usize;
+    let ids_end = 28usize
+        .checked_add(4 * (n_live + n_dead))
+        .ok_or_else(|| corrupt("id counts overflow".into()))?;
+    if body.len() < ids_end + 8 {
+        return Err(corrupt("declared id lists past end of file".into()));
+    }
+    let read_ids = |from: usize, n: usize| -> Vec<SetIdx> {
+        (0..n)
+            .map(|i| {
+                u32::from_le_bytes(
+                    body[from + 4 * i..from + 4 * i + 4]
+                        .try_into()
+                        .expect("4 bytes"),
+                )
+            })
+            .collect()
+    };
+    let live_ids = read_ids(28, n_live);
+    let dead = read_ids(28 + 4 * n_live, n_dead);
+    let payload_len =
+        u64::from_le_bytes(body[ids_end..ids_end + 8].try_into().expect("8 bytes")) as usize;
+    if body.len() != ids_end + 8 + payload_len {
+        return Err(corrupt(format!(
+            "payload length {payload_len} does not match file size"
+        )));
+    }
+    let (sets, tokenization) =
+        codec::decode_sets(&body[ids_end + 8..]).map_err(StorageError::Codec)?;
+    if sets.len() != n_live {
+        return Err(corrupt(format!(
+            "payload holds {} sets but header declares {n_live}",
+            sets.len()
+        )));
+    }
+    let state = EngineState {
+        live: live_ids.into_iter().zip(sets).collect(),
+        dead,
+        next_id,
+        tokenization,
+    };
+    state.validate()?;
+    Ok((seq, state))
+}
+
+/// Reads and validates one snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<(u64, EngineState), StorageError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(StorageError::io(format!("reading {}", path.display())))?;
+    parse_snapshot(&bytes, &path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silkmoth_collection::Tokenization;
+
+    fn state() -> EngineState {
+        EngineState {
+            live: vec![
+                (0, vec!["a b".into(), "c".into()]),
+                (2, vec!["d e f".into()]),
+                (5, vec![]),
+            ],
+            dead: vec![1, 3, 4],
+            next_id: 6,
+            tokenization: Tokenization::Whitespace,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = state();
+        let bytes = snapshot_bytes(7, &s);
+        let (seq, back) = parse_snapshot(&bytes, "test").unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn every_truncation_is_an_error() {
+        let bytes = snapshot_bytes(1, &state());
+        for cut in 0..bytes.len() {
+            assert!(
+                parse_snapshot(&bytes[..cut], "test").is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_an_error() {
+        // The trailing CRC covers every byte, so any single-byte
+        // corruption must be rejected (a flip inside the CRC field
+        // itself included).
+        let bytes = snapshot_bytes(3, &state());
+        let mut copy = bytes.clone();
+        for i in 0..copy.len() {
+            copy[i] ^= 0x40;
+            assert!(parse_snapshot(&copy, "test").is_err(), "flip at {i}");
+            copy[i] = bytes[i];
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected_by_name() {
+        let mut bytes = snapshot_bytes(1, &state());
+        bytes[4] = 9;
+        let err = parse_snapshot(&bytes, "test").unwrap_err();
+        // Version is checked before the CRC so the message names the
+        // real problem, not a checksum mismatch.
+        assert!(err.to_string().contains("version 9"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_id_lists_rejected() {
+        let mut s = state();
+        s.dead.push(0); // 0 is live
+        s.dead.sort_unstable();
+        let bytes = snapshot_bytes(1, &s);
+        assert!(matches!(
+            parse_snapshot(&bytes, "test"),
+            Err(StorageError::BadState(_))
+        ));
+    }
+}

@@ -1,0 +1,462 @@
+//! The durable store: an engine plus its snapshot/WAL generation on
+//! disk, with crash recovery and policy-driven auto-compaction and
+//! auto-snapshots. See the crate docs for the layout and guarantees.
+
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
+
+use silkmoth_core::wire::encode_update;
+use silkmoth_core::{CompactionPolicy, Update, UpdateOutcome};
+
+use crate::snapshot::{load_snapshot, snapshot_bytes};
+use crate::wal::{read_wal, WalWriter};
+use crate::{StorageError, StoreEngine};
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Fsync every WAL record before acknowledging it (the durability
+    /// guarantee). Disable only for tests or bulk loads that accept
+    /// losing the tail on a crash.
+    pub sync: bool,
+    /// When to auto-compact (tombstone ratio) and auto-snapshot (WAL
+    /// length). [`CompactionPolicy::DISABLED`] turns both off.
+    pub policy: CompactionPolicy,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            sync: true,
+            policy: CompactionPolicy::DISABLED,
+        }
+    }
+}
+
+/// A torn or corrupt WAL suffix discarded during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalDiscard {
+    /// Byte offset where the valid prefix ends.
+    pub offset: u64,
+    /// How many bytes were discarded.
+    pub bytes: u64,
+    /// Why reading stopped.
+    pub reason: String,
+}
+
+/// What [`Store::open`] recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The generation that was loaded.
+    pub snapshot_seq: u64,
+    /// Committed WAL records replayed on top of the snapshot.
+    pub wal_replayed: u64,
+    /// Discarded torn/corrupt WAL suffix, if any.
+    pub wal_discarded: Option<WalDiscard>,
+    /// Newer snapshot generations that failed validation and were
+    /// skipped (0 in healthy operation).
+    pub snapshots_skipped: u64,
+}
+
+/// What one [`Store::apply`] did beyond the update itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyReceipt {
+    /// The engine's outcome for the caller's update.
+    pub outcome: UpdateOutcome,
+    /// The policy triggered an automatic [`Update::Compact`] afterwards.
+    pub auto_compacted: bool,
+    /// The policy triggered an automatic snapshot; the new generation.
+    pub auto_snapshot: Option<u64>,
+}
+
+/// Live observability counters for `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStatus {
+    /// Current snapshot generation.
+    pub snapshot_seq: u64,
+    /// Records in the current WAL.
+    pub wal_records: u64,
+    /// Whether the most recent WAL fsync (or fsync-less append)
+    /// succeeded — `false` means the last update was **not** durably
+    /// acknowledged.
+    pub last_fsync_ok: bool,
+    /// Automatic compactions since open.
+    pub auto_compactions: u64,
+    /// Automatic snapshots since open.
+    pub auto_snapshots: u64,
+}
+
+/// A durable engine: every acknowledged update is WAL-logged (fsync'd)
+/// *before* the in-memory engine mutates, and
+/// [`snapshot`](Store::snapshot) checkpoints + rotates generations
+/// atomically. Generic over [`StoreEngine`].
+#[derive(Debug)]
+pub struct Store<E: StoreEngine> {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    engine: E,
+    wal: WalWriter,
+    seq: u64,
+    wal_records: u64,
+    last_fsync_ok: bool,
+    auto_compactions: u64,
+    auto_snapshots: u64,
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq}.smc"))
+}
+
+fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq}.log"))
+}
+
+/// All snapshot generation numbers present in `dir`, descending.
+fn list_generations(dir: &Path) -> Result<Vec<u64>, StorageError> {
+    let mut seqs = Vec::new();
+    let entries =
+        fs::read_dir(dir).map_err(StorageError::io(format!("listing {}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(StorageError::io(format!("listing {}", dir.display())))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("snapshot-")
+            .and_then(|s| s.strip_suffix(".smc"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(seqs)
+}
+
+/// Fsyncs the directory itself so renames and creations inside it are
+/// durable (no-op on platforms where directories cannot be opened).
+fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    #[cfg(unix)]
+    {
+        let f = File::open(dir).map_err(StorageError::io(format!("opening {}", dir.display())))?;
+        f.sync_all()
+            .map_err(StorageError::io(format!("fsyncing {}", dir.display())))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+impl<E: StoreEngine> Store<E> {
+    /// Initializes a fresh store in `dir` (created if missing) from an
+    /// already-built engine: writes generation 0 (snapshot + empty WAL)
+    /// and returns the running store. Refuses to clobber a directory
+    /// that already holds a store.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        engine: E,
+        cfg: StoreConfig,
+    ) -> Result<Self, StorageError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(StorageError::io(format!("creating {}", dir.display())))?;
+        if !list_generations(&dir)?.is_empty() {
+            return Err(StorageError::AlreadyInitialized {
+                dir: dir.display().to_string(),
+            });
+        }
+        let wal = write_generation(&dir, 0, &engine)?;
+        sync_dir(&dir)?;
+        Ok(Self {
+            dir,
+            cfg,
+            engine,
+            wal,
+            seq: 0,
+            wal_records: 0,
+            last_fsync_ok: true,
+            auto_compactions: 0,
+            auto_snapshots: 0,
+        })
+    }
+
+    /// Recovers a store from `dir`: loads the newest snapshot that
+    /// validates, replays its WAL's committed records, truncates any
+    /// torn tail, and retires stale generations. `spec` supplies what
+    /// the snapshot doesn't store (engine configuration, shard count).
+    ///
+    /// Structural damage falls back (older generation, shorter WAL
+    /// prefix) and is reported; *semantic* damage — a record that
+    /// replays divergently, a configuration that rejects the data — is
+    /// a hard error, because serving anyway would silently diverge.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        spec: &E::Spec,
+        cfg: StoreConfig,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let dir = dir.into();
+        let generations = if dir.is_dir() {
+            list_generations(&dir)?
+        } else {
+            Vec::new()
+        };
+        if generations.is_empty() {
+            return Err(StorageError::NotInitialized {
+                dir: dir.display().to_string(),
+            });
+        }
+        let mut skipped = 0u64;
+        for &seq in &generations {
+            let path = snapshot_path(&dir, seq);
+            let state = match load_snapshot(&path) {
+                Ok((file_seq, state)) if file_seq == seq => state,
+                // A snapshot whose header seq disagrees with its file
+                // name is as untrustworthy as a bad CRC: skip it.
+                Ok(_)
+                | Err(StorageError::Corrupt { .. })
+                | Err(StorageError::Codec(_))
+                | Err(StorageError::BadState(_)) => {
+                    skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut engine = E::restore(spec, state)?;
+
+            let wpath = wal_path(&dir, seq);
+            let replay = if wpath.exists() {
+                read_wal(&wpath, seq)?
+            } else {
+                // The WAL is created (and fsync'd) before its snapshot
+                // is renamed into place, so a missing WAL can only
+                // mean an externally pruned file — with zero committed
+                // records to lose, treat it as empty and recreate it.
+                crate::wal::WalReplay {
+                    entries: Vec::new(),
+                    valid_len: 0,
+                    discarded: None,
+                }
+            };
+            let replayed = replay.entries.len() as u64;
+            for (i, entry) in replay.entries.into_iter().enumerate() {
+                let recorded_remap = entry.remap;
+                let outcome = engine.apply_update(entry.update).map_err(|e| {
+                    StorageError::ReplayDivergence {
+                        record: i as u64,
+                        detail: format!("engine rejected committed update: {e}"),
+                    }
+                })?;
+                if recorded_remap.is_some() && outcome.remap != recorded_remap {
+                    return Err(StorageError::ReplayDivergence {
+                        record: i as u64,
+                        detail: "compaction remap differs from the recorded one".into(),
+                    });
+                }
+            }
+            let wal = WalWriter::reopen(&wpath, seq, replay.valid_len)?;
+
+            let store = Self {
+                engine,
+                wal,
+                seq,
+                wal_records: replayed,
+                last_fsync_ok: true,
+                auto_compactions: 0,
+                auto_snapshots: 0,
+                cfg,
+                dir,
+            };
+            store.retire_generations_before(seq);
+            return Ok((
+                store,
+                RecoveryReport {
+                    snapshot_seq: seq,
+                    wal_replayed: replayed,
+                    wal_discarded: replay.discarded,
+                    snapshots_skipped: skipped,
+                },
+            ));
+        }
+        Err(StorageError::NoValidSnapshot {
+            dir: dir.display().to_string(),
+        })
+    }
+
+    /// The recovered/served engine (all mutation goes through
+    /// [`apply`](Self::apply) so it is WAL-logged — hence no `&mut`
+    /// accessor).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current generation + WAL counters.
+    pub fn status(&self) -> StoreStatus {
+        StoreStatus {
+            snapshot_seq: self.seq,
+            wal_records: self.wal_records,
+            last_fsync_ok: self.last_fsync_ok,
+            auto_compactions: self.auto_compactions,
+            auto_snapshots: self.auto_snapshots,
+        }
+    }
+
+    /// Applies one update durably: pre-validates it, appends the WAL
+    /// record, fsyncs (the commit point — an error here means the
+    /// update is **not** acknowledged), then mutates the engine.
+    /// Afterwards the configured policy may trigger an automatic
+    /// compaction and/or snapshot, reported in the receipt.
+    pub fn apply(&mut self, update: Update) -> Result<ApplyReceipt, StorageError> {
+        let outcome = self.log_and_apply(update)?;
+        let mut receipt = ApplyReceipt {
+            outcome,
+            auto_compacted: false,
+            auto_snapshot: None,
+        };
+        if self
+            .cfg
+            .policy
+            .should_compact(self.engine.live_len(), self.engine.slot_len())
+        {
+            self.log_and_apply(Update::Compact)?;
+            self.auto_compactions += 1;
+            receipt.auto_compacted = true;
+        }
+        if self.cfg.policy.should_snapshot(self.wal_records) {
+            let seq = self.snapshot()?;
+            self.auto_snapshots += 1;
+            receipt.auto_snapshot = Some(seq);
+        }
+        Ok(receipt)
+    }
+
+    /// The WAL-then-mutate core of [`apply`](Self::apply).
+    fn log_and_apply(&mut self, update: Update) -> Result<UpdateOutcome, StorageError> {
+        self.engine
+            .check_update(&update)
+            .map_err(StorageError::Update)?;
+        let planned_remap = match update {
+            Update::Compact => self.engine.planned_remap(),
+            _ => None,
+        };
+        let mut payload = Vec::new();
+        encode_update(&update, planned_remap.as_deref(), &mut payload);
+        if let Err(e) = self.wal.append(&payload, self.cfg.sync) {
+            self.last_fsync_ok = false;
+            return Err(e);
+        }
+        self.last_fsync_ok = true;
+        self.wal_records += 1;
+        let outcome = self
+            .engine
+            .apply_update(update)
+            .expect("update passed check_update");
+        if planned_remap.is_some() && outcome.remap != planned_remap {
+            // The engine renumbered differently than it predicted — a
+            // bug, and the WAL now holds the prediction. Refuse to
+            // continue on a state recovery cannot reproduce.
+            return Err(StorageError::ReplayDivergence {
+                record: self.wal_records - 1,
+                detail: "compaction remap differs from the logged prediction".into(),
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Writes a new snapshot generation and rotates the WAL: fresh WAL
+    /// first, then the snapshot via tempfile + fsync + atomic rename
+    /// (the commit point — recovery prefers the new generation from
+    /// that instant, and its WAL already exists), directory fsync, and
+    /// finally the old generation is retired. Returns the new
+    /// generation number.
+    ///
+    /// On an error *before* the rename, the store keeps running on the
+    /// old generation untouched. A directory-fsync failure *after* the
+    /// rename is ambiguous — a crash could recover either generation —
+    /// so the store switches to the new generation but **poisons its
+    /// WAL**: no further update can be acknowledged into a generation
+    /// that might not survive, and the old one is left on disk.
+    pub fn snapshot(&mut self) -> Result<u64, StorageError> {
+        let new_seq = self.seq + 1;
+        let mut new_wal = write_generation(&self.dir, new_seq, &self.engine)?;
+        self.seq = new_seq;
+        self.wal_records = 0;
+        let committed = sync_dir(&self.dir);
+        if let Err(e) = &committed {
+            new_wal.poison(format!(
+                "generation {new_seq} rename not durably synced: {e}"
+            ));
+            self.wal = new_wal;
+            self.last_fsync_ok = false;
+        } else {
+            self.wal = new_wal;
+            self.retire_generations_before(new_seq);
+        }
+        committed.map(|()| new_seq)
+    }
+
+    /// Best-effort removal of every generation older than `keep` (plus
+    /// stray tempfiles). Failures are ignored: stale files are retried
+    /// on the next rotation and are harmless to recovery, which always
+    /// prefers the newest valid generation.
+    fn retire_generations_before(&self, keep: u64) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale_snapshot = name
+                .strip_prefix("snapshot-")
+                .and_then(|s| s.strip_suffix(".smc"))
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|seq| seq < keep);
+            let stale_wal = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|seq| seq < keep);
+            if stale_snapshot || stale_wal || name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Prepares and commits generation `seq` for `engine` into `dir`:
+///
+/// 1. a fresh WAL (header written + fsync'd) — created **before** the
+///    snapshot so there is no instant where recovery prefers a
+///    generation whose log does not exist while acknowledged records
+///    still flow into the previous one;
+/// 2. the snapshot, via tempfile + fsync + atomic rename into place —
+///    the commit point.
+///
+/// The caller fsyncs the directory afterwards to make the rename
+/// durable ([`Store::create`] and [`Store::snapshot`] each own that
+/// step's failure policy). Any error *here* leaves the previous
+/// generation authoritative: an orphan WAL without its snapshot is
+/// inert (recovery keys off snapshot files) and is truncated by the
+/// next attempt, and a leftover tempfile is swept by retirement.
+fn write_generation<E: StoreEngine>(
+    dir: &Path,
+    seq: u64,
+    engine: &E,
+) -> Result<WalWriter, StorageError> {
+    let wal = WalWriter::create(&wal_path(dir, seq), seq)?;
+    sync_dir(dir)?;
+    let state = engine.capture();
+    let bytes = snapshot_bytes(seq, &state);
+    let final_path = snapshot_path(dir, seq);
+    let tmp_path = dir.join(format!("snapshot-{seq}.smc.tmp"));
+    let err = |what: &str, p: &Path| StorageError::io(format!("{what} {}", p.display()));
+    fs::write(&tmp_path, &bytes).map_err(err("writing", &tmp_path))?;
+    let f = File::open(&tmp_path).map_err(err("opening", &tmp_path))?;
+    f.sync_all().map_err(err("fsyncing", &tmp_path))?;
+    drop(f);
+    fs::rename(&tmp_path, &final_path).map_err(err("renaming into", &final_path))?;
+    Ok(wal)
+}

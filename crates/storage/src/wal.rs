@@ -1,0 +1,262 @@
+//! The write-ahead log: one file per snapshot generation, holding the
+//! updates committed since that snapshot.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    "SMWL"                          4 bytes
+//! version  u32 (currently 1)               4 bytes
+//! seq      u64 — the base snapshot's seq   8 bytes
+//! records…
+//!
+//! record := payload_len u32 | crc32(payload) u32 | payload
+//! payload: one encoded Update (silkmoth_core::wire), with the
+//!          compaction remap piggybacked for Compact records
+//! ```
+//!
+//! A record is **committed** once its bytes are on disk (the store
+//! `fsync`s before acknowledging), so recovery treats a structurally
+//! invalid *suffix* — short prefix, length past end-of-file, CRC
+//! mismatch — as a torn, unacknowledged tail: replay stops there, the
+//! discard is reported, and the file is truncated back to the valid
+//! prefix before new records are appended. The writer maintains the
+//! same invariant on its side: a failed append (partial write, fsync
+//! error) rolls the file back to the last committed offset, so torn
+//! bytes can never sit *between* committed records.
+//!
+//! Damage that cannot be a torn tail is a hard error, never a silent
+//! discard: an unknown format version, a corrupt magic/seq on a file
+//! that **holds records** (the header is written and fsync'd before
+//! any record is ever acknowledged, so no crash produces that shape),
+//! or a CRC-valid record that fails to decode. Only a header-only file
+//! with a bad header — the torn-creation window — is discarded whole.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use silkmoth_core::wire::{decode_update, DecodedUpdate};
+
+use crate::crc32::crc32;
+use crate::store::WalDiscard;
+use crate::StorageError;
+
+pub(crate) const WAL_MAGIC: &[u8; 4] = b"SMWL";
+pub(crate) const WAL_VERSION: u32 = 1;
+pub(crate) const WAL_HEADER_LEN: u64 = 16;
+
+/// What reading a WAL produced: the committed records, how far the
+/// valid prefix reaches, and why reading stopped early (if it did).
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every committed record, in append order.
+    pub entries: Vec<DecodedUpdate>,
+    /// Byte length of the valid prefix (header + committed records).
+    pub valid_len: u64,
+    /// The discarded torn tail, when the file did not end cleanly.
+    pub discarded: Option<WalDiscard>,
+}
+
+/// Reads and validates a WAL file against its expected base snapshot
+/// `seq`. See the module docs for the tail-handling policy: a short or
+/// corrupt header on a file with **no** records is the torn-creation
+/// crash window and is discarded whole (empty replay, `valid_len ==
+/// 0`); a corrupt header on a file that holds record bytes is a hard
+/// [`StorageError::Corrupt`], because discarding it would silently
+/// drop committed records.
+pub fn read_wal(path: &Path, seq: u64) -> Result<WalReplay, StorageError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(StorageError::io(format!("reading {}", path.display())))?;
+
+    let has_records = bytes.len() > WAL_HEADER_LEN as usize;
+    let discard_all = |reason: String| WalReplay {
+        entries: Vec::new(),
+        valid_len: 0,
+        discarded: Some(WalDiscard {
+            offset: 0,
+            bytes: bytes.len() as u64,
+            reason,
+        }),
+    };
+    let corrupt_header = |detail: String| StorageError::Corrupt {
+        file: path.display().to_string(),
+        detail: format!("{detail} on a WAL holding records"),
+    };
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Ok(discard_all("short header".into()));
+    }
+    if &bytes[..4] != WAL_MAGIC {
+        if has_records {
+            return Err(corrupt_header("bad magic".into()));
+        }
+        return Ok(discard_all("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        // Unknown versions are a hard error, not a discard: silently
+        // dropping a future format's committed records would lose data.
+        return Err(StorageError::Corrupt {
+            file: path.display().to_string(),
+            detail: format!("unknown WAL format version {version}"),
+        });
+    }
+    let file_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if file_seq != seq {
+        let detail = format!("header seq {file_seq} does not match snapshot seq {seq}");
+        if has_records {
+            return Err(corrupt_header(detail));
+        }
+        return Ok(discard_all(detail));
+    }
+
+    let mut entries = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut discarded = None;
+    while pos < bytes.len() {
+        let tail = |reason: String| WalDiscard {
+            offset: pos as u64,
+            bytes: (bytes.len() - pos) as u64,
+            reason,
+        };
+        if bytes.len() - pos < 8 {
+            discarded = Some(tail("torn record frame".into()));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let want_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > bytes.len() - pos - 8 {
+            discarded = Some(tail(format!("record length {len} past end of file")));
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != want_crc {
+            discarded = Some(tail("record CRC mismatch".into()));
+            break;
+        }
+        let entry = decode_update(payload).map_err(|e| StorageError::Corrupt {
+            file: path.display().to_string(),
+            detail: format!("CRC-valid record {} undecodable: {e}", entries.len()),
+        })?;
+        entries.push(entry);
+        pos += 8 + len;
+    }
+    Ok(WalReplay {
+        entries,
+        valid_len: pos as u64,
+        discarded,
+    })
+}
+
+/// An open WAL being appended to. The file is held in **append mode**,
+/// so every write — including the first one after a rollback
+/// truncation — lands exactly at end-of-file.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    file: File,
+    path: PathBuf,
+    /// Bytes of the file known to hold only the header plus complete,
+    /// successfully appended records — the rollback point for a failed
+    /// append.
+    committed_len: u64,
+    /// Set when a failed append could not be rolled back: the file may
+    /// hold torn bytes that later records would land *behind*, so the
+    /// writer refuses everything until the store is reopened (recovery
+    /// truncates the tail).
+    poisoned: Option<String>,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL containing only the header, synced to disk.
+    pub(crate) fn create(path: &Path, seq: u64) -> Result<Self, StorageError> {
+        let err = || StorageError::io(format!("creating {}", path.display()));
+        {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)
+                .map_err(err())?;
+            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+            header.extend_from_slice(&seq.to_le_bytes());
+            file.write_all(&header).map_err(err())?;
+            file.sync_all().map_err(err())?;
+        }
+        let file = OpenOptions::new().append(true).open(path).map_err(err())?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            committed_len: WAL_HEADER_LEN,
+            poisoned: None,
+        })
+    }
+
+    /// Reopens an existing WAL for appending, first truncating it to
+    /// `valid_len` (or recreating the header when the whole file was
+    /// discarded) so a torn tail can never precede new records.
+    pub(crate) fn reopen(path: &Path, seq: u64, valid_len: u64) -> Result<Self, StorageError> {
+        if valid_len < WAL_HEADER_LEN {
+            return Self::create(path, seq);
+        }
+        let err = || StorageError::io(format!("reopening {}", path.display()));
+        let file = OpenOptions::new().append(true).open(path).map_err(err())?;
+        file.set_len(valid_len).map_err(err())?;
+        file.sync_all().map_err(err())?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            committed_len: valid_len,
+            poisoned: None,
+        })
+    }
+
+    /// Appends one record (frame + payload in a single write) and, when
+    /// `sync`, fsyncs it — the commit point the store acknowledges. On
+    /// failure the file is rolled back to the last committed offset, so
+    /// a partially written (or written-but-unsynced, hence
+    /// unacknowledged) record can never precede a later acknowledged
+    /// one; if even the rollback fails, the writer poisons itself.
+    pub(crate) fn append(&mut self, payload: &[u8], sync: bool) -> Result<(), StorageError> {
+        if let Some(why) = &self.poisoned {
+            return Err(StorageError::Io {
+                context: format!("WAL {} is poisoned", self.path.display()),
+                source: std::io::Error::other(why.clone()),
+            });
+        }
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        let context = format!("appending to {}", self.path.display());
+        let result = self.file.write_all(&record).and_then(|()| {
+            if sync {
+                self.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        match result {
+            Ok(()) => {
+                self.committed_len += record.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                if let Err(rollback) = self.file.set_len(self.committed_len) {
+                    self.poison(format!(
+                        "append failed ({e}) and rollback truncation failed ({rollback})"
+                    ));
+                }
+                Err(StorageError::Io { context, source: e })
+            }
+        }
+    }
+
+    /// Marks the writer unusable; every later [`append`](Self::append)
+    /// fails until the store is reopened.
+    pub(crate) fn poison(&mut self, why: String) {
+        self.poisoned = Some(why);
+    }
+}

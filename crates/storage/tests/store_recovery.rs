@@ -1,0 +1,306 @@
+//! Store lifecycle tests over the unsharded [`Engine`]: create → apply
+//! → crash (drop) → open must recover an engine **byte-identical** to
+//! the in-memory engine that executed the same committed updates, and
+//! the generation rotation / auto-policy machinery must behave.
+//!
+//! (The full random-interleaving differential harness — including
+//! shard counts {1, 2, 7} — lives in
+//! `crates/server/tests/recovery_equivalence.rs`; this file pins the
+//! storage semantics themselves.)
+
+use std::path::PathBuf;
+
+use silkmoth_collection::Collection;
+use silkmoth_core::{
+    CompactionPolicy, Engine, EngineConfig, RelatednessMetric, Update, UpdateError,
+};
+use silkmoth_storage::{load_snapshot, StorageError, Store, StoreConfig, StoreEngine};
+use silkmoth_text::SimilarityFunction;
+
+fn cfg() -> EngineConfig {
+    EngineConfig::full(
+        RelatednessMetric::Similarity,
+        SimilarityFunction::Jaccard,
+        0.5,
+        0.0,
+    )
+}
+
+fn base_sets() -> Vec<Vec<String>> {
+    (0..8)
+        .map(|i| {
+            (0..2)
+                .map(|j| format!("w{} w{} shared{}", (i * 2 + j) % 5, (i + j) % 3, i % 4))
+                .collect()
+        })
+        .collect()
+}
+
+fn fresh_engine(raw: &[Vec<String>]) -> Engine {
+    Engine::new(Collection::build(raw, cfg().tokenization()), cfg()).unwrap()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "silkmoth-store-recovery-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Search output as comparable (id, score bits) pairs.
+fn search_bits(engine: &Engine, elems: &[&str]) -> Vec<(u32, u64)> {
+    let r = engine.collection().encode_set(elems);
+    engine
+        .search(&r)
+        .results
+        .into_iter()
+        .map(|(sid, score)| (sid, score.to_bits()))
+        .collect()
+}
+
+/// Asserts two engines agree byte-for-byte on state and on a few
+/// searches.
+fn assert_engines_identical(got: &Engine, want: &Engine, what: &str) {
+    assert_eq!(got.capture(), want.capture(), "{what}: collection state");
+    for probe in [
+        vec!["w0 w1 shared0", "w2 w0 shared2"],
+        vec!["w4 w2 shared3"],
+        vec!["nothing matches this"],
+        vec!["fresh unique marker"],
+    ] {
+        assert_eq!(
+            search_bits(got, &probe),
+            search_bits(want, &probe),
+            "{what}: search {probe:?}"
+        );
+    }
+}
+
+#[test]
+fn crash_recovery_replays_the_wal() {
+    let dir = temp_dir("replay");
+    let raw = base_sets();
+    let updates = vec![
+        Update::Append(vec![
+            vec!["fresh unique marker".into()],
+            vec!["w0 w1".into()],
+        ]),
+        Update::Remove(vec![1, 3]),
+        Update::Remove(vec![1]), // idempotent re-remove is committed too
+        Update::Compact,
+        Update::Append(vec![vec!["post compact set".into()]]),
+        Update::Remove(vec![0]),
+    ];
+
+    let mut store = Store::create(&dir, fresh_engine(&raw), StoreConfig::default()).unwrap();
+    let mut mirror = fresh_engine(&raw);
+    for u in &updates {
+        store.apply(u.clone()).unwrap();
+        mirror.apply(u.clone()).unwrap();
+    }
+    assert_eq!(store.status().wal_records, updates.len() as u64);
+    assert!(store.status().last_fsync_ok);
+    drop(store); // crash: no snapshot was ever taken after creation
+
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), StoreConfig::default()).unwrap();
+    assert_eq!(report.snapshot_seq, 0);
+    assert_eq!(report.wal_replayed, updates.len() as u64);
+    assert_eq!(report.wal_discarded, None);
+    assert_eq!(report.snapshots_skipped, 0);
+    assert_engines_identical(store.engine(), &mirror, "recovered vs in-memory");
+
+    // Skipping WAL replay (snapshot only) would NOT reproduce the
+    // state — i.e. the replay step is load-bearing in this test.
+    let (seq, snap_state) = load_snapshot(&dir.join("snapshot-0.smc")).unwrap();
+    assert_eq!(seq, 0);
+    let snapshot_only = Engine::restore(&cfg(), snap_state).unwrap();
+    assert_ne!(snapshot_only.capture(), mirror.capture());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_rotates_generations_atomically() {
+    let dir = temp_dir("rotate");
+    let raw = base_sets();
+    let mut store = Store::create(&dir, fresh_engine(&raw), StoreConfig::default()).unwrap();
+    let mut mirror = fresh_engine(&raw);
+    for u in [
+        Update::Append(vec![vec!["alpha beta".into()]]),
+        Update::Remove(vec![2]),
+    ] {
+        store.apply(u.clone()).unwrap();
+        mirror.apply(u).unwrap();
+    }
+    let seq = store.snapshot().unwrap();
+    assert_eq!(seq, 1);
+    assert_eq!(store.status().wal_records, 0, "WAL rotated");
+    // The old generation is retired, the new one is on disk.
+    assert!(!dir.join("snapshot-0.smc").exists());
+    assert!(!dir.join("wal-0.log").exists());
+    assert!(dir.join("snapshot-1.smc").exists());
+    assert!(dir.join("wal-1.log").exists());
+
+    // More updates on the new generation, then crash + recover.
+    store
+        .apply(Update::Append(vec![vec!["gamma delta".into()]]))
+        .unwrap();
+    mirror
+        .apply(Update::Append(vec![vec!["gamma delta".into()]]))
+        .unwrap();
+    drop(store);
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), StoreConfig::default()).unwrap();
+    assert_eq!(report.snapshot_seq, 1);
+    assert_eq!(report.wal_replayed, 1);
+    assert_engines_identical(store.engine(), &mirror, "post-rotation recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn policy_drives_auto_compaction_and_auto_snapshot() {
+    let dir = temp_dir("policy");
+    let raw = base_sets();
+    let store_cfg = StoreConfig {
+        sync: true,
+        policy: CompactionPolicy::default()
+            .compact_at_dead_ratio(0.25)
+            .snapshot_at_wal_records(4),
+    };
+    let mut store = Store::create(&dir, fresh_engine(&raw), store_cfg).unwrap();
+
+    // One removal of 2/8 sets = ratio 0.25: exactly at the threshold,
+    // so the policy compacts right away (and logs the compaction).
+    let receipt = store.apply(Update::Remove(vec![0, 5])).unwrap();
+    assert!(receipt.auto_compacted);
+    assert_eq!(receipt.auto_snapshot, None, "2 records < threshold 4");
+    assert_eq!(store.engine().slot_len(), 6, "compacted away the dead");
+    assert_eq!(store.status().wal_records, 2, "remove + compact logged");
+
+    // Two more updates reach the WAL threshold: auto-snapshot fires and
+    // resets the WAL.
+    store
+        .apply(Update::Append(vec![vec!["one more".into()]]))
+        .unwrap();
+    let receipt = store
+        .apply(Update::Append(vec![vec!["and another".into()]]))
+        .unwrap();
+    assert_eq!(receipt.auto_snapshot, Some(1));
+    assert_eq!(store.status().wal_records, 0);
+    assert_eq!(store.status().auto_compactions, 1);
+    assert_eq!(store.status().auto_snapshots, 1);
+
+    // The recovered store matches an in-memory engine that performed
+    // the same (auto-included) updates.
+    let mut mirror = fresh_engine(&raw);
+    mirror.apply(Update::Remove(vec![0, 5])).unwrap();
+    mirror.apply(Update::Compact).unwrap();
+    mirror
+        .apply(Update::Append(vec![vec!["one more".into()]]))
+        .unwrap();
+    mirror
+        .apply(Update::Append(vec![vec!["and another".into()]]))
+        .unwrap();
+    drop(store);
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), store_cfg).unwrap();
+    assert_eq!(report.snapshot_seq, 1);
+    assert_eq!(report.wal_replayed, 0, "snapshot already holds it all");
+    assert_engines_identical(store.engine(), &mirror, "auto-policy recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejected_updates_are_never_logged() {
+    let dir = temp_dir("rejected");
+    let raw = base_sets();
+    let mut store = Store::create(&dir, fresh_engine(&raw), StoreConfig::default()).unwrap();
+    let err = store.apply(Update::Remove(vec![2, 99])).unwrap_err();
+    assert!(
+        matches!(err, StorageError::Update(UpdateError::NoSuchSet(99))),
+        "{err}"
+    );
+    assert_eq!(store.status().wal_records, 0, "nothing was logged");
+    assert!(
+        store.engine().collection().is_live(2),
+        "nothing was applied"
+    );
+    drop(store);
+    // …so recovery has nothing to trip over.
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), StoreConfig::default()).unwrap();
+    assert_eq!(report.wal_replayed, 0);
+    assert_eq!(store.engine().live_len(), 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn create_refuses_existing_store_and_open_refuses_empty_dir() {
+    let dir = temp_dir("guards");
+    let raw = base_sets();
+    let store = Store::create(&dir, fresh_engine(&raw), StoreConfig::default()).unwrap();
+    drop(store);
+    let err = Store::create(&dir, fresh_engine(&raw), StoreConfig::default()).unwrap_err();
+    assert!(
+        matches!(err, StorageError::AlreadyInitialized { .. }),
+        "{err}"
+    );
+
+    let empty = temp_dir("guards-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let err = Store::<Engine>::open(&empty, &cfg(), StoreConfig::default()).unwrap_err();
+    assert!(matches!(err, StorageError::NotInitialized { .. }), "{err}");
+    // A directory that does not exist at all reads the same way.
+    let missing = temp_dir("guards-missing");
+    let err = Store::<Engine>::open(&missing, &cfg(), StoreConfig::default()).unwrap_err();
+    assert!(matches!(err, StorageError::NotInitialized { .. }), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+#[test]
+fn mismatched_serving_config_is_a_named_error() {
+    let dir = temp_dir("tokmismatch");
+    let raw = base_sets();
+    let store = Store::create(&dir, fresh_engine(&raw), StoreConfig::default()).unwrap();
+    drop(store);
+    // The store holds whitespace-tokenized data; opening it for edit
+    // similarity (q-gram tokenization) must fail by name, not serve
+    // garbage.
+    let edit_cfg = EngineConfig::full(
+        RelatednessMetric::Similarity,
+        SimilarityFunction::Eds { q: 2 },
+        0.5,
+        0.0,
+    );
+    let err = Store::<Engine>::open(&dir, &edit_cfg, StoreConfig::default()).unwrap_err();
+    assert!(matches!(err, StorageError::Config(_)), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unsynced_stores_still_recover_what_reached_disk() {
+    let dir = temp_dir("nosync");
+    let raw = base_sets();
+    let store_cfg = StoreConfig {
+        sync: false,
+        policy: CompactionPolicy::DISABLED,
+    };
+    let mut store = Store::create(&dir, fresh_engine(&raw), store_cfg).unwrap();
+    let mut mirror = fresh_engine(&raw);
+    for u in [
+        Update::Append(vec![vec!["x y z".into()]]),
+        Update::Remove(vec![0]),
+    ] {
+        store.apply(u.clone()).unwrap();
+        mirror.apply(u).unwrap();
+    }
+    // A clean drop flushes the File buffers (there is no process
+    // crash here), so recovery still sees both records — sync=false
+    // only weakens the guarantee under a real kill/power-cut.
+    drop(store);
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), store_cfg).unwrap();
+    assert_eq!(report.wal_replayed, 2);
+    assert_engines_identical(store.engine(), &mirror, "unsynced recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}

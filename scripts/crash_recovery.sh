@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# Crash-recovery soak test for `silkmoth serve --data-dir`.
+#
+# Loops for a fixed number of rounds with a fixed seed:
+#   1. start the durable server (first round initializes the store),
+#   2. issue random acknowledged updates (appends / removes / compacts /
+#      forced snapshots) over HTTP, recording each acked one,
+#   3. `kill -9` the server (no graceful shutdown — the WAL tail must
+#      carry everything),
+#   4. restart from --data-dir alone and check /stats matches the
+#      expected live count.
+#
+# After the last round a REFERENCE server is built fresh from the seed
+# input and fed the exact same acked update sequence in-memory; the
+# recovered durable server and the reference must return identical
+# search results (ids and scores) for a panel of probe references.
+# Any divergence fails the script.
+#
+# Usage: scripts/crash_recovery.sh [rounds] [updates-per-round]
+# Env:   SILKMOTH=path/to/silkmoth (default: target/release/silkmoth)
+
+set -euo pipefail
+
+ROUNDS="${1:-5}"
+UPDATES="${2:-12}"
+SEED=20170711 # fixed: the soak is reproducible run-to-run
+SILKMOTH="${SILKMOTH:-target/release/silkmoth}"
+PORT=7741
+REF_PORT=7742
+WORK="$(mktemp -d)"
+STORE="$WORK/store"
+INPUT="$WORK/seed.sets"
+OPS="$WORK/ops.jsonl" # every acknowledged update, in order
+SERVER_PID=""
+REF_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    [ -n "$REF_PID" ] && kill -9 "$REF_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# Deterministic RNG: bash's $RANDOM re-seeded from a fixed seed.
+RANDOM=$SEED
+
+wait_healthy() {
+    local port="$1"
+    for _ in $(seq 1 100); do
+        if curl -sf "localhost:$port/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    die "server on port $port never became healthy"
+}
+
+# --- seed input: 20 sets of 2 elements each --------------------------------
+: >"$INPUT"
+for i in $(seq 0 19); do
+    echo "w$((i % 7)) w$(((i + 3) % 5)) shared$((i % 4))|w$(((i * 3) % 11)) shared$(((i + 1) % 4))" >>"$INPUT"
+done
+: >"$OPS"
+
+# Track the expected live set count; gids are assigned monotonically so
+# the shell can mirror the numbering: base 0..19, appends continue it.
+NEXT_GID=20
+declare -A LIVE
+for i in $(seq 0 19); do LIVE[$i]=1; done
+
+live_count() { echo "${#LIVE[@]}"; }
+
+random_live_gid() {
+    local keys=("${!LIVE[@]}")
+    echo "${keys[$((RANDOM % ${#keys[@]}))]}"
+}
+
+issue_updates() {
+    local port="$1" n="$2"
+    for _ in $(seq 1 "$n"); do
+        local roll=$((RANDOM % 100))
+        if [ "$roll" -lt 45 ]; then
+            local body="{\"sets\": [[\"w$((RANDOM % 9)) shared$((RANDOM % 4))\", \"w$((RANDOM % 9)) w$((RANDOM % 6))\"]]}"
+            curl -sf -X POST "localhost:$port/sets" -d "$body" >/dev/null ||
+                die "append not acknowledged"
+            echo "POST /sets $body" >>"$OPS"
+            LIVE[$NEXT_GID]=1
+            NEXT_GID=$((NEXT_GID + 1))
+        elif [ "$roll" -lt 75 ] && [ "$(live_count)" -gt 2 ]; then
+            local gid
+            gid=$(random_live_gid)
+            curl -sf -X DELETE "localhost:$port/sets" -d "{\"ids\": [$gid]}" >/dev/null ||
+                die "remove of live gid $gid not acknowledged"
+            echo "DELETE /sets {\"ids\": [$gid]}" >>"$OPS"
+            unset "LIVE[$gid]"
+        elif [ "$roll" -lt 90 ]; then
+            curl -sf -X POST "localhost:$port/compact" >/dev/null ||
+                die "compact not acknowledged"
+            echo "POST /compact" >>"$OPS"
+        else
+            # Durable-only: force a checkpoint (not replayed on the
+            # reference, where it would be a 409 and changes nothing).
+            curl -sf -X POST "localhost:$port/snapshot" >/dev/null ||
+                die "snapshot not acknowledged"
+        fi
+    done
+}
+
+check_sets() {
+    local port="$1" want got
+    want="$(live_count)"
+    got=$(curl -sf "localhost:$port/stats" | jq .sets)
+    [ "$got" = "$want" ] || die "port $port reports $got sets, expected $want"
+}
+
+# --- the soak ---------------------------------------------------------------
+for round in $(seq 1 "$ROUNDS"); do
+    if [ "$round" -eq 1 ]; then
+        "$SILKMOTH" serve --input "$INPUT" --data-dir "$STORE" --port "$PORT" \
+            --shards 3 --threads 2 --delta 0.4 &
+    else
+        "$SILKMOTH" serve --data-dir "$STORE" --port "$PORT" \
+            --shards 3 --threads 2 --delta 0.4 &
+    fi
+    SERVER_PID=$!
+    wait_healthy "$PORT"
+    check_sets "$PORT" # recovery restored the previous round's state
+    issue_updates "$PORT" "$UPDATES"
+    check_sets "$PORT"
+    kill -9 "$SERVER_PID"
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+    echo "# round $round ok: killed with $(live_count) live sets on disk"
+done
+
+# --- final recovery + differential check vs a reference rebuild -------------
+"$SILKMOTH" serve --data-dir "$STORE" --port "$PORT" --shards 3 --threads 2 --delta 0.4 &
+SERVER_PID=$!
+"$SILKMOTH" serve --input "$INPUT" --port "$REF_PORT" --shards 1 --threads 2 --delta 0.4 &
+REF_PID=$!
+wait_healthy "$PORT"
+wait_healthy "$REF_PORT"
+check_sets "$PORT"
+
+# Replay every acked update against the reference (same order, same
+# bodies → same gids, since ids are assigned monotonically).
+while IFS=' ' read -r method path body; do
+    if [ -n "$body" ]; then
+        curl -sf -X "$method" "localhost:$REF_PORT$path" -d "$body" >/dev/null ||
+            die "reference replay rejected: $method $path $body"
+    else
+        curl -sf -X "$method" "localhost:$REF_PORT$path" >/dev/null ||
+            die "reference replay rejected: $method $path"
+    fi
+done <"$OPS"
+check_sets "$REF_PORT"
+
+# Probe panel: results (ids + scores) must match exactly. Pass stats
+# may legitimately differ (pruning depends on index internals), so only
+# the "results" field is compared.
+for probe in \
+    '{"reference": ["w0 w3 shared0", "w3 shared1"], "floor": 0.1}' \
+    '{"reference": ["w1 w4 shared1"], "k": 5, "floor": 0.0}' \
+    '{"reference": ["w6 shared3", "w9 w2"], "floor": 0.3}' \
+    '{"reference": ["nothing matches this probe"], "floor": 0.0}'; do
+    got=$(curl -sf -X POST "localhost:$PORT/search" -d "$probe" | jq -S .results)
+    want=$(curl -sf -X POST "localhost:$REF_PORT/search" -d "$probe" | jq -S .results)
+    if [ "$got" != "$want" ]; then
+        echo "probe: $probe" >&2
+        echo "recovered: $got" >&2
+        echo "reference: $want" >&2
+        die "recovered server diverges from the reference rebuild"
+    fi
+done
+
+echo "PASS: $ROUNDS rounds × $UPDATES updates, kill -9 each round, recovery byte-identical on the probe panel"

@@ -20,15 +20,20 @@
 //! silkmoth discover --input titles.sets --phi eds --alpha 0.8 --delta 0.8
 //! silkmoth stats    --input data.sets
 //! silkmoth serve    --input lake.sets --port 7700 --shards 4 --threads 8
+//! silkmoth serve    --input lake.sets --data-dir ./lake-store --compact-ratio 0.3
+//! silkmoth serve    --data-dir ./lake-store   # later: recover, no --input needed
 //! silkmoth update   --input lake.sets --append new.sets --remove 3,17 --output lake.sets
 //! ```
 
 use silkmoth::{
-    Collection, Engine, EngineConfig, FilterKind, RelatednessMetric, ShardedEngine,
-    SignatureScheme, SimilarityFunction, Tokenization,
+    Collection, CompactionPolicy, Engine, EngineConfig, FilterKind, RelatednessMetric, ShardSpec,
+    ShardedEngine, SignatureScheme, SimilarityFunction, StorageError, Store, StoreConfig,
+    Tokenization,
 };
+use silkmoth_server::SearchService;
 use std::io::Read;
 use std::process::exit;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Cli {
@@ -53,6 +58,11 @@ struct Cli {
     addr: String,
     port: u16,
     shards: usize,
+    data_dir: Option<String>,
+    compact_ratio: Option<f64>,
+    snapshot_every: Option<u64>,
+    max_inflight_updates: Option<usize>,
+    no_fsync: bool,
 }
 
 const USAGE: &str = "\
@@ -86,10 +96,23 @@ options:
   --addr A            serve: bind address             (default: 127.0.0.1)
   --port P            serve: TCP port                 (default: 7700)
   --shards N          serve: engine shards, >= 1      (default: 4)
+  --data-dir DIR      serve: run durable — recover the collection from
+                      DIR (snapshot + WAL) or, when DIR is empty,
+                      initialize it from --input; every update is
+                      WAL-logged + fsync'd before it is acknowledged
+  --compact-ratio R   auto-compact when dead/slots >= R in [0,1]
+                      (works with and without --data-dir)
+  --snapshot-every N  durable: auto-snapshot once the WAL holds N
+                      records (default: 4096; requires --data-dir)
+  --max-inflight-updates N
+                      serve: reject updates beyond N in flight with
+                      503 + Retry-After instead of queuing unboundedly
+  --no-fsync          durable: skip the per-update fsync (faster bulk
+                      loads; a crash may lose the unsynced tail)
 
 serve exposes POST /search, POST /discover, POST /sets, DELETE /sets,
-POST /compact, GET /stats, GET /healthz (JSON wire format; see the
-README for the schema and curl examples).
+POST /compact, POST /snapshot (durable), GET /stats, GET /healthz
+(JSON wire format; see the README for the schema and curl examples).
 
 update applies --append and/or --remove to the collection through the
 incremental-update layer, compacts it, and writes the surviving sets
@@ -134,6 +157,11 @@ fn parse_cli() -> Cli {
         addr: "127.0.0.1".into(),
         port: 7700,
         shards: 4,
+        data_dir: None,
+        compact_ratio: None,
+        snapshot_every: None,
+        max_inflight_updates: None,
+        no_fsync: false,
     };
     while let Some(a) = args.next() {
         let mut val = || opt_value(&mut args, &a);
@@ -192,6 +220,31 @@ fn parse_cli() -> Cli {
             "--addr" => cli.addr = val(),
             "--port" => cli.port = val().parse().unwrap_or_else(|_| fail("bad --port")),
             "--shards" => cli.shards = val().parse().unwrap_or_else(|_| fail("bad --shards")),
+            "--data-dir" => cli.data_dir = Some(val()),
+            "--compact-ratio" => {
+                let r: f64 = val()
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --compact-ratio"));
+                if !(0.0..=1.0).contains(&r) {
+                    fail("--compact-ratio must be in [0, 1]");
+                }
+                cli.compact_ratio = Some(r);
+            }
+            "--snapshot-every" => {
+                cli.snapshot_every = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --snapshot-every")),
+                )
+            }
+            "--max-inflight-updates" => {
+                cli.max_inflight_updates = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --max-inflight-updates")),
+                )
+            }
+            "--no-fsync" => cli.no_fsync = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -260,8 +313,9 @@ fn run_update(cli: &Cli, raw: &[Vec<String>], tokenization: Tokenization) {
     }
 }
 
-fn main() {
-    let cli = parse_cli();
+/// Reads the (required) `--input` sets file, failing with a named
+/// error when missing or empty.
+fn read_required_input(cli: &Cli) -> Vec<Vec<String>> {
     let input = cli
         .input
         .clone()
@@ -270,7 +324,124 @@ fn main() {
     if raw.is_empty() {
         fail("input contains no sets");
     }
+    raw
+}
 
+/// `silkmoth serve`: ephemeral, or durable when `--data-dir` is given —
+/// a populated data dir is recovered (snapshot + WAL replay; `--input`
+/// is not needed), an empty one is initialized from `--input`.
+fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
+    if cli.shards == 0 {
+        fail("--shards must be at least 1");
+    }
+    let cfg = EngineConfig {
+        metric: cli.metric,
+        similarity,
+        delta: cli.delta,
+        alpha: cli.alpha,
+        scheme: cli.scheme,
+        filter: cli.filter,
+        reduction: !cli.no_reduction,
+    };
+    let mut policy = CompactionPolicy::default();
+    if let Some(r) = cli.compact_ratio {
+        policy = policy.compact_at_dead_ratio(r);
+    }
+    if cli.snapshot_every.is_some() && cli.data_dir.is_none() {
+        fail("--snapshot-every requires --data-dir");
+    }
+    if cli.no_fsync && cli.data_dir.is_none() {
+        fail("--no-fsync requires --data-dir");
+    }
+
+    let service = match &cli.data_dir {
+        Some(dir) => {
+            // Snapshots are what bound WAL growth, so durable serving
+            // defaults to a checkpoint every 4096 records.
+            policy = policy.snapshot_at_wal_records(cli.snapshot_every.unwrap_or(4096));
+            let store_cfg = StoreConfig {
+                sync: !cli.no_fsync,
+                policy,
+            };
+            let spec = ShardSpec {
+                cfg,
+                shards: cli.shards,
+            };
+            match Store::open(dir, &spec, store_cfg) {
+                Ok((store, report)) => {
+                    eprintln!(
+                        "# recovered {dir}: snapshot {} + {} WAL records replayed{}",
+                        report.snapshot_seq,
+                        report.wal_replayed,
+                        match &report.wal_discarded {
+                            Some(d) => format!(" ({} torn bytes discarded: {})", d.bytes, d.reason),
+                            None => String::new(),
+                        }
+                    );
+                    if cli.input.is_some() {
+                        eprintln!("# note: --input ignored, {dir} already holds the collection");
+                    }
+                    SearchService::durable(store)
+                }
+                Err(StorageError::NotInitialized { .. }) => {
+                    if cli.input.is_none() {
+                        fail(&format!(
+                            "{dir} holds no store yet; pass --input to initialize it"
+                        ));
+                    }
+                    let raw = read_required_input(cli);
+                    let engine = ShardedEngine::build(&raw, cfg, cli.shards)
+                        .unwrap_or_else(|e| fail(&e.to_string()));
+                    let store = Store::create(dir, engine, store_cfg)
+                        .unwrap_or_else(|e| fail(&e.to_string()));
+                    eprintln!("# initialized durable store in {dir}");
+                    SearchService::durable(store)
+                }
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        None => {
+            let raw = read_required_input(cli);
+            let engine = ShardedEngine::build(&raw, cfg, cli.shards)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            SearchService::new(engine).with_policy(policy)
+        }
+    };
+    let service = match cli.max_inflight_updates {
+        Some(n) => service.with_max_inflight_updates(n),
+        None => service,
+    };
+    let service = Arc::new(service);
+
+    let threads = match cli.threads {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    };
+    let (sets, shards) = {
+        let engine = service.engine();
+        (engine.len(), engine.shard_count())
+    };
+    let durable = cli.data_dir.is_some();
+    let bind = format!("{}:{}", cli.addr, cli.port);
+    let server = silkmoth::server::serve_service(service, bind.as_str(), threads)
+        .unwrap_or_else(|e| fail(&format!("binding {bind}: {e}")));
+    eprintln!(
+        "# silkmoth-server listening on http://{} — {} sets, {} shards, {} workers{}",
+        server.addr(),
+        sets,
+        shards,
+        threads,
+        if durable { ", durable" } else { "" },
+    );
+    eprintln!(
+        "# endpoints: POST /search, POST /discover, POST /sets, DELETE /sets, \
+         POST /compact, POST /snapshot, GET /stats, GET /healthz"
+    );
+    server.wait();
+}
+
+fn main() {
+    let cli = parse_cli();
     let similarity = match cli.phi.as_str() {
         "jaccard" => SimilarityFunction::Jaccard,
         "dice" => SimilarityFunction::Dice,
@@ -289,46 +460,15 @@ fn main() {
         SimilarityFunction::Eds { q } | SimilarityFunction::NEds { q } => Tokenization::QGram { q },
         _ => Tokenization::Whitespace,
     };
-    if cli.command == "update" {
-        run_update(&cli, &raw, tokenization);
+
+    if cli.command == "serve" {
+        run_serve(&cli, similarity);
         return;
     }
 
-    if cli.command == "serve" {
-        if cli.shards == 0 {
-            fail("--shards must be at least 1");
-        }
-        let cfg = EngineConfig {
-            metric: cli.metric,
-            similarity,
-            delta: cli.delta,
-            alpha: cli.alpha,
-            scheme: cli.scheme,
-            filter: cli.filter,
-            reduction: !cli.no_reduction,
-        };
-        let engine =
-            ShardedEngine::build(&raw, cfg, cli.shards).unwrap_or_else(|e| fail(&e.to_string()));
-        let threads = match cli.threads {
-            0 => std::thread::available_parallelism().map_or(1, usize::from),
-            n => n,
-        };
-        let (sets, shards) = (engine.len(), engine.shard_count());
-        let bind = format!("{}:{}", cli.addr, cli.port);
-        let server = silkmoth::server::serve(engine, bind.as_str(), threads)
-            .unwrap_or_else(|e| fail(&format!("binding {bind}: {e}")));
-        eprintln!(
-            "# silkmoth-server listening on http://{} — {} sets, {} shards, {} workers",
-            server.addr(),
-            sets,
-            shards,
-            threads,
-        );
-        eprintln!(
-            "# endpoints: POST /search, POST /discover, POST /sets, DELETE /sets, \
-             POST /compact, GET /stats, GET /healthz"
-        );
-        server.wait();
+    let raw = read_required_input(&cli);
+    if cli.command == "update" {
+        run_update(&cli, &raw, tokenization);
         return;
     }
 

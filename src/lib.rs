@@ -20,7 +20,12 @@
 //! * [`server`] — the network service: [`ShardedEngine`] scatter-gather
 //!   over hash-partitioned engine shards (output identical to one
 //!   unsharded engine) behind a multi-threaded HTTP/1.1 front
-//!   (`silkmoth serve`, or [`server::serve`] from code).
+//!   (`silkmoth serve`, or [`server::serve`] from code);
+//! * [`storage`] — durable snapshots + write-ahead log with crash
+//!   recovery and auto-compaction ([`Store`], `silkmoth serve
+//!   --data-dir`): every acknowledged update survives `kill -9`, and
+//!   recovery is provably byte-identical to the engine that served the
+//!   updates.
 //!
 //! ## Example
 //!
@@ -72,17 +77,19 @@ pub use silkmoth_core as core;
 pub use silkmoth_datagen as datagen;
 pub use silkmoth_matching as matching;
 pub use silkmoth_server as server;
+pub use silkmoth_storage as storage;
 pub use silkmoth_text as text;
 
 pub use silkmoth_collection::{
     Collection, Element, InvertedIndex, SetIdx, SetRecord, Tokenization, UpdateError,
 };
 pub use silkmoth_core::{
-    brute, ConfigError, DiscoveryOutput, Engine, EngineBuilder, EngineConfig, FilterKind,
-    PassStats, Query, QueryIter, RelatedPair, RelatednessMetric, SearchOutput, SignatureScheme,
-    Update, UpdateOutcome,
+    brute, CompactionPolicy, ConfigError, DiscoveryOutput, Engine, EngineBuilder, EngineConfig,
+    FilterKind, PassStats, Query, QueryIter, RelatedPair, RelatednessMetric, SearchOutput,
+    SignatureScheme, Update, UpdateOutcome,
 };
 pub use silkmoth_datagen::{ColumnsConfig, DblpConfig, SchemaConfig};
 pub use silkmoth_matching::{max_weight_assignment, WeightMatrix};
-pub use silkmoth_server::{ShardedDiscoveryOutput, ShardedEngine, ShardedSearchOutput};
+pub use silkmoth_server::{ShardSpec, ShardedDiscoveryOutput, ShardedEngine, ShardedSearchOutput};
+pub use silkmoth_storage::{StorageError, Store, StoreConfig, StoreEngine};
 pub use silkmoth_text::SimilarityFunction;
