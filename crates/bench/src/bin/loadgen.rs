@@ -1,16 +1,22 @@
-//! `loadgen` — drives concurrent `/search` traffic against a running
-//! `silkmoth serve` instance over real TCP and reports throughput and
-//! latency percentiles.
+//! `loadgen` — drives concurrent `/search` (or, with `--batch N`,
+//! `/search/batch`) traffic against a running `silkmoth serve` instance
+//! over real TCP and reports throughput and latency percentiles.
 //!
 //! ```text
 //! silkmoth serve --input data.sets --port 7700 --shards 4 &
 //! loadgen --addr 127.0.0.1:7700 --threads 8 --requests 200 --k 10 --floor 0.3
+//! loadgen --addr 127.0.0.1:7700 --batch 16 --requests 50
 //! ```
 //!
 //! References are drawn from the deterministic datagen schema workload
 //! (`--sets` controls its size), so runs are reproducible without a
 //! dataset file. Each worker thread holds one keep-alive connection and
 //! issues requests back to back — the closed-loop load model.
+//!
+//! With `--batch N` each HTTP request carries N query specs; the report
+//! then shows **per-request** latency percentiles alongside the
+//! amortized **per-query** latency (request latency / N), which is what
+//! the batch API buys.
 
 use silkmoth_server::json::{obj, Json};
 use silkmoth_server::read_simple_response;
@@ -26,6 +32,7 @@ struct Opts {
     k: usize,
     floor: f64,
     sets: usize,
+    batch: usize,
 }
 
 const USAGE: &str = "\
@@ -38,6 +45,8 @@ options:
   --k K          top-k per search                       (default: 10)
   --floor F      relatedness floor per search           (default: 0.3)
   --sets N       datagen corpus size to draw references from (default: 200)
+  --batch N      queries per request: 1 posts /search, >1 posts
+                 /search/batch with N specs per body    (default: 1)
 ";
 
 fn fail(msg: &str) -> ! {
@@ -54,6 +63,7 @@ fn parse_opts() -> Opts {
         k: 10,
         floor: 0.3,
         sets: 200,
+        batch: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,6 +80,7 @@ fn parse_opts() -> Opts {
             "--k" => opts.k = val().parse().unwrap_or_else(|_| fail("bad --k")),
             "--floor" => opts.floor = val().parse().unwrap_or_else(|_| fail("bad --floor")),
             "--sets" => opts.sets = val().parse().unwrap_or_else(|_| fail("bad --sets")),
+            "--batch" => opts.batch = val().parse().unwrap_or_else(|_| fail("bad --batch")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -80,19 +91,23 @@ fn parse_opts() -> Opts {
     if opts.addr.is_empty() {
         fail("--addr is required");
     }
+    if opts.batch == 0 {
+        fail("--batch must be at least 1");
+    }
     opts
 }
 
-fn post_search(
+fn post(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     addr: &str,
+    path: &str,
     body: &str,
 ) -> Result<(u16, Vec<u8>), String> {
     // One write_all for the whole request: write! would issue a syscall
     // (and a TCP segment) per format fragment.
     let request = format!(
-        "POST /search HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\n\r\n{body}",
         body.len(),
     );
@@ -131,6 +146,26 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx]
 }
 
+/// Counts `results` rows in a `/search` body, or across every entry of
+/// a `/search/batch` `outputs` array.
+fn count_results(body: &[u8]) -> usize {
+    let Some(doc) = std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| Json::parse(t).ok())
+    else {
+        return 0;
+    };
+    let one = |d: &Json| {
+        d.get("results")
+            .and_then(Json::as_array)
+            .map_or(0, <[_]>::len)
+    };
+    match doc.get("outputs").and_then(Json::as_array) {
+        Some(outputs) => outputs.iter().map(one).sum(),
+        None => one(&doc),
+    }
+}
+
 fn main() {
     let opts = parse_opts();
     if let Err(e) = healthcheck(&opts.addr) {
@@ -143,7 +178,7 @@ fn main() {
         num_sets: opts.sets,
         ..Default::default()
     });
-    let references: Vec<String> = corpus
+    let specs: Vec<Json> = corpus
         .iter()
         .map(|set| {
             let elems: Vec<Json> = set
@@ -156,13 +191,29 @@ fn main() {
                 ("k", Json::Num(opts.k as f64)),
                 ("floor", Json::Num(opts.floor)),
             ])
-            .to_string()
         })
         .collect();
+    // Pre-render every request body this run can issue: /search takes
+    // one spec, /search/batch a window of `--batch` consecutive specs.
+    let (path, bodies): (&str, Vec<String>) = if opts.batch == 1 {
+        ("/search", specs.iter().map(Json::to_string).collect())
+    } else {
+        let batched = specs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let window: Vec<Json> = (0..opts.batch)
+                    .map(|j| specs[(i + j) % specs.len()].clone())
+                    .collect();
+                obj(vec![("queries", Json::Arr(window))]).to_string()
+            })
+            .collect();
+        ("/search/batch", batched)
+    };
 
     eprintln!(
-        "# {} threads x {} requests against {} (k={}, floor={})",
-        opts.threads, opts.requests, opts.addr, opts.k, opts.floor
+        "# {} threads x {} requests x {} queries/request against {}{} (k={}, floor={})",
+        opts.threads, opts.requests, opts.batch, opts.addr, path, opts.k, opts.floor
     );
     let t0 = Instant::now();
     let mut all_latencies: Vec<Duration> = Vec::new();
@@ -171,7 +222,7 @@ fn main() {
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.threads)
             .map(|tid| {
-                let references = &references;
+                let bodies = &bodies;
                 let opts = &opts;
                 scope.spawn(move || {
                     let mut latencies = Vec::with_capacity(opts.requests);
@@ -188,18 +239,12 @@ fn main() {
                     };
                     let mut reader = BufReader::new(clone);
                     for i in 0..opts.requests {
-                        let body = &references[(tid * opts.requests + i) % references.len()];
+                        let body = &bodies[(tid * opts.requests + i) % bodies.len()];
                         let start = Instant::now();
-                        match post_search(&mut stream, &mut reader, &opts.addr, body) {
+                        match post(&mut stream, &mut reader, &opts.addr, path, body) {
                             Ok((200, resp)) => {
                                 latencies.push(start.elapsed());
-                                results += std::str::from_utf8(&resp)
-                                    .ok()
-                                    .and_then(|t| Json::parse(t).ok())
-                                    .and_then(|d| {
-                                        d.get("results").and_then(Json::as_array).map(<[_]>::len)
-                                    })
-                                    .unwrap_or(0);
+                                results += count_results(&resp);
                             }
                             Ok((status, _)) => {
                                 eprintln!("# thread {tid}: request {i} got HTTP {status}");
@@ -236,22 +281,37 @@ fn main() {
         Duration::ZERO
     };
     println!(
-        "requests {} ok {} errors {} in {:.3}s  ({:.1} req/s, {} result rows)",
+        "requests {} ok {} errors {} in {:.3}s  ({:.1} req/s, {:.1} queries/s, {} result rows)",
         opts.threads * opts.requests,
         ok,
         errors,
         elapsed.as_secs_f64(),
         ok as f64 / elapsed.as_secs_f64(),
+        (ok * opts.batch) as f64 / elapsed.as_secs_f64(),
         total_results,
     );
     println!(
-        "latency ms  mean {:.2}  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+        "per-request latency ms  mean {:.2}  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
         ms(mean),
         ms(percentile(&all_latencies, 0.50)),
         ms(percentile(&all_latencies, 0.90)),
         ms(percentile(&all_latencies, 0.99)),
         ms(percentile(&all_latencies, 1.0)),
     );
+    if opts.batch > 1 {
+        // The amortized cost of one query inside a batch — the number to
+        // compare against the per-request line of a --batch 1 run.
+        let per_query = |d: Duration| ms(d) / opts.batch as f64;
+        println!(
+            "per-query  latency ms  mean {:.2}  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}  (batch {})",
+            per_query(mean),
+            per_query(percentile(&all_latencies, 0.50)),
+            per_query(percentile(&all_latencies, 0.90)),
+            per_query(percentile(&all_latencies, 0.99)),
+            per_query(percentile(&all_latencies, 1.0)),
+            opts.batch,
+        );
+    }
     if errors > 0 {
         exit(1);
     }

@@ -2,11 +2,15 @@
 //! (Problems 1–2, Algorithm 3).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::builder::EngineBuilder;
 use crate::config::{ConfigError, EngineConfig, RelatednessMetric};
+use crate::explain::explain_pair;
 use crate::filter::{PassStats, Restriction, Searcher};
-use crate::query::Query;
+use crate::query::{Query, QueryIter};
+use crate::rank::rank_top_k;
+use crate::spec::{QueryOutput, QuerySpec};
 use silkmoth_collection::{Collection, InvertedIndex, SetIdx, SetRecord, UpdateError};
 
 /// One related pair found by discovery.
@@ -225,6 +229,109 @@ impl Engine {
         Query::new(self, r)
     }
 
+    /// Executes one [`QuerySpec`] — the owned, serializable query
+    /// description every layer of the stack shares. The reference is
+    /// encoded against this engine's dictionary, the pass runs through
+    /// the same chunked filter/verify loop as [`Query::iter`], and the
+    /// output is **byte-identical** (ids, tie order, bit-equal scores)
+    /// to the equivalent fluent-builder query.
+    ///
+    /// Infallible: a [`QuerySpec`] is validated at construction, so
+    /// there is nothing left to reject here.
+    pub fn execute(&self, spec: &QuerySpec) -> QueryOutput {
+        self.execute_until(spec, None)
+    }
+
+    /// [`execute`](Self::execute) with an additional absolute deadline
+    /// `cap` (e.g. a server's whole-request budget): execution stops at
+    /// the earlier of the spec's own budget and `cap`, returning a
+    /// truncated output flagged [`QueryOutput::timed_out`].
+    pub fn execute_until(&self, spec: &QuerySpec, cap: Option<Instant>) -> QueryOutput {
+        let r = self.collection.encode_set(spec.reference());
+        self.execute_encoded(spec, &r, cap)
+    }
+
+    /// The shared execution core: runs a validated spec over an
+    /// already-encoded reference. [`Query::run`] lowers to this with its
+    /// borrowed record, [`execute`](Self::execute) after encoding the
+    /// spec's raw strings — one code path, so the two can never drift.
+    pub(crate) fn execute_encoded(
+        &self,
+        spec: &QuerySpec,
+        r: &SetRecord,
+        cap: Option<Instant>,
+    ) -> QueryOutput {
+        // The budget clock starts here and covers the whole execution,
+        // explanations included.
+        let deadline = spec.deadline_at(cap);
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        let mut iter = QueryIter::stage(self, r, spec, deadline);
+        let mut hits: Vec<(SetIdx, f64)> = iter.by_ref().collect();
+        match spec.top_k() {
+            Some(k) => rank_top_k(&mut hits, k),
+            None => hits.sort_unstable_by_key(|&(sid, _)| sid),
+        }
+        let stats = iter.stats();
+        let mut timed_out = iter.timed_out();
+        let mut explanations = Vec::new();
+        if spec.want_explain() {
+            let cfg = spec.effective_cfg(self.config());
+            explanations.reserve(hits.len());
+            for &(sid, _) in &hits {
+                // Explaining re-derives the filter pipeline plus an
+                // O(n³) matching per hit, so it honors the same budget:
+                // on expiry the (hit-aligned) prefix computed so far is
+                // returned and the output is flagged.
+                if expired() {
+                    timed_out = true;
+                    break;
+                }
+                explanations.push((
+                    sid,
+                    explain_pair(r, self.collection.set(sid), &cfg, &self.index),
+                ));
+            }
+        }
+        QueryOutput {
+            hits,
+            stats,
+            timed_out,
+            explanations,
+        }
+    }
+
+    /// Executes a batch of specs across `threads` workers (0 = available
+    /// parallelism) via the same scoped-thread fan-out as
+    /// [`discover_parallel`](Self::discover_parallel), returning one
+    /// [`QueryOutput`] per spec in input order. Each spec's deadline
+    /// budget starts when *its* execution starts on a worker.
+    pub fn execute_batch(&self, specs: &[QuerySpec], threads: usize) -> Vec<QueryOutput> {
+        self.execute_batch_until(specs, threads, None)
+    }
+
+    /// [`execute_batch`](Self::execute_batch) with a shared absolute
+    /// deadline `cap` bounding the whole batch (each query additionally
+    /// honors its own budget).
+    pub fn execute_batch_until(
+        &self,
+        specs: &[QuerySpec],
+        threads: usize,
+        cap: Option<Instant>,
+    ) -> Vec<QueryOutput> {
+        // A whole query is worth a thread: parallelize down to one spec
+        // per worker (as the pre-QuerySpec CLI search path did), unlike
+        // discovery's cheap per-pass unit.
+        let workers = resolve_threads(threads).min(specs.len());
+        fan_out_ranges(specs.len(), workers, |range| {
+            range
+                .map(|i| self.execute_until(&specs[i], cap))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// RELATED SET SEARCH (Problem 2): all sets related to reference `r`
     /// at the engine's δ. Equivalent to `self.query(r).run()` (which
     /// cannot fail without query-level overrides).
@@ -280,52 +387,24 @@ impl Engine {
     where
         F: Fn(&mut Searcher<'_>, SetIdx) -> (Vec<(SetIdx, f64)>, PassStats) + Sync,
     {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            threads
-        };
-
-        let run_range = |searcher: &mut Searcher<'_>, lo: SetIdx, hi: SetIdx| {
+        // One search pass is cheap; only spawn when every worker gets at
+        // least two of them.
+        let threads = resolve_threads(threads);
+        let workers = if total < 2 * threads { 1 } else { threads };
+        let outputs = fan_out_ranges(total, workers, |range| {
+            let mut searcher = Searcher::new(&self.collection, &self.index, self.cfg);
             let mut pairs = Vec::new();
             let mut stats = PassStats::default();
-            for rid in lo..hi {
-                let (results, ps) = pass(searcher, rid);
+            for rid in range {
+                let (results, ps) = pass(&mut searcher, rid as SetIdx);
                 stats.merge(&ps);
                 pairs.extend(results.into_iter().map(|(s, score)| RelatedPair {
-                    r: rid,
+                    r: rid as SetIdx,
                     s,
                     score,
                 }));
             }
             (pairs, stats)
-        };
-
-        if threads <= 1 || total < 2 * threads {
-            let mut searcher = Searcher::new(&self.collection, &self.index, self.cfg);
-            let (pairs, stats) = run_range(&mut searcher, 0, total as SetIdx);
-            return DiscoveryOutput { pairs, stats };
-        }
-
-        let chunk = total.div_ceil(threads);
-        let mut outputs: Vec<(Vec<RelatedPair>, PassStats)> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let run_range = &run_range;
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(total);
-                    scope.spawn(move || {
-                        let mut searcher = Searcher::new(&self.collection, &self.index, self.cfg);
-                        run_range(&mut searcher, lo as SetIdx, hi as SetIdx)
-                    })
-                })
-                .collect();
-            for h in handles {
-                outputs.push(h.join().expect("discovery worker panicked"));
-            }
         });
         let mut pairs = Vec::new();
         let mut stats = PassStats::default();
@@ -358,6 +437,52 @@ impl Engine {
         };
         searcher.run(self.collection.set(rid), restriction)
     }
+}
+
+/// Resolves a `--threads`-style count: 0 means all available cores.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// The scoped-thread fan-out shared by parallel discovery and
+/// [`Engine::execute_batch`]: splits `0..total` into per-worker ranges
+/// and runs `run_range` once per range — serially (one range) when
+/// `workers <= 1` — returning the per-range outputs in range order, so
+/// the worker count never changes the result. Callers pick `workers`
+/// for their unit of work: discovery batches at least two passes per
+/// worker (a pass is cheap), while query batches spawn down to one
+/// spec per worker (a whole query is worth a thread).
+pub(crate) fn fan_out_ranges<T, F>(total: usize, workers: usize, run_range: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let workers = workers.min(total);
+    if workers <= 1 {
+        return vec![run_range(0..total)];
+    }
+    let chunk = total.div_ceil(workers);
+    let mut outputs = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let run_range = &run_range;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(total);
+                scope.spawn(move || run_range(lo..hi))
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("fan-out worker panicked"));
+        }
+    });
+    outputs
 }
 
 #[cfg(test)]
@@ -580,6 +705,146 @@ mod tests {
         assert!(!Arc::ptr_eq(engine.collection_arc(), &shared));
         // …while the engine's own search reflects the removal.
         assert!(engine.search(&r).results.is_empty());
+    }
+
+    #[test]
+    fn execute_is_byte_identical_to_the_fluent_builder() {
+        let (c, r) = table2();
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
+        let texts: Vec<String> = r.elements.iter().map(|e| e.text.to_string()).collect();
+        for (k, floor) in [
+            (None, None),
+            (Some(2), None),
+            (None, Some(0.0)),
+            (Some(3), Some(0.2)),
+        ] {
+            let mut spec = crate::QuerySpec::new(texts.clone());
+            let mut query = engine.query(&r);
+            if let Some(k) = k {
+                spec = spec.with_top_k(k);
+                query = query.top_k(k);
+            }
+            if let Some(f) = floor {
+                spec = spec.with_floor(f).unwrap();
+                query = query.floor(f);
+            }
+            let out = engine.execute(&spec);
+            let legacy = query.run().unwrap();
+            assert_eq!(
+                out.hits.len(),
+                legacy.results.len(),
+                "k={k:?} floor={floor:?}"
+            );
+            for (a, b) in out.hits.iter().zip(&legacy.results) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            assert_eq!(out.stats, legacy.stats);
+            assert!(!out.timed_out);
+            assert!(out.explanations.is_empty());
+        }
+    }
+
+    #[test]
+    fn execute_batch_equals_one_by_one_across_thread_counts() {
+        let raw: Vec<Vec<String>> = (0..30)
+            .map(|i| {
+                (0..3)
+                    .map(|j| format!("w{} w{} shared{}", (i * 3 + j) % 7, (i + j) % 5, i % 4))
+                    .collect()
+            })
+            .collect();
+        let c = silkmoth_collection::Collection::build(&raw, Tokenization::Whitespace);
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Similarity, 0.5)).unwrap();
+        let specs: Vec<crate::QuerySpec> = raw
+            .iter()
+            .step_by(3)
+            .map(|set| {
+                crate::QuerySpec::new(set.clone())
+                    .with_top_k(4)
+                    .with_floor(0.2)
+                    .unwrap()
+            })
+            .collect();
+        let serial: Vec<_> = specs.iter().map(|s| engine.execute(s)).collect();
+        for threads in [1, 2, 7] {
+            let batch = engine.execute_batch(&specs, threads);
+            assert_eq!(batch.len(), serial.len(), "threads={threads}");
+            for (a, b) in batch.iter().zip(&serial) {
+                assert_eq!(a.hits.len(), b.hits.len(), "threads={threads}");
+                for (x, y) in a.hits.iter().zip(&b.hits) {
+                    assert_eq!(x.0, y.0);
+                    assert_eq!(x.1.to_bits(), y.1.to_bits());
+                }
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn execute_with_explain_attaches_one_explanation_per_hit() {
+        let (c, r) = table2();
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
+        let texts: Vec<String> = r.elements.iter().map(|e| e.text.to_string()).collect();
+        let spec = crate::QuerySpec::new(texts)
+            .with_floor(0.0)
+            .unwrap()
+            .with_top_k(2)
+            .with_explain(true);
+        let out = engine.execute(&spec);
+        assert_eq!(out.hits.len(), 2);
+        assert_eq!(out.explanations.len(), 2);
+        for ((sid, score), (esid, expl)) in out.hits.iter().zip(&out.explanations) {
+            assert_eq!(sid, esid);
+            assert!(expl.related);
+            assert!((expl.relatedness - score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_reference_executes_without_panicking() {
+        // The wire codec round-trips empty references, so execution must
+        // tolerate them: every set matches vacuously with score 0, which
+        // only a floor of exactly 0 admits.
+        let raw = vec![vec!["a b c".to_string()], vec!["d e".to_string()]];
+        for metric in [
+            RelatednessMetric::Similarity,
+            RelatednessMetric::Containment,
+        ] {
+            let cfg = jaccard_cfg(metric, 0.5);
+            let engine = Engine::new(
+                silkmoth_collection::Collection::build(&raw, cfg.tokenization()),
+                cfg,
+            )
+            .unwrap();
+            let out = engine.execute(&crate::QuerySpec::new(Vec::new()));
+            assert!(out.hits.is_empty(), "{metric:?}: δ=0.5 admits nothing");
+            let all = engine.execute(&crate::QuerySpec::new(Vec::new()).with_floor(0.0).unwrap());
+            assert_eq!(all.hits.len(), raw.len(), "{metric:?}");
+            assert!(all.hits.iter().all(|&(_, score)| score == 0.0));
+        }
+    }
+
+    #[test]
+    fn execute_with_zero_deadline_is_truncated_and_flagged() {
+        let (c, r) = table2();
+        let engine = Engine::new(c, jaccard_cfg(RelatednessMetric::Containment, 0.7)).unwrap();
+        let texts: Vec<String> = r.elements.iter().map(|e| e.text.to_string()).collect();
+        let spec = crate::QuerySpec::new(texts)
+            .with_floor(0.0)
+            .unwrap()
+            .with_deadline(std::time::Duration::ZERO);
+        let out = engine.execute(&spec);
+        assert!(out.timed_out);
+        // Nothing was verified before the (already-expired) budget was
+        // checked, so the output is the empty — but well-formed — prefix.
+        assert_eq!(out.stats.verified, 0);
+        assert_eq!(out.hits.len(), out.stats.results);
+        // Explanations honor the same budget: none are computed on an
+        // expired clock.
+        let out = engine.execute(&spec.with_explain(true));
+        assert!(out.timed_out);
+        assert!(out.explanations.is_empty());
     }
 
     #[test]

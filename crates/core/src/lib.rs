@@ -78,6 +78,7 @@ mod policy;
 mod query;
 pub mod rank;
 pub mod signature;
+mod spec;
 mod verify;
 pub mod wire;
 
@@ -95,4 +96,5 @@ pub use policy::CompactionPolicy;
 pub use query::{Query, QueryIter};
 pub use signature::{generate as generate_signature, SigElem, SigKind, SigParams, Signature};
 pub use silkmoth_collection::UpdateError;
+pub use spec::{QueryOutput, QuerySpec};
 pub use verify::{matching_score, relatedness, size_check, verify_pair, VerifyCost};

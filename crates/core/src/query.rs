@@ -1,10 +1,19 @@
 //! Parameterized, streamable searches over an [`Engine`].
+//!
+//! [`Query`] is the fluent, borrowed front end; since the QuerySpec
+//! migration it is a thin wrapper that **compiles down to a
+//! [`QuerySpec`]** — [`run`](Query::run) and [`iter`](Query::iter) both
+//! build one (which is where the floor is validated, in exactly one
+//! place) and execute through the same machinery as
+//! [`Engine::execute`](crate::Engine::execute).
 
-use crate::config::{ConfigError, EngineConfig};
+use std::time::{Duration, Instant};
+
+use crate::config::ConfigError;
 use crate::engine::{Engine, SearchOutput};
-use crate::filter::{PassStats, Restriction, Searcher, StagedPass};
+use crate::filter::{PassStats, Searcher, StagedPass};
 use crate::phi::Phi;
-use crate::rank::rank_top_k;
+use crate::spec::QuerySpec;
 use crate::verify::{verify_pair, VerifyCost};
 use silkmoth_collection::{SetIdx, SetRecord};
 
@@ -18,7 +27,7 @@ const ITER_CHUNK: usize = 64;
 ///
 /// By default [`run`](Self::run) behaves exactly like
 /// [`Engine::search`]: all sets related to the reference at the engine's
-/// δ, in ascending set-id order. Two per-query overrides compose on top:
+/// δ, in ascending set-id order. Per-query overrides compose on top:
 ///
 /// * [`floor`](Self::floor) replaces the relatedness threshold for this
 ///   query only (validated to lie in `[0, 1]` — out-of-range floors are a
@@ -26,16 +35,23 @@ const ITER_CHUNK: usize = 64;
 /// * [`top_k`](Self::top_k) ranks the results by score and keeps the `k`
 ///   best. Ties are broken deterministically: **score descending, then
 ///   set id ascending**.
+/// * [`deadline`](Self::deadline) bounds the query's wall-clock budget;
+///   see [`QuerySpec::with_deadline`].
 ///
 /// [`iter`](Self::iter) streams `(set, score)` results as verification
 /// proves them, for early termination; `top_k` does not apply there
 /// (ranking needs the full result set).
+///
+/// Everything a `Query` can express, a [`QuerySpec`] can too — and the
+/// spec is owned and serializable. `run()` literally builds one and
+/// executes it, so the two paths cannot drift.
 #[derive(Clone, Copy)]
 pub struct Query<'e, 'r> {
     engine: &'e Engine,
     r: &'r SetRecord,
     k: Option<usize>,
     floor: Option<f64>,
+    deadline: Option<Duration>,
 }
 
 impl<'e, 'r> Query<'e, 'r> {
@@ -45,6 +61,7 @@ impl<'e, 'r> Query<'e, 'r> {
             r,
             k: None,
             floor: None,
+            deadline: None,
         }
     }
 
@@ -64,44 +81,71 @@ impl<'e, 'r> Query<'e, 'r> {
     ///
     /// `floor` must lie in `[0, 1]`; anything else makes
     /// [`run`](Self::run)/[`iter`](Self::iter) return
-    /// [`ConfigError::FloorOutOfRange`]. A floor of exactly 0 admits
-    /// every set — relatedness ≥ 0 always holds — so the pass degenerates
-    /// to ranking the whole collection, which is exact but slow (the
-    /// paper's footnote 2).
+    /// [`ConfigError::FloorOutOfRange`] (the check happens in
+    /// [`QuerySpec::with_floor`], the one validation point). A floor of
+    /// exactly 0 admits every set — relatedness ≥ 0 always holds — so the
+    /// pass degenerates to ranking the whole collection, which is exact
+    /// but slow (the paper's footnote 2).
     pub fn floor(mut self, floor: f64) -> Self {
         self.floor = Some(floor);
         self
     }
 
-    /// The engine-level configuration with the query's floor applied.
-    fn effective_cfg(&self) -> Result<EngineConfig, ConfigError> {
-        let mut cfg = *self.engine.config();
-        if let Some(floor) = self.floor {
-            if !(0.0..=1.0).contains(&floor) {
-                return Err(ConfigError::FloorOutOfRange(floor));
-            }
-            // A zero floor still needs a positive δ for the pass's
-            // threshold arithmetic; MIN_POSITIVE is within VERIFY_EPS of
-            // zero, so even relatedness-0 sets verify (floor 0 = rank
-            // everything).
-            cfg.delta = floor.max(f64::MIN_POSITIVE);
+    /// Gives the query a wall-clock budget. On expiry [`run`](Self::run)
+    /// returns what was proven so far (its output cannot say so — use
+    /// [`Engine::execute`](crate::Engine::execute) when the
+    /// [`timed_out`](crate::QueryOutput::timed_out) flag matters) and
+    /// [`iter`](Self::iter) stops yielding with
+    /// [`QueryIter::timed_out`] set.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Compiles the builder state down to the owned [`QuerySpec`] it
+    /// expresses — the reference's element texts plus the `top_k` /
+    /// `floor` / `deadline` overrides. This is where the floor is
+    /// validated.
+    pub fn to_spec(&self) -> Result<QuerySpec, ConfigError> {
+        let texts: Vec<String> = self.r.elements.iter().map(|e| e.text.to_string()).collect();
+        self.knobs_spec(texts)
+    }
+
+    /// The spec carrying this builder's knobs over `reference` —
+    /// [`run`](Self::run)/[`iter`](Self::iter) pass an empty reference
+    /// because they execute over the already-encoded borrowed record
+    /// (the execution core never re-reads the spec's texts), which
+    /// keeps the hot path free of per-element string clones.
+    fn knobs_spec(&self, reference: Vec<String>) -> Result<QuerySpec, ConfigError> {
+        let mut spec = QuerySpec::new(reference);
+        if let Some(k) = self.k {
+            spec = spec.with_top_k(k);
         }
-        Ok(cfg)
+        if let Some(floor) = self.floor {
+            spec = spec.with_floor(floor)?;
+        }
+        if let Some(budget) = self.deadline {
+            spec = spec.with_deadline(budget);
+        }
+        Ok(spec)
     }
 
     /// Runs the full search pass and returns all results at once.
     ///
     /// Without [`top_k`](Self::top_k), results are in ascending set-id
     /// order; with it, score descending (ties by ascending id),
-    /// truncated to `k`.
+    /// truncated to `k`. Equivalent to
+    /// `engine.execute(&self.to_spec()?)` — the spec path and this
+    /// builder are the same code.
     pub fn run(&self) -> Result<SearchOutput, ConfigError> {
-        let cfg = self.effective_cfg()?;
-        let mut searcher = Searcher::new(self.engine.collection(), self.engine.index(), cfg);
-        let (mut results, stats) = searcher.run(self.r, Restriction::default());
-        if let Some(k) = self.k {
-            rank_top_k(&mut results, k);
-        }
-        Ok(SearchOutput { results, stats })
+        let spec = self.knobs_spec(Vec::new())?;
+        // The record is already encoded against this engine's
+        // collection; skip the spec's re-encoding step.
+        let out = self.engine.execute_encoded(&spec, self.r, None);
+        Ok(SearchOutput {
+            results: out.hits,
+            stats: out.stats,
+        })
     }
 
     /// Streams results as verification proves them, instead of waiting
@@ -117,33 +161,24 @@ impl<'e, 'r> Query<'e, 'r> {
     /// when order matters. A fully drained iterator yields exactly
     /// [`run`](Self::run)'s result set (chunking never changes which
     /// candidates survive). [`top_k`](Self::top_k) is ignored here;
-    /// [`floor`](Self::floor) applies.
+    /// [`floor`](Self::floor) and [`deadline`](Self::deadline) apply.
     pub fn iter(&self) -> Result<QueryIter<'e, 'r>, ConfigError> {
-        let cfg = self.effective_cfg()?;
-        let mut searcher = Searcher::new(self.engine.collection(), self.engine.index(), cfg);
-        let pass = searcher.stage(self.r, Restriction::default());
-        Ok(QueryIter {
-            engine: self.engine,
-            r: self.r,
-            cfg,
-            phi: Phi::new(cfg.similarity, cfg.alpha),
-            searcher,
-            pass,
-            chunk: Vec::new().into_iter(),
-            verified: 0,
-            results: 0,
-            vcost: VerifyCost::default(),
-        })
+        let spec = self.knobs_spec(Vec::new())?;
+        let deadline = spec.deadline_at(None);
+        Ok(QueryIter::stage(self.engine, self.r, &spec, deadline))
     }
 }
 
 /// Streaming query results: filtering happens chunk by chunk and
 /// verification one surviving candidate at a time, both inside
-/// [`Iterator::next`].
+/// [`Iterator::next`]. A deadline, when set, is checked cooperatively
+/// before every chunk filter and every verification; on expiry the
+/// iterator stops yielding and [`timed_out`](Self::timed_out) reports
+/// it.
 pub struct QueryIter<'e, 'r> {
     engine: &'e Engine,
     r: &'r SetRecord,
-    cfg: EngineConfig,
+    cfg: crate::config::EngineConfig,
     phi: Phi,
     searcher: Searcher<'e>,
     pass: StagedPass,
@@ -152,18 +187,52 @@ pub struct QueryIter<'e, 'r> {
     verified: usize,
     results: usize,
     vcost: VerifyCost,
+    /// Absolute expiry instant, when the query carries a budget.
+    deadline: Option<Instant>,
+    timed_out: bool,
 }
 
 impl std::fmt::Debug for QueryIter<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryIter")
             .field("remaining_candidates", &self.remaining_candidates())
+            .field("timed_out", &self.timed_out)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
-impl QueryIter<'_, '_> {
+impl<'e, 'r> QueryIter<'e, 'r> {
+    /// Stages the pass a validated `spec` describes over an
+    /// already-encoded record, expiring at the absolute `deadline`
+    /// (compute it with [`QuerySpec::deadline_at`] *before* staging, so
+    /// the budget covers staging, filtering, verification — and, in
+    /// [`Engine::execute`](crate::Engine::execute), explanations).
+    pub(crate) fn stage(
+        engine: &'e Engine,
+        r: &'r SetRecord,
+        spec: &QuerySpec,
+        deadline: Option<Instant>,
+    ) -> Self {
+        let cfg = spec.effective_cfg(engine.config());
+        let mut searcher = Searcher::new(engine.collection(), engine.index(), cfg);
+        let pass = searcher.stage(r, crate::filter::Restriction::default());
+        QueryIter {
+            engine,
+            r,
+            cfg,
+            phi: Phi::new(cfg.similarity, cfg.alpha),
+            searcher,
+            pass,
+            chunk: Vec::new().into_iter(),
+            verified: 0,
+            results: 0,
+            vcost: VerifyCost::default(),
+            deadline,
+            timed_out: false,
+        }
+    }
+
     /// Pass counters as of now: candidate-selection counts are final,
     /// while the filter-stage counts (`after_check`/`after_nn`) and
     /// `verified`/`results`/`sim_evals` grow as the iterator advances.
@@ -182,14 +251,38 @@ impl QueryIter<'_, '_> {
     pub fn remaining_candidates(&self) -> usize {
         self.chunk.len() + self.pass.remaining()
     }
+
+    /// True when the deadline expired before the pass finished; the
+    /// iterator stops yielding at that point, so everything it produced
+    /// is still correct — just not complete.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Checks the deadline (called between units of work); returns true
+    /// — and latches [`timed_out`](Self::timed_out) — on expiry.
+    fn expired(&mut self) -> bool {
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.timed_out = true;
+        }
+        self.timed_out
+    }
 }
 
 impl Iterator for QueryIter<'_, '_> {
     type Item = (SetIdx, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.timed_out {
+            return None;
+        }
         loop {
-            for sid in self.chunk.by_ref() {
+            while let Some(sid) = self.chunk.next() {
+                // Verification is the O(n³) unit of work; check the
+                // budget before each one.
+                if self.expired() {
+                    return None;
+                }
                 self.verified += 1;
                 if let Some(score) = verify_pair(
                     self.r,
@@ -203,6 +296,9 @@ impl Iterator for QueryIter<'_, '_> {
                 }
             }
             if self.pass.remaining() == 0 {
+                return None;
+            }
+            if self.expired() {
                 return None;
             }
             self.chunk = self
@@ -220,7 +316,7 @@ impl Iterator for QueryIter<'_, '_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::RelatednessMetric;
+    use crate::config::{ConfigError, RelatednessMetric};
     use silkmoth_collection::paper_example::table2;
     use silkmoth_text::SimilarityFunction;
 
@@ -257,6 +353,24 @@ mod tests {
     }
 
     #[test]
+    fn builder_compiles_to_the_equivalent_spec() {
+        let (_, r) = table2();
+        let engine = engine(0.7);
+        let spec = engine
+            .query(&r)
+            .top_k(3)
+            .floor(0.4)
+            .deadline(Duration::from_secs(5))
+            .to_spec()
+            .unwrap();
+        assert_eq!(spec.top_k(), Some(3));
+        assert_eq!(spec.floor(), Some(0.4));
+        assert_eq!(spec.deadline(), Some(Duration::from_secs(5)));
+        let texts: Vec<String> = r.elements.iter().map(|e| e.text.to_string()).collect();
+        assert_eq!(spec.reference(), &texts[..]);
+    }
+
+    #[test]
     fn top_k_ranks_by_score_then_id() {
         let (_, r) = table2();
         let engine = engine(0.7);
@@ -281,6 +395,7 @@ mod tests {
             streamed.sort_unstable_by_key(|&(sid, _)| sid);
             assert_eq!(streamed, run.results, "δ={delta}");
             assert_eq!(iter.stats(), run.stats, "δ={delta}");
+            assert!(!iter.timed_out(), "δ={delta}");
         }
     }
 
@@ -371,5 +486,27 @@ mod tests {
         // Only part of the verification work has happened.
         assert!(iter.stats().verified < run.stats.verified);
         assert!(run.results.contains(&first));
+    }
+
+    #[test]
+    fn zero_deadline_stops_the_iterator_cooperatively() {
+        let (_, r) = table2();
+        let engine = engine(0.7);
+        // Floor 0 guarantees candidates exist, so the pass has work to
+        // abandon and the timeout is observable.
+        let mut iter = engine
+            .query(&r)
+            .floor(0.0)
+            .deadline(Duration::ZERO)
+            .iter()
+            .unwrap();
+        assert!(iter.next().is_none());
+        assert!(iter.timed_out());
+        // The stats still describe exactly the work done (nothing
+        // verified).
+        assert_eq!(iter.stats().verified, 0);
+        // Without a deadline the same query yields everything.
+        let full = engine.query(&r).floor(0.0).run().unwrap();
+        assert_eq!(full.results.len(), 4);
     }
 }

@@ -52,11 +52,15 @@
 pub mod durable;
 pub mod http;
 pub mod json;
+pub mod queryspec;
 pub mod service;
 pub mod shard;
 
 pub use durable::ShardSpec;
 pub use http::{read_simple_response, HttpServer, Request, Response};
 pub use json::{Json, JsonError};
+pub use queryspec::{spec_from_json, spec_to_json, QUERY_SPEC_JSON_VERSION};
 pub use service::{serve, serve_service, EngineGuard, SearchService};
-pub use shard::{merge_stats, ShardedDiscoveryOutput, ShardedEngine, ShardedSearchOutput};
+pub use shard::{
+    merge_stats, ShardedDiscoveryOutput, ShardedEngine, ShardedQueryOutput, ShardedSearchOutput,
+};

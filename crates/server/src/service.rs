@@ -5,7 +5,8 @@
 //!
 //! | Route            | Body                                             | Response |
 //! |------------------|--------------------------------------------------|----------|
-//! | `POST /search`   | `{"reference": [elem, …], "k"?: n, "floor"?: f}` | `{"results": [{"set", "score"}, …], "stats": {…}}` |
+//! | `POST /search`   | a [`QuerySpec`] object (see [`queryspec`](crate::queryspec)): `{"reference": [elem, …], "k"?, "floor"?, "deadline_ms"?, "stats"?, "explain"?}` | `{"results": [{"set", "score"}, …], "timed_out": b, "stats"?: {…}, "explain"?: […]}` |
+//! | `POST /search/batch` | `{"queries": [spec, …]}`                     | `{"outputs": [one per spec, same shape as /search]}` |
 //! | `POST /discover` | `{"references": [[elem, …], …]}`                 | `{"pairs": [{"r", "s", "score"}, …], "stats": {…}}` |
 //! | `POST /sets`     | `{"sets": [[elem, …], …]}`                       | `{"appended": [id, …], "sets": n}` |
 //! | `DELETE /sets`   | `{"ids": [id, …]}`                               | `{"removed": n, "sets": n}` |
@@ -30,6 +31,16 @@
 //! automatically after any update. A storage failure (disk full,
 //! fsync error) is a 500 and the update is *not* acknowledged.
 //!
+//! ## Deadlines
+//!
+//! A per-query `deadline_ms` caps one query's wall-clock budget: on
+//! expiry the engine stops cooperatively and answers `200` with
+//! `"timed_out": true` and the results proven so far. A server-level
+//! [`with_search_timeout`](SearchService::with_search_timeout)
+//! (`serve --search-timeout-ms`) additionally bounds the **whole
+//! request** (a batch counts as one request); exhausting it answers
+//! `504` instead.
+//!
 //! ## Concurrency and backpressure
 //!
 //! Updates take the engine's write lock; searches share a read lock,
@@ -45,14 +56,16 @@ use std::net::ToSocketAddrs;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::time::{Duration, Instant};
 
 use silkmoth_collection::UpdateError;
-use silkmoth_core::{CompactionPolicy, ConfigError, PassStats, Update, UpdateOutcome};
+use silkmoth_core::{CompactionPolicy, PassStats, QuerySpec, Update, UpdateOutcome};
 use silkmoth_storage::{StorageError, Store};
 
 use crate::http::{self, HttpServer, Request, Response};
 use crate::json::{obj, Json};
-use crate::shard::{merge_stats, ShardedEngine};
+use crate::queryspec::{explanation_json, spec_from_json};
+use crate::shard::{merge_stats, ShardedEngine, ShardedQueryOutput};
 
 /// What the service serves: a bare engine, or an engine owned by a
 /// durable store that WAL-logs every update.
@@ -108,6 +121,10 @@ pub struct SearchService {
     /// `Some(n)`: at most n updates admitted concurrently (holding or
     /// waiting for the write lock); the rest get 503.
     max_inflight_updates: Option<usize>,
+    /// Whole-request wall-clock budget for `/search` and
+    /// `/search/batch`: execution is capped cooperatively at this
+    /// deadline and an expired request answers `504`.
+    search_timeout: Option<Duration>,
     inflight_updates: AtomicUsize,
     searches: AtomicU64,
     discoveries: AtomicU64,
@@ -141,6 +158,7 @@ impl SearchService {
             backend: RwLock::new(backend),
             policy: CompactionPolicy::DISABLED,
             max_inflight_updates: None,
+            search_timeout: None,
             inflight_updates: AtomicUsize::new(0),
             searches: AtomicU64::new(0),
             discoveries: AtomicU64::new(0),
@@ -165,6 +183,18 @@ impl SearchService {
     /// instead of queuing unboundedly.
     pub fn with_max_inflight_updates(mut self, n: usize) -> Self {
         self.max_inflight_updates = Some(n.max(1));
+        self
+    }
+
+    /// Bounds how long one `/search` or `/search/batch` request may
+    /// run. The deadline is enforced cooperatively inside the engine's
+    /// chunked filter/verify loop (capped together with any per-query
+    /// `deadline_ms` the spec carries); a request that exhausts the
+    /// whole budget answers `504` instead of partial results — a
+    /// per-query `deadline_ms` that expires on its own still answers
+    /// `200` with `"timed_out": true`.
+    pub fn with_search_timeout(mut self, timeout: Duration) -> Self {
+        self.search_timeout = Some(timeout);
         self
     }
 
@@ -205,6 +235,7 @@ impl SearchService {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
             ("POST", "/search") => self.search(&req.body),
+            ("POST", "/search/batch") => self.search_batch(&req.body),
             ("POST", "/discover") => self.discover(&req.body),
             ("POST", "/sets") => self.append(&req.body),
             ("DELETE", "/sets") => self.remove(&req.body),
@@ -212,8 +243,8 @@ impl SearchService {
             ("POST", "/snapshot") => self.snapshot(),
             (
                 _,
-                "/healthz" | "/stats" | "/search" | "/discover" | "/sets" | "/compact"
-                | "/snapshot",
+                "/healthz" | "/stats" | "/search" | "/search/batch" | "/discover" | "/sets"
+                | "/compact" | "/snapshot",
             ) => error_response(405, "method not allowed for this route"),
             _ => error_response(404, "no such route"),
         }
@@ -313,47 +344,78 @@ impl SearchService {
         Response::json(200, obj(fields).to_string())
     }
 
+    /// The whole-request deadline for a search arriving now, when
+    /// `--search-timeout-ms` is configured.
+    fn request_deadline(&self, start: Instant) -> Option<Instant> {
+        self.search_timeout.map(|t| start + t)
+    }
+
+    /// True when the whole-request budget is exhausted: the response
+    /// must be the `504`, not partial results.
+    fn request_expired(&self, start: Instant) -> bool {
+        self.search_timeout.is_some_and(|t| start.elapsed() >= t)
+    }
+
     fn search(&self, body: &[u8]) -> Response {
         let doc = match parse_body(body) {
             Ok(doc) => doc,
             Err(resp) => return resp,
         };
-        let reference = match string_array(doc.get("reference"), "reference") {
-            Ok(r) => r,
-            Err(resp) => return resp,
+        let spec = match spec_from_json(&doc) {
+            Ok(spec) => spec,
+            Err(msg) => return error_response(400, &msg),
         };
-        let k = match optional_usize(&doc, "k") {
-            Ok(k) => k,
-            Err(resp) => return resp,
-        };
-        let floor = match optional_f64(&doc, "floor") {
-            Ok(f) => f,
-            Err(resp) => return resp,
-        };
-        let out = match self.engine().search(&reference, k, floor) {
-            Ok(out) => out,
-            Err(e) => return config_error_response(&e),
-        };
+        let start = Instant::now();
+        let out = self
+            .engine()
+            .execute_until(&spec, self.request_deadline(start));
         self.searches.fetch_add(1, Ordering::Relaxed);
         self.accumulate(&out.shard_stats);
-        let results: Vec<Json> = out
-            .results
+        if self.request_expired(start) {
+            return search_timeout_response();
+        }
+        Response::json(200, query_output_json(&spec, &out).to_string())
+    }
+
+    fn search_batch(&self, body: &[u8]) -> Response {
+        let doc = match parse_body(body) {
+            Ok(doc) => doc,
+            Err(resp) => return resp,
+        };
+        let queries = match doc.get("queries").and_then(Json::as_array) {
+            Some(q) if !q.is_empty() => q,
+            _ => {
+                return error_response(
+                    400,
+                    "'queries' must be a non-empty array of query spec objects",
+                )
+            }
+        };
+        let mut specs = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match spec_from_json(q) {
+                Ok(spec) => specs.push(spec),
+                Err(msg) => return error_response(400, &format!("queries[{i}]: {msg}")),
+            }
+        }
+        let start = Instant::now();
+        let outs = self
+            .engine()
+            .execute_batch_until(&specs, self.request_deadline(start));
+        self.searches
+            .fetch_add(specs.len() as u64, Ordering::Relaxed);
+        for out in &outs {
+            self.accumulate(&out.shard_stats);
+        }
+        if self.request_expired(start) {
+            return search_timeout_response();
+        }
+        let outputs: Vec<Json> = specs
             .iter()
-            .map(|&(set, score)| {
-                obj(vec![
-                    ("set", Json::Num(f64::from(set))),
-                    ("score", Json::Num(score)),
-                ])
-            })
+            .zip(&outs)
+            .map(|(spec, out)| query_output_json(spec, out))
             .collect();
-        Response::json(
-            200,
-            obj(vec![
-                ("results", Json::Arr(results)),
-                ("stats", Json::Obj(stats_json_pairs(&out.merged_stats()))),
-            ])
-            .to_string(),
-        )
+        Response::json(200, obj(vec![("outputs", Json::Arr(outputs))]).to_string())
     }
 
     fn discover(&self, body: &[u8]) -> Response {
@@ -605,23 +667,42 @@ fn string_array(v: Option<&Json>, field: &str) -> Result<Vec<String>, Response> 
         .ok_or_else(|| error_response(400, &format!("'{field}' must contain only strings")))
 }
 
-fn optional_usize(doc: &Json, field: &str) -> Result<Option<usize>, Response> {
-    match doc.get(field) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v.as_usize().map(Some).ok_or_else(|| {
-            error_response(400, &format!("'{field}' must be a non-negative integer"))
-        }),
+/// Renders one executed spec's output: `results`, the `timed_out`
+/// flag, and — governed by the spec's `stats` / `explain` flags — the
+/// merged pass counters and per-hit explanations.
+fn query_output_json(spec: &QuerySpec, out: &ShardedQueryOutput) -> Json {
+    let results: Vec<Json> = out
+        .hits
+        .iter()
+        .map(|&(set, score)| {
+            obj(vec![
+                ("set", Json::Num(f64::from(set))),
+                ("score", Json::Num(score)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("results", Json::Arr(results)),
+        ("timed_out", Json::Bool(out.timed_out)),
+    ];
+    if spec.want_stats() {
+        fields.push(("stats", Json::Obj(stats_json_pairs(&out.merged_stats()))));
     }
+    if spec.want_explain() {
+        let explain: Vec<Json> = out
+            .explanations
+            .iter()
+            .map(|(set, expl)| explanation_json(*set, expl))
+            .collect();
+        fields.push(("explain", Json::Arr(explain)));
+    }
+    obj(fields)
 }
 
-fn optional_f64(doc: &Json, field: &str) -> Result<Option<f64>, Response> {
-    match doc.get(field) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_f64()
-            .map(Some)
-            .ok_or_else(|| error_response(400, &format!("'{field}' must be a number"))),
-    }
+/// The whole-request expiry: the server-side `--search-timeout-ms`
+/// budget ran out before the request finished.
+fn search_timeout_response() -> Response {
+    error_response(504, "search deadline exceeded (--search-timeout-ms)")
 }
 
 fn error_response(status: u16, msg: &str) -> Response {
@@ -645,10 +726,6 @@ fn update_error_response(e: UpdateError) -> Response {
 /// A storage failure means the update was NOT durably acknowledged.
 fn storage_error_response(e: &StorageError) -> Response {
     error_response(500, &format!("storage: {e}"))
-}
-
-fn config_error_response(e: &ConfigError) -> Response {
-    error_response(400, &e.to_string())
 }
 
 /// [`PassStats`] as ordered JSON object fields.
@@ -863,6 +940,154 @@ mod tests {
             Some(2)
         );
         assert_eq!(stats.get("sets").and_then(Json::as_usize), Some(20));
+    }
+
+    #[test]
+    fn search_reports_timed_out_and_batch_matches_one_by_one() {
+        let s = service();
+        // One-by-one answers…
+        let bodies = [
+            r#"{"reference": ["w0 w1 shared0"], "k": 4, "floor": 0.1}"#,
+            r#"{"reference": ["w2 w3 shared1", "w4 w0 shared2"], "floor": 0.0, "k": 3}"#,
+            r#"{"reference": ["nothing matches this"]}"#,
+        ];
+        let singles: Vec<Json> = bodies
+            .iter()
+            .map(|b| {
+                let (status, doc) = post(&s, "/search", b);
+                assert_eq!(status, 200, "{doc}");
+                assert_eq!(doc.get("timed_out"), Some(&Json::Bool(false)));
+                doc.get("results").unwrap().clone()
+            })
+            .collect();
+        // …must equal the batch answers for the same specs.
+        let batch_body = format!(r#"{{"queries": [{}]}}"#, bodies.join(","));
+        let (status, doc) = post(&s, "/search/batch", &batch_body);
+        assert_eq!(status, 200, "{doc}");
+        let outputs = doc.get("outputs").and_then(Json::as_array).unwrap();
+        assert_eq!(outputs.len(), singles.len());
+        for (out, single) in outputs.iter().zip(&singles) {
+            assert_eq!(out.get("results"), Some(single));
+            assert_eq!(out.get("timed_out"), Some(&Json::Bool(false)));
+        }
+        // The batch counted one search per query.
+        let (_, stats) = get(&s, "/stats");
+        assert_eq!(
+            stats
+                .get("requests")
+                .and_then(|r| r.get("search"))
+                .and_then(Json::as_usize),
+            Some(2 * bodies.len())
+        );
+    }
+
+    #[test]
+    fn spec_flags_control_the_response_shape() {
+        let s = service();
+        // stats off: no stats object in the response.
+        let (status, doc) = post(
+            &s,
+            "/search",
+            r#"{"reference": ["w0 w1 shared0"], "stats": false}"#,
+        );
+        assert_eq!(status, 200, "{doc}");
+        assert!(doc.get("stats").is_none());
+        assert!(doc.get("results").is_some());
+        // explain on: one explanation per hit, aligned.
+        let (status, doc) = post(
+            &s,
+            "/search",
+            r#"{"reference": ["w0 w1 shared0"], "k": 3, "floor": 0.0, "explain": true}"#,
+        );
+        assert_eq!(status, 200, "{doc}");
+        let results = doc.get("results").and_then(Json::as_array).unwrap();
+        let explain = doc.get("explain").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), explain.len());
+        assert!(!results.is_empty());
+        for (r, e) in results.iter().zip(explain) {
+            assert_eq!(r.get("set"), e.get("set"));
+            assert_eq!(e.get("related"), Some(&Json::Bool(true)));
+        }
+    }
+
+    #[test]
+    fn unsupported_spec_version_and_bad_batch_bodies_are_400s() {
+        let s = service();
+        let (status, doc) = post(&s, "/search", r#"{"v": 2, "reference": ["a"]}"#);
+        assert_eq!(status, 400);
+        assert!(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("version 2"));
+        for body in [
+            "not json",
+            r#"{}"#,
+            r#"{"queries": []}"#,
+            r#"{"queries": "x"}"#,
+            r#"{"queries": [{"reference": []}]}"#,
+            r#"{"queries": [{"reference": ["a"]}, {"reference": ["b"], "floor": 7}]}"#,
+        ] {
+            let (status, doc) = post(&s, "/search/batch", body);
+            assert_eq!(status, 400, "{body} → {doc}");
+        }
+        // The error names the offending batch entry.
+        let (_, doc) = post(
+            &s,
+            "/search/batch",
+            r#"{"queries": [{"reference": ["a"]}, {"reference": ["b"], "floor": 7}]}"#,
+        );
+        assert!(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("queries[1]"));
+    }
+
+    #[test]
+    fn per_query_deadline_answers_200_with_timed_out() {
+        let s = service();
+        // A zero budget expires before any verification: still a 200,
+        // with well-formed (empty-prefix) results and the flag set.
+        let (status, doc) = post(
+            &s,
+            "/search",
+            r#"{"reference": ["w0 w1 shared0"], "floor": 0.0, "deadline_ms": 0}"#,
+        );
+        assert_eq!(status, 200, "{doc}");
+        assert_eq!(doc.get("timed_out"), Some(&Json::Bool(true)));
+        assert!(doc.get("results").and_then(Json::as_array).is_some());
+    }
+
+    #[test]
+    fn whole_request_timeout_is_a_504() {
+        let s = SearchService::new(ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap())
+            .with_search_timeout(Duration::ZERO);
+        let (status, doc) = post(&s, "/search", r#"{"reference": ["w0 w1 shared0"]}"#);
+        assert_eq!(status, 504, "{doc}");
+        assert!(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("--search-timeout-ms"));
+        let (status, _) = post(
+            &s,
+            "/search/batch",
+            r#"{"queries": [{"reference": ["w0 w1 shared0"]}]}"#,
+        );
+        assert_eq!(status, 504);
+        // A generous budget answers normally.
+        let s = SearchService::new(ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap())
+            .with_search_timeout(Duration::from_secs(60));
+        let (status, doc) = post(&s, "/search", r#"{"reference": ["w0 w1 shared0"]}"#);
+        assert_eq!(status, 200, "{doc}");
+        assert_eq!(doc.get("timed_out"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn search_batch_rejects_other_methods() {
+        let s = service();
+        assert_eq!(get(&s, "/search/batch").0, 405);
     }
 
     #[test]

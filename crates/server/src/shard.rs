@@ -21,11 +21,13 @@
 //!    top-k is outranked by k items globally too.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use silkmoth_collection::{Collection, SetIdx, SetRecord, UpdateError};
 use silkmoth_core::rank::merge_partitioned;
 use silkmoth_core::{
-    ConfigError, Engine, EngineConfig, PassStats, RelatedPair, Update, UpdateOutcome,
+    ConfigError, Engine, EngineConfig, PairExplanation, PassStats, QueryOutput, QuerySpec,
+    RelatedPair, Update, UpdateOutcome,
 };
 
 /// A collection hash-partitioned across N [`Engine`] shards, answering
@@ -66,6 +68,32 @@ pub struct ShardedSearchOutput {
     pub results: Vec<(SetIdx, f64)>,
     /// One [`PassStats`] per shard, indexed by shard id.
     pub shard_stats: Vec<PassStats>,
+}
+
+/// Scatter-gather [`QuerySpec`] execution output: the engine-level
+/// [`QueryOutput`] with global set ids, plus per-shard pass stats.
+#[derive(Debug, Clone)]
+pub struct ShardedQueryOutput {
+    /// Related sets `(global id, score)` in single-engine order
+    /// (ascending id, or top-k rank when the spec asks for it).
+    pub hits: Vec<(SetIdx, f64)>,
+    /// One [`PassStats`] per shard, indexed by shard id.
+    pub shard_stats: Vec<PassStats>,
+    /// True when any shard's pass hit the spec's deadline: `hits` is a
+    /// well-formed subset of the full answer.
+    pub timed_out: bool,
+    /// Per-hit diagnostics (global ids) when the spec asked for
+    /// explanations: a positionally-aligned **prefix** of `hits` —
+    /// the full list normally, shorter only when `timed_out` cut the
+    /// explain phase short on some shard.
+    pub explanations: Vec<(SetIdx, PairExplanation)>,
+}
+
+impl ShardedQueryOutput {
+    /// All shards' stats merged.
+    pub fn merged_stats(&self) -> PassStats {
+        merge_stats(&self.shard_stats)
+    }
 }
 
 /// Scatter-gather discovery output with global set ids on the
@@ -385,38 +413,126 @@ impl ShardedEngine {
     }
 
     /// RELATED SET SEARCH across all shards for a reference given as raw
-    /// element strings, with the [`Query`](silkmoth_core::Query)-level
-    /// `k`/`floor` knobs. Each shard encodes the reference against its
-    /// own dictionary, runs one pass, and the gather merges to
-    /// single-engine order with global ids.
+    /// element strings, with the `k`/`floor` knobs. A convenience
+    /// wrapper that builds the equivalent [`QuerySpec`] (where the floor
+    /// is validated) and [`execute`](Self::execute)s it.
     pub fn search<S: AsRef<str> + Sync>(
         &self,
         elements: &[S],
         k: Option<usize>,
         floor: Option<f64>,
     ) -> Result<ShardedSearchOutput, ConfigError> {
-        let strs: Vec<&str> = elements.iter().map(AsRef::as_ref).collect();
-        let per_shard = self.scatter(|engine| {
-            let r = engine.collection().encode_set(&strs);
-            let mut query = engine.query(&r);
-            if let Some(k) = k {
-                query = query.top_k(k);
-            }
-            if let Some(f) = floor {
-                query = query.floor(f);
-            }
-            query.run()
-        })?;
+        let mut spec = QuerySpec::new(elements.iter().map(|e| e.as_ref().to_owned()).collect());
+        if let Some(k) = k {
+            spec = spec.with_top_k(k);
+        }
+        if let Some(f) = floor {
+            spec = spec.with_floor(f)?;
+        }
+        let out = self.execute(&spec);
+        Ok(ShardedSearchOutput {
+            results: out.hits,
+            shard_stats: out.shard_stats,
+        })
+    }
+
+    /// Executes one [`QuerySpec`] by scatter-gather: every shard runs
+    /// [`Engine::execute`] (encoding the spec's reference against its
+    /// own dictionary), and the gather merges to single-engine order
+    /// with global ids — byte-identical to one unsharded engine
+    /// executing the same spec, by the argument in the module docs.
+    pub fn execute(&self, spec: &QuerySpec) -> ShardedQueryOutput {
+        self.execute_until(spec, None)
+    }
+
+    /// [`execute`](Self::execute) with an additional absolute deadline
+    /// `cap` (the server's whole-request budget). Each shard honors the
+    /// earlier of `cap` and the spec's own budget; a timeout on any
+    /// shard flags the merged output.
+    pub fn execute_until(&self, spec: &QuerySpec, cap: Option<Instant>) -> ShardedQueryOutput {
+        let per_shard = self
+            .scatter(|engine| Ok(engine.execute_until(spec, cap)))
+            .expect("spec execution is infallible");
+        self.gather_query(spec, per_shard)
+    }
+
+    /// Executes a batch of specs with one scatter: each shard runs the
+    /// whole batch in order (so a shard's worker thread is reused across
+    /// queries), and each spec's outputs are gathered exactly like
+    /// [`execute`](Self::execute) — batch answers are identical to the
+    /// same specs executed one by one.
+    pub fn execute_batch(&self, specs: &[QuerySpec]) -> Vec<ShardedQueryOutput> {
+        self.execute_batch_until(specs, None)
+    }
+
+    /// [`execute_batch`](Self::execute_batch) with a shared absolute
+    /// deadline bounding the whole batch.
+    pub fn execute_batch_until(
+        &self,
+        specs: &[QuerySpec],
+        cap: Option<Instant>,
+    ) -> Vec<ShardedQueryOutput> {
+        let per_shard = self
+            .scatter(|engine| {
+                Ok(specs
+                    .iter()
+                    .map(|spec| engine.execute_until(spec, cap))
+                    .collect::<Vec<_>>())
+            })
+            .expect("spec execution is infallible");
+        let mut columns: Vec<std::vec::IntoIter<QueryOutput>> =
+            per_shard.into_iter().map(Vec::into_iter).collect();
+        specs
+            .iter()
+            .map(|spec| {
+                let row = columns
+                    .iter_mut()
+                    .map(|c| c.next().expect("one output per spec per shard"))
+                    .collect();
+                self.gather_query(spec, row)
+            })
+            .collect()
+    }
+
+    /// Merges one spec's per-shard [`QueryOutput`]s (shard order) into
+    /// the single-engine answer with global ids.
+    fn gather_query(&self, spec: &QuerySpec, per_shard: Vec<QueryOutput>) -> ShardedQueryOutput {
         let mut shard_stats = Vec::with_capacity(self.shards.len());
         let mut parts = Vec::with_capacity(self.shards.len());
+        let mut timed_out = false;
+        let mut pool: Vec<(SetIdx, PairExplanation)> = Vec::new();
         for (shard, out) in per_shard.into_iter().enumerate() {
             shard_stats.push(out.stats);
-            parts.push(self.globalize(shard, out.results));
+            timed_out |= out.timed_out;
+            pool.extend(
+                out.explanations
+                    .into_iter()
+                    .map(|(sid, e)| (self.global_ids[shard][sid as usize], e)),
+            );
+            parts.push(self.globalize(shard, out.hits));
         }
-        Ok(ShardedSearchOutput {
-            results: merge_partitioned(parts, k),
+        let hits = merge_partitioned(parts, spec.top_k());
+        // Keep explanations only for the hits that survived the global
+        // merge, as a positionally-aligned *prefix* of `hits`: a shard
+        // whose deadline expired mid-explain contributes explanations
+        // for only some of its hits, and stopping at the first
+        // unexplained hit (rather than skipping it) keeps `zip(hits,
+        // explanations)` sound — shorter only when `timed_out`.
+        let mut explanations = Vec::new();
+        if spec.want_explain() {
+            for &(gid, _) in &hits {
+                let Some(i) = pool.iter().position(|&(g, _)| g == gid) else {
+                    break;
+                };
+                explanations.push(pool.swap_remove(i));
+            }
+        }
+        ShardedQueryOutput {
+            hits,
             shard_stats,
-        })
+            timed_out,
+            explanations,
+        }
     }
 
     /// RELATED SET DISCOVERY across all shards for references given as
@@ -627,6 +743,80 @@ mod tests {
         // Appends after a compact continue the old numbering.
         let out = sharded.apply(Update::Append(vec![raw[0].clone()])).unwrap();
         assert_eq!(out.appended, vec![24]);
+    }
+
+    #[test]
+    fn execute_matches_unsharded_engine_across_shard_counts() {
+        let raw = corpus(60);
+        let tokenization = cfg(0.5).tokenization();
+        let single = Engine::new(Collection::build(&raw, tokenization), cfg(0.5)).unwrap();
+        for shards in [1, 2, 7] {
+            let sharded = ShardedEngine::build(&raw, cfg(0.5), shards).unwrap();
+            for rid in [0usize, 17, 42] {
+                for (k, floor) in [(None, None), (Some(5), Some(0.2)), (Some(3), Some(0.0))] {
+                    let mut spec = QuerySpec::new(raw[rid].clone());
+                    if let Some(k) = k {
+                        spec = spec.with_top_k(k);
+                    }
+                    if let Some(f) = floor {
+                        spec = spec.with_floor(f).unwrap();
+                    }
+                    let want = single.execute(&spec);
+                    let got = sharded.execute(&spec);
+                    assert_eq!(got.hits.len(), want.hits.len(), "shards={shards} rid={rid}");
+                    for (a, b) in got.hits.iter().zip(&want.hits) {
+                        assert_eq!(a.0, b.0, "shards={shards} rid={rid}");
+                        assert_eq!(a.1.to_bits(), b.1.to_bits(), "shards={shards} rid={rid}");
+                    }
+                    assert!(!got.timed_out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn execute_batch_equals_one_by_one() {
+        let raw = corpus(40);
+        let sharded = ShardedEngine::build(&raw, cfg(0.5), 3).unwrap();
+        let specs: Vec<QuerySpec> = raw
+            .iter()
+            .step_by(5)
+            .map(|set| {
+                QuerySpec::new(set.clone())
+                    .with_top_k(6)
+                    .with_floor(0.1)
+                    .unwrap()
+            })
+            .collect();
+        let batch = sharded.execute_batch(&specs);
+        assert_eq!(batch.len(), specs.len());
+        for (spec, got) in specs.iter().zip(&batch) {
+            let want = sharded.execute(spec);
+            assert_eq!(got.hits.len(), want.hits.len());
+            for (a, b) in got.hits.iter().zip(&want.hits) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            assert_eq!(got.shard_stats, want.shard_stats);
+        }
+    }
+
+    #[test]
+    fn execute_explanations_survive_the_global_merge() {
+        let raw = corpus(24);
+        let sharded = ShardedEngine::build(&raw, cfg(0.5), 3).unwrap();
+        let spec = QuerySpec::new(raw[0].clone())
+            .with_floor(0.0)
+            .unwrap()
+            .with_top_k(4)
+            .with_explain(true);
+        let out = sharded.execute(&spec);
+        assert_eq!(out.hits.len(), 4);
+        assert_eq!(out.explanations.len(), 4);
+        for ((gid, score), (egid, expl)) in out.hits.iter().zip(&out.explanations) {
+            assert_eq!(gid, egid, "explanations aligned with hits");
+            assert!((expl.relatedness - score).abs() < 1e-12);
+        }
     }
 
     #[test]

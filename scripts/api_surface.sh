@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Dumps the workspace's public API surface to a checked-in snapshot
+# (scripts/api_surface.txt) so that API changes are deliberate: CI runs
+# `./scripts/api_surface.sh --check` and fails on any diff that was not
+# committed alongside the code change.
+#
+#   ./scripts/api_surface.sh           # regenerate the snapshot in place
+#   ./scripts/api_surface.sh --check   # diff against the snapshot; exit 1 on drift
+#
+# The dump is a grep-level approximation (no nightly rustdoc-JSON in this
+# toolchain): for every non-test, non-vendored source file it lists the
+# `pub` items — fns, types, traits, consts, statics, modules, re-exports,
+# macros, and public struct fields — first line only for multi-line
+# signatures, prefixed with the file path and sorted. That is enough to
+# catch additions, removals, renames, and signature changes of anything
+# exported from the workspace crates.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SNAPSHOT=scripts/api_surface.txt
+
+generate() {
+    # src/ (the facade crate + CLI) and crates/*/src; vendor/ is
+    # explicitly out of scope (stand-in crates, not our API).
+    find src crates -name '*.rs' -path '*/src/*' -o -name '*.rs' -path 'src/*' \
+        | LC_ALL=C sort \
+        | while read -r f; do
+            # `pub` / `pub(crate)` etc. — only plain `pub` is public API.
+            grep -hE '^[[:space:]]*pub (fn|unsafe fn|struct|enum|trait|type|const|static|mod|use|macro_rules!|[A-Za-z_][A-Za-z0-9_]*:)' "$f" \
+                | sed -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//' -e "s|^|$f: |" \
+                || true
+        done
+}
+
+case "${1:-}" in
+--check)
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    generate >"$tmp"
+    if ! diff -u "$SNAPSHOT" "$tmp"; then
+        echo >&2
+        echo "error: public API surface drifted from $SNAPSHOT." >&2
+        echo "If the change is deliberate, run ./scripts/api_surface.sh and" >&2
+        echo "commit the regenerated snapshot with your change." >&2
+        exit 1
+    fi
+    echo "API surface matches $SNAPSHOT ($(wc -l <"$SNAPSHOT") public items)."
+    ;;
+"")
+    generate >"$SNAPSHOT"
+    echo "Wrote $SNAPSHOT ($(wc -l <"$SNAPSHOT") public items)."
+    ;;
+*)
+    echo "usage: $0 [--check]" >&2
+    exit 2
+    ;;
+esac

@@ -26,14 +26,15 @@
 //! ```
 
 use silkmoth::{
-    Collection, CompactionPolicy, Engine, EngineConfig, FilterKind, RelatednessMetric, ShardSpec,
-    ShardedEngine, SignatureScheme, SimilarityFunction, StorageError, Store, StoreConfig,
-    Tokenization,
+    Collection, CompactionPolicy, Engine, EngineConfig, FilterKind, QuerySpec, RelatednessMetric,
+    ShardSpec, ShardedEngine, SignatureScheme, SimilarityFunction, StorageError, Store,
+    StoreConfig, Tokenization,
 };
 use silkmoth_server::SearchService;
 use std::io::Read;
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Cli {
@@ -54,6 +55,8 @@ struct Cli {
     threads: usize,
     top_k: Option<usize>,
     floor: Option<f64>,
+    timeout_ms: Option<u64>,
+    search_timeout_ms: Option<u64>,
     quiet: bool,
     addr: String,
     port: u16,
@@ -92,6 +95,9 @@ options:
                       reference (score desc, then set id asc)
   --floor F           search: report sets with relatedness >= F in [0,1]
                       instead of the engine delta
+  --timeout-ms N      search: wall-clock budget per reference; an expired
+                      query reports the results proven so far (marked on
+                      stderr) instead of scanning to the floor
   --quiet             print only result pairs
   --addr A            serve: bind address             (default: 127.0.0.1)
   --port P            serve: TCP port                 (default: 7700)
@@ -107,12 +113,16 @@ options:
   --max-inflight-updates N
                       serve: reject updates beyond N in flight with
                       503 + Retry-After instead of queuing unboundedly
+  --search-timeout-ms N
+                      serve: whole-request budget for POST /search and
+                      POST /search/batch; an exhausted request gets 504
   --no-fsync          durable: skip the per-update fsync (faster bulk
                       loads; a crash may lose the unsynced tail)
 
-serve exposes POST /search, POST /discover, POST /sets, DELETE /sets,
-POST /compact, POST /snapshot (durable), GET /stats, GET /healthz
-(JSON wire format; see the README for the schema and curl examples).
+serve exposes POST /search, POST /search/batch, POST /discover,
+POST /sets, DELETE /sets, POST /compact, POST /snapshot (durable),
+GET /stats, GET /healthz (JSON wire format; see the README for the
+schema and curl examples).
 
 update applies --append and/or --remove to the collection through the
 incremental-update layer, compacts it, and writes the surviving sets
@@ -153,6 +163,8 @@ fn parse_cli() -> Cli {
         threads: 0,
         top_k: None,
         floor: None,
+        timeout_ms: None,
+        search_timeout_ms: None,
         quiet: false,
         addr: "127.0.0.1".into(),
         port: 7700,
@@ -216,6 +228,16 @@ fn parse_cli() -> Cli {
             "--threads" => cli.threads = val().parse().unwrap_or_else(|_| fail("bad --threads")),
             "--top-k" => cli.top_k = Some(val().parse().unwrap_or_else(|_| fail("bad --top-k"))),
             "--floor" => cli.floor = Some(val().parse().unwrap_or_else(|_| fail("bad --floor"))),
+            "--timeout-ms" => {
+                cli.timeout_ms = Some(val().parse().unwrap_or_else(|_| fail("bad --timeout-ms")))
+            }
+            "--search-timeout-ms" => {
+                cli.search_timeout_ms = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --search-timeout-ms")),
+                )
+            }
             "--quiet" => cli.quiet = true,
             "--addr" => cli.addr = val(),
             "--port" => cli.port = val().parse().unwrap_or_else(|_| fail("bad --port")),
@@ -411,6 +433,10 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
         Some(n) => service.with_max_inflight_updates(n),
         None => service,
     };
+    let service = match cli.search_timeout_ms {
+        Some(ms) => service.with_search_timeout(Duration::from_millis(ms)),
+        None => service,
+    };
     let service = Arc::new(service);
 
     let threads = match cli.threads {
@@ -434,8 +460,8 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
         if durable { ", durable" } else { "" },
     );
     eprintln!(
-        "# endpoints: POST /search, POST /discover, POST /sets, DELETE /sets, \
-         POST /compact, POST /snapshot, GET /stats, GET /healthz"
+        "# endpoints: POST /search, POST /search/batch, POST /discover, POST /sets, \
+         DELETE /sets, POST /compact, POST /snapshot, GET /stats, GET /healthz"
     );
     server.wait();
 }
@@ -519,73 +545,51 @@ fn main() {
                 .clone()
                 .unwrap_or_else(|| fail("search needs --reference"));
             let refs_raw = read_sets(&ref_path, cli.delimiter);
-            let refs: Vec<_> = refs_raw
-                .iter()
-                .map(|r| {
-                    let strs: Vec<&str> = r.iter().map(String::as_str).collect();
-                    engine.collection().encode_set(&strs)
-                })
-                .collect();
-            let mut total = 0usize;
-            if cli.top_k.is_some() || cli.floor.is_some() {
-                // Per-query overrides go through the query API; one query
-                // per reference, chunked across the worker threads (the
-                // engine is Sync, so workers share it directly).
-                let threads = match cli.threads {
-                    0 => std::thread::available_parallelism().map_or(1, usize::from),
-                    n => n,
-                }
-                .min(refs.len().max(1));
-                let run_query = |record: &silkmoth::SetRecord| {
-                    let mut query = engine.query(record);
+            // Every reference search is one QuerySpec — the same owned
+            // query description the engine, the sharded engine, and the
+            // HTTP routes execute — batched across the worker threads.
+            let specs: Vec<QuerySpec> = refs_raw
+                .into_iter()
+                .map(|set| {
+                    let mut spec = QuerySpec::new(set);
                     if let Some(k) = cli.top_k {
-                        query = query.top_k(k);
+                        spec = spec.with_top_k(k);
                     }
                     if let Some(f) = cli.floor {
-                        query = query.floor(f);
+                        spec = spec.with_floor(f).unwrap_or_else(|e| fail(&e.to_string()));
                     }
-                    query.run().map(|out| out.results)
-                };
-                let outputs: Vec<_> = if threads <= 1 {
-                    refs.iter().map(run_query).collect()
-                } else {
-                    let chunk = refs.len().div_ceil(threads);
-                    let mut outputs = Vec::with_capacity(refs.len());
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = refs
-                            .chunks(chunk)
-                            .map(|part| {
-                                scope.spawn(|| part.iter().map(run_query).collect::<Vec<_>>())
-                            })
-                            .collect();
-                        for h in handles {
-                            outputs.extend(h.join().expect("search worker panicked"));
-                        }
-                    });
-                    outputs
-                };
-                for (rid, results) in outputs.into_iter().enumerate() {
-                    let results = results.unwrap_or_else(|e| fail(&e.to_string()));
-                    for (sid, score) in results {
-                        println!("{rid}\t{sid}\t{score:.6}");
-                        total += 1;
+                    if let Some(ms) = cli.timeout_ms {
+                        spec = spec.with_deadline(Duration::from_millis(ms));
                     }
-                }
-            } else {
-                // Plain batched search: fan the references out across the
-                // worker threads.
-                let out = engine.discover_parallel(&refs, cli.threads);
-                for p in &out.pairs {
-                    println!("{}\t{}\t{:.6}", p.r, p.s, p.score);
+                    spec
+                })
+                .collect();
+            let outputs = engine.execute_batch(&specs, cli.threads);
+            let mut total = 0usize;
+            let mut expired = 0usize;
+            for (rid, out) in outputs.iter().enumerate() {
+                for &(sid, score) in &out.hits {
+                    println!("{rid}\t{sid}\t{score:.6}");
                     total += 1;
+                }
+                if out.timed_out {
+                    expired += 1;
+                    if !cli.quiet {
+                        eprintln!("# reference {rid}: deadline exceeded, results truncated");
+                    }
                 }
             }
             if !cli.quiet {
                 eprintln!(
-                    "# {} results for {} references in {:.3}s",
+                    "# {} results for {} references in {:.3}s{}",
                     total,
-                    refs.len(),
-                    t0.elapsed().as_secs_f64()
+                    specs.len(),
+                    t0.elapsed().as_secs_f64(),
+                    if expired > 0 {
+                        format!(" ({expired} hit the --timeout-ms budget)")
+                    } else {
+                        String::new()
+                    }
                 );
             }
         }

@@ -70,6 +70,15 @@
 //! let refs = vec![engine.collection().encode_set(&["77 Mass Ave Boston MA"])];
 //! let pairs = engine.discover_parallel(&refs, 0).pairs;
 //! assert_eq!(pairs, engine.discover(&refs).pairs);
+//!
+//! // The same search as an owned, serializable QuerySpec — the artifact
+//! // the engine, the sharded engine, the HTTP routes, and the CLI all
+//! // execute identically (with optional top-k, floor, and deadline):
+//! use silkmoth::QuerySpec;
+//! let spec = QuerySpec::new(vec!["77 Mass Ave Boston MA".to_string()]).with_top_k(1);
+//! let top = engine.execute(&spec);
+//! assert_eq!(top.hits.len(), 1);
+//! assert!(!top.timed_out);
 //! ```
 
 pub use silkmoth_collection as collection;
@@ -85,11 +94,13 @@ pub use silkmoth_collection::{
 };
 pub use silkmoth_core::{
     brute, CompactionPolicy, ConfigError, DiscoveryOutput, Engine, EngineBuilder, EngineConfig,
-    FilterKind, PassStats, Query, QueryIter, RelatedPair, RelatednessMetric, SearchOutput,
-    SignatureScheme, Update, UpdateOutcome,
+    FilterKind, PassStats, Query, QueryIter, QueryOutput, QuerySpec, RelatedPair,
+    RelatednessMetric, SearchOutput, SignatureScheme, Update, UpdateOutcome,
 };
 pub use silkmoth_datagen::{ColumnsConfig, DblpConfig, SchemaConfig};
 pub use silkmoth_matching::{max_weight_assignment, WeightMatrix};
-pub use silkmoth_server::{ShardSpec, ShardedDiscoveryOutput, ShardedEngine, ShardedSearchOutput};
+pub use silkmoth_server::{
+    ShardSpec, ShardedDiscoveryOutput, ShardedEngine, ShardedQueryOutput, ShardedSearchOutput,
+};
 pub use silkmoth_storage::{StorageError, Store, StoreConfig, StoreEngine};
 pub use silkmoth_text::SimilarityFunction;
