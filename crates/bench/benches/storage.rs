@@ -11,7 +11,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use silkmoth_collection::Collection;
 use silkmoth_core::{Engine, EngineConfig, RelatednessMetric, Update};
-use silkmoth_storage::{load_snapshot, snapshot_bytes, Store, StoreConfig, StoreEngine};
+use silkmoth_storage::{
+    load_snapshot, snapshot_bytes, SnapshotMeta, Store, StoreConfig, StoreEngine,
+};
 use silkmoth_text::SimilarityFunction;
 use std::path::PathBuf;
 
@@ -84,7 +86,7 @@ fn bench_snapshot_roundtrip(c: &mut Criterion) {
         let state = engine(n).capture();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
-            b.iter(|| snapshot_bytes(1, &state))
+            b.iter(|| snapshot_bytes(SnapshotMeta::default(), &state))
         });
     }
     group.finish();

@@ -33,7 +33,13 @@ struct Opts {
     floor: f64,
     sets: usize,
     batch: usize,
+    json_out: Option<String>,
+    label: Option<String>,
+    dump_sets: Option<String>,
 }
+
+/// Version of the `--json-out` report schema.
+const REPORT_VERSION: u64 = 1;
 
 const USAGE: &str = "\
 usage: loadgen --addr HOST:PORT [options]
@@ -47,6 +53,12 @@ options:
   --sets N       datagen corpus size to draw references from (default: 200)
   --batch N      queries per request: 1 posts /search, >1 posts
                  /search/batch with N specs per body    (default: 1)
+  --json-out F   also write the report as one versioned JSON object
+                 to F ('-' for stdout)
+  --label L      scenario name recorded in the JSON report
+  --dump-sets F  write the deterministic --sets corpus to F in
+                 `silkmoth serve --input` format and exit — serve this
+                 file and the generated references actually match it
 ";
 
 fn fail(msg: &str) -> ! {
@@ -64,6 +76,9 @@ fn parse_opts() -> Opts {
         floor: 0.3,
         sets: 200,
         batch: 1,
+        json_out: None,
+        label: None,
+        dump_sets: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -81,6 +96,9 @@ fn parse_opts() -> Opts {
             "--floor" => opts.floor = val().parse().unwrap_or_else(|_| fail("bad --floor")),
             "--sets" => opts.sets = val().parse().unwrap_or_else(|_| fail("bad --sets")),
             "--batch" => opts.batch = val().parse().unwrap_or_else(|_| fail("bad --batch")),
+            "--json-out" => opts.json_out = Some(val()),
+            "--label" => opts.label = Some(val()),
+            "--dump-sets" => opts.dump_sets = Some(val()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -88,7 +106,7 @@ fn parse_opts() -> Opts {
             other => fail(&format!("unknown option {other}")),
         }
     }
-    if opts.addr.is_empty() {
+    if opts.addr.is_empty() && opts.dump_sets.is_none() {
         fail("--addr is required");
     }
     if opts.batch == 0 {
@@ -168,16 +186,27 @@ fn count_results(body: &[u8]) -> usize {
 
 fn main() {
     let opts = parse_opts();
-    if let Err(e) = healthcheck(&opts.addr) {
-        fail(&e);
-    }
-
     // A deterministic pool of references: perturbed slices of the datagen
     // schema corpus, so some match and some don't.
     let corpus = silkmoth_datagen::webtable_schemas(&silkmoth_datagen::SchemaConfig {
         num_sets: opts.sets,
         ..Default::default()
     });
+    if let Some(path) = &opts.dump_sets {
+        let mut out = String::new();
+        for set in &corpus {
+            out.push_str(&set.join("|"));
+            out.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            fail(&format!("writing {path}: {e}"));
+        }
+        eprintln!("# wrote {} sets to {path}", corpus.len());
+        exit(0);
+    }
+    if let Err(e) = healthcheck(&opts.addr) {
+        fail(&e);
+    }
     let specs: Vec<Json> = corpus
         .iter()
         .map(|set| {
@@ -311,6 +340,67 @@ fn main() {
             per_query(percentile(&all_latencies, 1.0)),
             opts.batch,
         );
+    }
+    if let Some(out) = &opts.json_out {
+        let latency = |scale: f64| {
+            obj(vec![
+                ("mean", Json::Num(ms(mean) / scale)),
+                (
+                    "p50",
+                    Json::Num(ms(percentile(&all_latencies, 0.50)) / scale),
+                ),
+                (
+                    "p90",
+                    Json::Num(ms(percentile(&all_latencies, 0.90)) / scale),
+                ),
+                (
+                    "p99",
+                    Json::Num(ms(percentile(&all_latencies, 0.99)) / scale),
+                ),
+                (
+                    "max",
+                    Json::Num(ms(percentile(&all_latencies, 1.0)) / scale),
+                ),
+            ])
+        };
+        let mut fields = vec![
+            ("version", Json::Num(REPORT_VERSION as f64)),
+            (
+                "label",
+                match &opts.label {
+                    Some(l) => Json::Str(l.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("addr", Json::Str(opts.addr.clone())),
+            ("path", Json::Str(path.into())),
+            ("threads", Json::Num(opts.threads as f64)),
+            ("requests_per_thread", Json::Num(opts.requests as f64)),
+            ("batch", Json::Num(opts.batch as f64)),
+            ("k", Json::Num(opts.k as f64)),
+            ("floor", Json::Num(opts.floor)),
+            ("sets", Json::Num(opts.sets as f64)),
+            ("ok", Json::Num(ok as f64)),
+            ("errors", Json::Num(errors as f64)),
+            ("elapsed_s", Json::Num(elapsed.as_secs_f64())),
+            ("req_per_s", Json::Num(ok as f64 / elapsed.as_secs_f64())),
+            (
+                "queries_per_s",
+                Json::Num((ok * opts.batch) as f64 / elapsed.as_secs_f64()),
+            ),
+            ("result_rows", Json::Num(total_results as f64)),
+            ("per_request_latency_ms", latency(1.0)),
+        ];
+        if opts.batch > 1 {
+            fields.push(("per_query_latency_ms", latency(opts.batch as f64)));
+        }
+        let report = obj(fields).to_string();
+        if out == "-" {
+            println!("{report}");
+        } else if let Err(e) = std::fs::write(out, format!("{report}\n")) {
+            eprintln!("error: writing {out}: {e}");
+            exit(1);
+        }
     }
     if errors > 0 {
         exit(1);

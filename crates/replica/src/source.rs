@@ -1,0 +1,449 @@
+//! Primary side of replication: adapt a [`Store`] into a
+//! [`ReplicationSource`], stream it to one follower with
+//! [`stream_updates`], and accept followers over TCP with
+//! [`serve_log`].
+
+use crate::proto::{read_handshake, write_frame, Frame};
+use crate::ReplicaError;
+use silkmoth_storage::{
+    read_wal_payloads, snapshot_bytes, wal_file_path, CommitHook, SnapshotMeta, StorageError,
+    Store, StoreEngine, StoreStatus,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Wakes replication streamers at the store's commit point. Install
+/// its [`hook`](CommitSignal::hook) with
+/// [`Store::set_commit_hook`]; streamers block in
+/// [`wait_beyond`](CommitSignal::wait_beyond) instead of polling.
+#[derive(Debug, Default)]
+pub struct CommitSignal {
+    seq: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl CommitSignal {
+    /// A signal starting at sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `seq` updates are now committed and wakes waiters.
+    /// Monotonic: stale notifications are ignored.
+    pub fn notify(&self, seq: u64) {
+        let mut current = self.seq.lock().expect("commit signal poisoned");
+        if seq > *current {
+            *current = seq;
+            self.cond.notify_all();
+        }
+    }
+
+    /// The highest committed sequence seen so far.
+    pub fn current(&self) -> u64 {
+        *self.seq.lock().expect("commit signal poisoned")
+    }
+
+    /// Seeds the signal with a store's current committed count (call
+    /// once before serving, so a signal attached to a non-empty store
+    /// doesn't start at 0).
+    pub fn seed(&self, seq: u64) {
+        self.notify(seq);
+    }
+
+    /// Overwrites the counter unconditionally and wakes waiters — for
+    /// when the tracked store is *replaced* (a follower installing a
+    /// bootstrap snapshot may move to a seq below a diverged cursor).
+    /// The caller must ensure no commit hook can fire concurrently
+    /// (hold the store's write lock across the replacement).
+    pub fn reset(&self, seq: u64) {
+        *self.seq.lock().expect("commit signal poisoned") = seq;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the committed count exceeds `seen` or `timeout`
+    /// elapses; returns the count either way.
+    pub fn wait_beyond(&self, seen: u64, timeout: Duration) -> u64 {
+        let guard = self.seq.lock().expect("commit signal poisoned");
+        let (guard, _) = self
+            .cond
+            .wait_timeout_while(guard, timeout, |seq| *seq <= seen)
+            .expect("commit signal poisoned");
+        *guard
+    }
+
+    /// A [`CommitHook`] that notifies this signal. The hook only takes
+    /// a lock and notifies a condvar — safe at the commit point.
+    pub fn hook(self: &Arc<Self>) -> CommitHook {
+        let signal = Arc::clone(self);
+        CommitHook::new(move |seq| signal.notify(seq))
+    }
+}
+
+/// What a replication streamer needs from the primary: its position
+/// (epoch, committed count), a blocking wait for new commits, raw WAL
+/// records after a cursor, and a snapshot for bootstraps.
+pub trait ReplicationSource: Send + Sync {
+    /// The primary's failover epoch.
+    fn epoch(&self) -> u64;
+
+    /// Total updates committed.
+    fn committed_seq(&self) -> u64;
+
+    /// Blocks until the committed count exceeds `seen` or `timeout`
+    /// elapses; returns the current count.
+    fn wait_beyond(&self, seen: u64, timeout: Duration) -> u64;
+
+    /// Raw WAL payloads of records `applied + 1 ..= applied + limit`
+    /// (fewer if fewer are committed). `Ok(None)` means the cursor is
+    /// not servable from the retained WAL (it predates the current
+    /// generation, or lies in the future) — the caller bootstraps with
+    /// a snapshot instead.
+    fn records_after(
+        &self,
+        applied: u64,
+        limit: usize,
+    ) -> Result<Option<Vec<Vec<u8>>>, ReplicaError>;
+
+    /// A full snapshot in the storage snapshot-file format, plus the
+    /// `(update_seq, epoch)` it captures.
+    fn snapshot(&self) -> Result<(Vec<u8>, u64, u64), ReplicaError>;
+}
+
+/// Maps a follower cursor onto a store's current WAL generation and
+/// reads the next batch of raw record payloads. `status` and `dir`
+/// must come from one consistent read of the store (hold the lock
+/// while calling `status()`; the file read itself happens lock-free —
+/// committed WAL bytes are append-only, and a generation rotated away
+/// mid-read surfaces as `Ok(None)`, i.e. "bootstrap instead").
+pub fn store_records_after(
+    dir: &Path,
+    status: &StoreStatus,
+    applied: u64,
+    limit: usize,
+) -> Result<Option<Vec<Vec<u8>>>, ReplicaError> {
+    let base = status.update_seq - status.wal_records;
+    if applied < base || applied > status.update_seq {
+        return Ok(None);
+    }
+    let take = ((status.update_seq - applied) as usize).min(limit);
+    if take == 0 {
+        return Ok(Some(Vec::new()));
+    }
+    let path = wal_file_path(dir, status.snapshot_seq);
+    match read_wal_payloads(&path, status.snapshot_seq, applied - base, take) {
+        Ok(payloads) => {
+            if payloads.len() < take {
+                // The WAL holds fewer intact records than the store
+                // says it committed — local corruption, not a race.
+                Err(ReplicaError::Storage(StorageError::Corrupt {
+                    file: path.display().to_string(),
+                    detail: format!(
+                        "only {} of {take} committed records after cursor {applied} are intact",
+                        payloads.len()
+                    ),
+                }))
+            } else {
+                Ok(Some(payloads))
+            }
+        }
+        // Generation rotated away between the status read and the file
+        // open: not an error, just no longer servable from the WAL.
+        Err(StorageError::Io { source, .. }) if source.kind() == std::io::ErrorKind::NotFound => {
+            Ok(None)
+        }
+        Err(e) => Err(ReplicaError::Storage(e)),
+    }
+}
+
+/// A [`ReplicationSource`] over a shared [`Store`]. Construction via
+/// [`install`](StoreSource::install) wires the store's commit hook to
+/// an internal [`CommitSignal`], so streamers learn about commits the
+/// moment the WAL append returns.
+#[derive(Debug)]
+pub struct StoreSource<E: StoreEngine> {
+    store: Arc<RwLock<Store<E>>>,
+    signal: Arc<CommitSignal>,
+}
+
+impl<E: StoreEngine> Clone for StoreSource<E> {
+    fn clone(&self) -> Self {
+        Self {
+            store: Arc::clone(&self.store),
+            signal: Arc::clone(&self.signal),
+        }
+    }
+}
+
+impl<E: StoreEngine + Sync> StoreSource<E> {
+    /// Wraps `store`, installing a commit hook on it. Replaces any
+    /// previously installed hook.
+    pub fn install(store: Arc<RwLock<Store<E>>>) -> Self {
+        let signal = Arc::new(CommitSignal::new());
+        {
+            let mut guard = store.write().expect("store lock poisoned");
+            signal.seed(guard.status().update_seq);
+            guard.set_commit_hook(signal.hook());
+        }
+        Self { store, signal }
+    }
+
+    /// The commit signal streamers block on.
+    pub fn signal(&self) -> &Arc<CommitSignal> {
+        &self.signal
+    }
+}
+
+impl<E: StoreEngine + Sync> ReplicationSource for StoreSource<E> {
+    fn epoch(&self) -> u64 {
+        self.store
+            .read()
+            .expect("store lock poisoned")
+            .status()
+            .epoch
+    }
+
+    fn committed_seq(&self) -> u64 {
+        self.signal.current()
+    }
+
+    fn wait_beyond(&self, seen: u64, timeout: Duration) -> u64 {
+        self.signal.wait_beyond(seen, timeout)
+    }
+
+    fn records_after(
+        &self,
+        applied: u64,
+        limit: usize,
+    ) -> Result<Option<Vec<Vec<u8>>>, ReplicaError> {
+        let (dir, status) = {
+            let guard = self.store.read().expect("store lock poisoned");
+            (guard.dir().to_path_buf(), guard.status())
+        };
+        store_records_after(&dir, &status, applied, limit)
+    }
+
+    fn snapshot(&self) -> Result<(Vec<u8>, u64, u64), ReplicaError> {
+        let guard = self.store.read().expect("store lock poisoned");
+        let status = guard.status();
+        let meta = SnapshotMeta {
+            seq: status.snapshot_seq,
+            update_seq: status.update_seq,
+            epoch: status.epoch,
+        };
+        let bytes = snapshot_bytes(meta, &guard.engine().capture());
+        Ok((bytes, status.update_seq, status.epoch))
+    }
+}
+
+/// Tuning for one follower connection's streamer.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamerConfig {
+    /// Heartbeat interval when the follower is caught up; also bounds
+    /// how long a connection thread lingers after a stop request.
+    pub heartbeat: Duration,
+    /// Max records fetched (and framed) per batch.
+    pub batch: usize,
+    /// Max frame body accepted from / offered to the peer, in bytes.
+    pub max_frame_len: u32,
+}
+
+impl Default for StreamerConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat: Duration::from_millis(500),
+            batch: 256,
+            max_frame_len: 256 << 20,
+        }
+    }
+}
+
+/// Serves one follower connection: reads the handshake, then streams
+/// records (or a bootstrap snapshot when the cursor is unservable)
+/// until `stop` is set, the follower goes away, or the source's epoch
+/// changes under us (promotion elsewhere — the follower must re-handshake).
+///
+/// A malformed handshake is answered with a best-effort [`Frame::Error`]
+/// naming the problem before the error is returned.
+pub fn stream_updates(
+    source: &dyn ReplicationSource,
+    io: &mut (impl Read + Write),
+    stop: &AtomicBool,
+    cfg: &StreamerConfig,
+) -> Result<(), ReplicaError> {
+    let hello = match read_handshake(io) {
+        Ok(hello) => hello,
+        Err(e) => {
+            let _ = write_frame(io, &Frame::Error(e.to_string()));
+            return Err(e);
+        }
+    };
+    let epoch = source.epoch();
+    // A cursor minted under another epoch may index a diverged history,
+    // and a cursor of 0 carries no shared-history evidence at all (the
+    // primary's seq-0 state is its *initial build*, not necessarily
+    // empty). Both go through the bootstrap path, via the unservable
+    // sentinel.
+    let mut applied = if hello.epoch == epoch && hello.applied_seq > 0 {
+        hello.applied_seq
+    } else {
+        u64::MAX
+    };
+    let mut committed = source.committed_seq();
+    write_frame(
+        io,
+        &Frame::Heartbeat {
+            committed_seq: committed,
+        },
+    )?;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if source.epoch() != epoch {
+            let msg = "primary epoch changed; reconnect to re-handshake".to_string();
+            let _ = write_frame(io, &Frame::Error(msg.clone()));
+            return Err(ReplicaError::Protocol(msg));
+        }
+        if applied == committed {
+            committed = source.wait_beyond(applied, cfg.heartbeat);
+            if applied >= committed {
+                write_frame(
+                    io,
+                    &Frame::Heartbeat {
+                        committed_seq: committed,
+                    },
+                )?;
+            }
+            continue;
+        }
+        match source.records_after(applied, cfg.batch)? {
+            Some(payloads) if !payloads.is_empty() => {
+                for payload in payloads {
+                    if payload.len() as u64 > u64::from(cfg.max_frame_len) {
+                        return Err(ReplicaError::Protocol(format!(
+                            "WAL record of {} bytes exceeds the {}-byte frame cap",
+                            payload.len(),
+                            cfg.max_frame_len
+                        )));
+                    }
+                    applied += 1;
+                    write_frame(
+                        io,
+                        &Frame::Record {
+                            seq: applied,
+                            payload,
+                        },
+                    )?;
+                }
+            }
+            // Unservable cursor (too old, foreign epoch, or rotated
+            // away mid-read) or an empty batch from a raced rotation:
+            // bootstrap.
+            _ => {
+                let (snapshot, seq, snap_epoch) = source.snapshot()?;
+                write_frame(
+                    io,
+                    &Frame::Snapshot {
+                        epoch: snap_epoch,
+                        seq,
+                        snapshot,
+                    },
+                )?;
+                applied = seq;
+            }
+        }
+        committed = source.committed_seq();
+    }
+}
+
+/// A running replication log listener: one accept thread, one streamer
+/// thread per connected follower.
+#[derive(Debug)]
+pub struct ReplicaServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    followers: Arc<AtomicUsize>,
+}
+
+impl ReplicaServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently connected followers.
+    pub fn follower_count(&self) -> usize {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    /// The shared follower-count gauge, for surfacing in stats.
+    pub fn follower_gauge(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.followers)
+    }
+
+    /// Stops accepting and asks streamer threads to exit (they notice
+    /// within one heartbeat interval).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplicaServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `source`'s update log to any follower that
+/// connects. Each connection gets its own thread running
+/// [`stream_updates`]; handshakes are given 10 s to arrive.
+pub fn serve_log<S: ReplicationSource + 'static>(
+    source: Arc<S>,
+    addr: impl ToSocketAddrs,
+    cfg: StreamerConfig,
+) -> std::io::Result<ReplicaServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let followers = Arc::new(AtomicUsize::new(0));
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let followers = Arc::clone(&followers);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(mut conn) = conn else { continue };
+                let source = Arc::clone(&source);
+                let stop = Arc::clone(&stop);
+                let followers = Arc::clone(&followers);
+                std::thread::spawn(move || {
+                    let _ = conn.set_nodelay(true);
+                    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+                    let _ = conn.set_write_timeout(Some(Duration::from_secs(30)));
+                    followers.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream_updates(source.as_ref(), &mut conn, &stop, &cfg);
+                    followers.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+        })
+    };
+    Ok(ReplicaServer {
+        addr,
+        stop,
+        accept: Some(accept),
+        followers,
+    })
+}

@@ -53,6 +53,7 @@ pub mod durable;
 pub mod http;
 pub mod json;
 pub mod queryspec;
+pub mod replication;
 pub mod service;
 pub mod shard;
 
@@ -60,6 +61,10 @@ pub use durable::ShardSpec;
 pub use http::{read_simple_response, HttpServer, Request, Response};
 pub use json::{Json, JsonError};
 pub use queryspec::{spec_from_json, spec_to_json, QUERY_SPEC_JSON_VERSION};
+pub use replication::{
+    dir_needs_fresh_store, follower_store_config, serve_log, start_follower, FollowerConfig,
+    FollowerRuntime, ReplicaServer, ServiceSink, ServiceSource, StreamerConfig,
+};
 pub use service::{serve, serve_service, EngineGuard, SearchService};
 pub use shard::{
     merge_stats, ShardedDiscoveryOutput, ShardedEngine, ShardedQueryOutput, ShardedSearchOutput,

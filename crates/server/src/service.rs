@@ -12,8 +12,9 @@
 //! | `DELETE /sets`   | `{"ids": [id, …]}`                               | `{"removed": n, "sets": n}` |
 //! | `POST /compact`  | —                                                | `{"sets": n}` |
 //! | `POST /snapshot` | —                                                | `{"snapshot_seq": n}` (durable mode; 409 otherwise) |
+//! | `POST /promote`  | —                                                | `{"role": "primary", "epoch", "update_seq"}` — follower failover (409 when already primary) |
 //! | `GET /stats`     | —                                                | request counters, per-shard and merged [`PassStats`], and (durable) the storage generation |
-//! | `GET /healthz`   | —                                                | `{"status": "ok", "durable": b, …}` |
+//! | `GET /healthz`   | —                                                | `{"status": "ok", "durable": b, "role": "primary"\|"follower", …}` |
 //!
 //! Set ids in responses are **global** (the line number of the set in
 //! the served input; appended sets continue the numbering), identical
@@ -60,6 +61,7 @@ use std::time::{Duration, Instant};
 
 use silkmoth_collection::UpdateError;
 use silkmoth_core::{CompactionPolicy, PassStats, QuerySpec, Update, UpdateOutcome};
+use silkmoth_replica::{CommitSignal, FollowerShared};
 use silkmoth_storage::{StorageError, Store};
 
 use crate::http::{self, HttpServer, Request, Response};
@@ -110,11 +112,37 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// The service's place in a replication topology. Everything starts as
+/// a standalone primary; `serve --replicate-from` flips to the
+/// follower role ([`crate::replication::start_follower`]) and
+/// `POST /promote` flips back.
+#[derive(Debug)]
+enum ReplicationRole {
+    /// Accepts writes.
+    Primary,
+    /// Read-only: update routes answer `409` naming `primary`;
+    /// replicated records land through the sink instead.
+    Follower {
+        primary: String,
+        shared: Arc<FollowerShared>,
+    },
+}
+
 /// Shared service state: the engine (plus its store, in durable mode)
 /// and cumulative observability counters for `GET /stats`.
 #[derive(Debug)]
 pub struct SearchService {
     backend: RwLock<Backend>,
+    /// Role in the replication topology (primary unless tailing).
+    replication: Mutex<ReplicationRole>,
+    /// Live connections on the attached replication log listener, when
+    /// one is serving (`--replicate-addr`) — independent of role, so a
+    /// chained follower reports its downstream count too.
+    follower_gauge: Mutex<Option<Arc<AtomicUsize>>>,
+    /// Notified at the durable store's commit point; what replication
+    /// streamers block on instead of polling. Idle on ephemeral
+    /// services.
+    commit_signal: Arc<CommitSignal>,
     /// Ephemeral-mode auto-compaction (durable mode: the policy lives
     /// in the store's `StoreConfig` so auto-actions are WAL-logged).
     policy: CompactionPolicy,
@@ -150,12 +178,20 @@ impl SearchService {
         Self::with_backend(Backend::Durable(store))
     }
 
-    fn with_backend(backend: Backend) -> Self {
+    fn with_backend(mut backend: Backend) -> Self {
         let shard_stats = (0..backend.engine().shard_count())
             .map(|_| Mutex::new(PassStats::default()))
             .collect();
+        let commit_signal = Arc::new(CommitSignal::new());
+        if let Backend::Durable(store) = &mut backend {
+            commit_signal.seed(store.status().update_seq);
+            store.set_commit_hook(commit_signal.hook());
+        }
         Self {
             backend: RwLock::new(backend),
+            replication: Mutex::new(ReplicationRole::Primary),
+            follower_gauge: Mutex::new(None),
+            commit_signal,
             policy: CompactionPolicy::DISABLED,
             max_inflight_updates: None,
             search_timeout: None,
@@ -204,6 +240,64 @@ impl SearchService {
         EngineGuard(self.backend.read().expect("engine lock poisoned"))
     }
 
+    /// Runs `f` against the durable store under the read lock; `None`
+    /// on an ephemeral service.
+    pub(crate) fn read_durable<R>(&self, f: impl FnOnce(&Store<ShardedEngine>) -> R) -> Option<R> {
+        match &*self.backend.read().expect("engine lock poisoned") {
+            Backend::Durable(store) => Some(f(store)),
+            Backend::Ephemeral(_) => None,
+        }
+    }
+
+    /// Runs `f` against the durable store under the **write** lock —
+    /// how replicated records land without passing the follower
+    /// read-only check; `None` on an ephemeral service.
+    pub(crate) fn with_durable_store<R>(
+        &self,
+        f: impl FnOnce(&mut Store<ShardedEngine>) -> R,
+    ) -> Option<R> {
+        match &mut *self.backend.write().expect("engine lock poisoned") {
+            Backend::Durable(store) => Some(f(store)),
+            Backend::Ephemeral(_) => None,
+        }
+    }
+
+    /// Swaps in a replacement durable store (a follower installing a
+    /// bootstrap snapshot), rewiring the commit signal to it. False on
+    /// an ephemeral service (nothing replaced).
+    pub(crate) fn replace_durable_store(&self, mut store: Store<ShardedEngine>) -> bool {
+        let mut backend = self.backend.write().expect("engine lock poisoned");
+        if !matches!(&*backend, Backend::Durable(_)) {
+            return false;
+        }
+        // Under the write lock no commit hook can fire concurrently,
+        // so the unconditional reset is safe (the new store may sit at
+        // a *lower* seq than a diverged local history did).
+        self.commit_signal.reset(store.status().update_seq);
+        store.set_commit_hook(self.commit_signal.hook());
+        *backend = Backend::Durable(store);
+        true
+    }
+
+    /// The signal notified at every durable commit (what replication
+    /// streamers block on).
+    pub(crate) fn commit_signal(&self) -> &Arc<CommitSignal> {
+        &self.commit_signal
+    }
+
+    /// Marks this service a follower of `primary` (updates answer 409
+    /// until [`POST /promote`](Self::promote)).
+    pub(crate) fn set_role_follower(&self, primary: String, shared: Arc<FollowerShared>) {
+        *self.replication.lock().expect("replication lock poisoned") =
+            ReplicationRole::Follower { primary, shared };
+    }
+
+    /// Attaches the live follower-connection gauge of a replication
+    /// log listener, so `/stats` can report it.
+    pub fn set_follower_gauge(&self, gauge: Arc<AtomicUsize>) {
+        *self.follower_gauge.lock().expect("gauge lock poisoned") = Some(gauge);
+    }
+
     /// Admits one update, or `None` when the in-flight bound is
     /// reached.
     fn admit_update(&self) -> Option<InflightGuard<'_>> {
@@ -241,34 +335,86 @@ impl SearchService {
             ("DELETE", "/sets") => self.remove(&req.body),
             ("POST", "/compact") => self.compact(),
             ("POST", "/snapshot") => self.snapshot(),
+            ("POST", "/promote") => self.promote(),
             (
                 _,
                 "/healthz" | "/stats" | "/search" | "/search/batch" | "/discover" | "/sets"
-                | "/compact" | "/snapshot",
+                | "/compact" | "/snapshot" | "/promote",
             ) => error_response(405, "method not allowed for this route"),
             _ => error_response(404, "no such route"),
         }
     }
 
     fn healthz(&self) -> Response {
+        // Role first, backend second — promote locks in that order too
+        // (never hold the backend lock while taking the role lock).
+        let (role, follower_state) = {
+            let role = self.replication.lock().expect("replication lock poisoned");
+            match &*role {
+                ReplicationRole::Primary => ("primary", None),
+                ReplicationRole::Follower { shared, .. } => {
+                    ("follower", Some(shared.status().state.as_str()))
+                }
+            }
+        };
         let backend = self.backend.read().expect("engine lock poisoned");
         let engine = backend.engine();
-        Response::json(
-            200,
-            obj(vec![
-                ("status", Json::Str("ok".into())),
-                (
-                    "durable",
-                    Json::Bool(matches!(*backend, Backend::Durable(_))),
-                ),
-                ("shards", Json::Num(engine.shard_count() as f64)),
-                ("sets", Json::Num(engine.len() as f64)),
-            ])
-            .to_string(),
-        )
+        let mut fields = vec![
+            ("status", Json::Str("ok".into())),
+            (
+                "durable",
+                Json::Bool(matches!(*backend, Backend::Durable(_))),
+            ),
+            ("role", Json::Str(role.into())),
+            ("shards", Json::Num(engine.shard_count() as f64)),
+            ("sets", Json::Num(engine.len() as f64)),
+        ];
+        if let Some(state) = follower_state {
+            // Always 200: a follower retrying an unreachable primary is
+            // alive and serving reads; the state says what it's doing.
+            fields.push(("replication_state", Json::Str(state.into())));
+        }
+        Response::json(200, obj(fields).to_string())
+    }
+
+    /// The `replication` section of `/stats`: role, lag, and the log
+    /// listener's live follower count when one is attached.
+    fn replication_json(&self) -> Json {
+        let followers = self
+            .follower_gauge
+            .lock()
+            .expect("gauge lock poisoned")
+            .as_ref()
+            .map(|g| g.load(Ordering::Relaxed));
+        let role = self.replication.lock().expect("replication lock poisoned");
+        let mut fields = match &*role {
+            ReplicationRole::Primary => vec![("role".to_owned(), Json::Str("primary".into()))],
+            ReplicationRole::Follower { primary, shared } => {
+                let st = shared.status();
+                vec![
+                    ("role".to_owned(), Json::Str("follower".into())),
+                    ("primary".to_owned(), Json::Str(primary.clone())),
+                    ("state".to_owned(), Json::Str(st.state.as_str().into())),
+                    ("applied_seq".to_owned(), Json::Num(st.applied_seq as f64)),
+                    ("primary_seq".to_owned(), Json::Num(st.primary_seq as f64)),
+                    ("lag".to_owned(), Json::Num(st.lag() as f64)),
+                    ("connects".to_owned(), Json::Num(st.connects as f64)),
+                    ("bootstraps".to_owned(), Json::Num(st.bootstraps as f64)),
+                    (
+                        "last_error".to_owned(),
+                        st.last_error.map_or(Json::Null, Json::Str),
+                    ),
+                ]
+            }
+        };
+        if let Some(n) = followers {
+            fields.push(("followers".to_owned(), Json::Num(n as f64)));
+        }
+        Json::Obj(fields)
     }
 
     fn stats(&self) -> Response {
+        let replication = self.replication_json();
         let per_shard: Vec<PassStats> = self
             .shard_stats
             .iter()
@@ -284,6 +430,8 @@ impl SearchService {
                     let storage = obj(vec![
                         ("snapshot_seq", Json::Num(status.snapshot_seq as f64)),
                         ("wal_records", Json::Num(status.wal_records as f64)),
+                        ("update_seq", Json::Num(status.update_seq as f64)),
+                        ("epoch", Json::Num(status.epoch as f64)),
                         ("last_fsync_ok", Json::Bool(status.last_fsync_ok)),
                         ("auto_snapshots", Json::Num(status.auto_snapshots as f64)),
                         (
@@ -336,6 +484,7 @@ impl SearchService {
         if let Some(storage) = storage {
             fields.push(("storage", storage));
         }
+        fields.push(("replication", replication));
         fields.push(("shards", Json::Arr(shards_json)));
         fields.push((
             "merged",
@@ -473,6 +622,9 @@ impl SearchService {
     /// afterwards in ephemeral mode. Returns the outcome and the
     /// post-update live set count, or the ready-to-send error response.
     fn apply_update(&self, update: Update) -> Result<(UpdateOutcome, usize), Response> {
+        if let Some(resp) = self.reject_if_follower() {
+            return Err(resp);
+        }
         let Some(_admitted) = self.admit_update() else {
             return Err(overloaded_response());
         };
@@ -604,6 +756,64 @@ impl SearchService {
                 ),
                 Err(e) => storage_error_response(&e),
             },
+        }
+    }
+
+    /// The follower read-only rejection for external update routes
+    /// (`None` in the primary role). Replicated records bypass this by
+    /// landing through [`with_durable_store`](Self::with_durable_store).
+    fn reject_if_follower(&self) -> Option<Response> {
+        let role = self.replication.lock().expect("replication lock poisoned");
+        match &*role {
+            ReplicationRole::Primary => None,
+            ReplicationRole::Follower { primary, .. } => Some(error_response(
+                409,
+                &format!(
+                    "read-only follower; send writes to the primary replicating from {primary}"
+                ),
+            )),
+        }
+    }
+
+    /// `POST /promote`: stop tailing, durably bump the store's
+    /// failover epoch, and start accepting writes. 409 when already
+    /// primary. The epoch bump is what prevents a stale follower of
+    /// the *old* primary from silently resuming a diverged cursor
+    /// against this server.
+    fn promote(&self) -> Response {
+        let mut role = self.replication.lock().expect("replication lock poisoned");
+        let shared = match &*role {
+            ReplicationRole::Primary => return error_response(409, "already primary"),
+            ReplicationRole::Follower { shared, .. } => Arc::clone(shared),
+        };
+        shared.stop();
+        if !shared.wait_exited(Duration::from_secs(10)) {
+            return error_response(500, "follower loop did not stop in time; retry");
+        }
+        let mut backend = self.backend.write().expect("engine lock poisoned");
+        match &mut *backend {
+            Backend::Durable(store) => match store.bump_epoch() {
+                Ok(epoch) => {
+                    let update_seq = store.status().update_seq;
+                    drop(backend);
+                    *role = ReplicationRole::Primary;
+                    Response::json(
+                        200,
+                        obj(vec![
+                            ("role", Json::Str("primary".into())),
+                            ("epoch", Json::Num(epoch as f64)),
+                            ("update_seq", Json::Num(update_seq as f64)),
+                        ])
+                        .to_string(),
+                    )
+                }
+                Err(e) => storage_error_response(&e),
+            },
+            // Follower role implies a durable backend, but don't panic
+            // on the impossible combination.
+            Backend::Ephemeral(_) => {
+                error_response(409, "service is not durable; nothing to promote")
+            }
         }
     }
 
@@ -1177,6 +1387,91 @@ mod tests {
         let (_, stats) = get(&s, "/stats");
         let storage = stats.get("storage").unwrap();
         assert_eq!(storage.get("wal_records").and_then(Json::as_usize), Some(0));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_on_a_plain_primary_is_a_409() {
+        let s = service();
+        let (status, doc) = post(&s, "/promote", "");
+        assert_eq!(status, 409, "{doc}");
+        assert!(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("already primary"));
+    }
+
+    #[test]
+    fn follower_rejects_writes_until_promoted() {
+        use crate::replication::{follower_store_config, start_follower};
+        use crate::ShardSpec;
+        use silkmoth_replica::FollowerConfig;
+
+        let dir =
+            std::env::temp_dir().join(format!("silkmoth-service-follower-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap();
+        let store = Store::create(&dir, engine, StoreConfig::default()).unwrap();
+        let s = Arc::new(SearchService::durable(store));
+
+        // Point the follower loop at a primary that refuses connections:
+        // it must retry with backoff and stay alive, not exit.
+        let runtime = start_follower(
+            Arc::clone(&s),
+            "127.0.0.1:9".to_string(),
+            ShardSpec {
+                cfg: engine_cfg(),
+                shards: 3,
+            },
+            follower_store_config(StoreConfig::default()),
+            FollowerConfig {
+                backoff_min: Duration::from_millis(2),
+                backoff_max: Duration::from_millis(20),
+                ..FollowerConfig::default()
+            },
+        );
+
+        // Health stays 200 with the role and loop state visible.
+        let (status, doc) = get(&s, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("role").and_then(Json::as_str), Some("follower"));
+        assert!(doc.get("replication_state").is_some());
+
+        // Writes are rejected naming the primary; reads still work.
+        let (status, doc) = post(&s, "/sets", r#"{"sets": [["nope"]]}"#);
+        assert_eq!(status, 409, "{doc}");
+        let err = doc.get("error").and_then(Json::as_str).unwrap();
+        assert!(err.contains("read-only follower") && err.contains("127.0.0.1:9"));
+        let (status, _) = post(&s, "/search", r#"{"reference": ["w0 w1 shared0"]}"#);
+        assert_eq!(status, 200);
+
+        let (_, stats) = get(&s, "/stats");
+        let repl = stats.get("replication").expect("replication stats");
+        assert_eq!(repl.get("role").and_then(Json::as_str), Some("follower"));
+        assert_eq!(
+            repl.get("primary").and_then(Json::as_str),
+            Some("127.0.0.1:9")
+        );
+        assert!(repl.get("lag").is_some());
+
+        // Promote: the loop stops, the epoch bumps durably, writes open.
+        let (status, doc) = post(&s, "/promote", "");
+        assert_eq!(status, 200, "{doc}");
+        assert_eq!(doc.get("role").and_then(Json::as_str), Some("primary"));
+        assert_eq!(doc.get("epoch").and_then(Json::as_usize), Some(1));
+        runtime.handle.join().unwrap();
+
+        let (_, doc) = get(&s, "/healthz");
+        assert_eq!(doc.get("role").and_then(Json::as_str), Some("primary"));
+        let (status, doc) = post(&s, "/sets", r#"{"sets": [["now writable"]]}"#);
+        assert_eq!(status, 200, "{doc}");
+        let (_, stats) = get(&s, "/stats");
+        let storage = stats.get("storage").unwrap();
+        assert_eq!(storage.get("epoch").and_then(Json::as_usize), Some(1));
+        let (status, doc) = post(&s, "/promote", "");
+        assert_eq!(status, 409, "{doc}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

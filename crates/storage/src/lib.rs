@@ -46,10 +46,21 @@
 //!
 //! ## Format versioning
 //!
-//! Both file headers carry a format version (currently 1). The rule:
-//! any change to the byte layout bumps the version, and readers reject
-//! versions they don't know ([`StorageError::Corrupt`]) rather than
-//! guessing — an old binary never misreads a new store.
+//! Both file headers carry a format version (snapshot: 2, WAL: 1). The
+//! rule: any change to the byte layout bumps the version, and readers
+//! reject versions they don't know ([`StorageError::Corrupt`]) rather
+//! than guessing — an old binary never misreads a new store.
+//!
+//! ## Replication hooks
+//!
+//! Snapshot version 2 gives every committed update a global, monotonic
+//! sequence number ([`StoreStatus::update_seq`], snapshot base +
+//! position in the WAL) and records a failover
+//! [`epoch`](StoreStatus::epoch). `silkmoth-replica` ships the WAL to
+//! followers through three narrow extensions here: a commit-point
+//! observer ([`Store::set_commit_hook`]), a raw committed-record
+//! reader ([`read_wal_payloads`]), and snapshot parsing from bytes
+//! ([`parse_snapshot`]) for follower bootstrap.
 //!
 //! The store is generic over [`StoreEngine`] — implemented here for the
 //! unsharded [`Engine`] and in
@@ -61,9 +72,12 @@ mod snapshot;
 mod store;
 mod wal;
 
-pub use snapshot::{load_snapshot, snapshot_bytes};
-pub use store::{ApplyReceipt, RecoveryReport, Store, StoreConfig, StoreStatus, WalDiscard};
-pub use wal::read_wal;
+pub use crc32::crc32;
+pub use snapshot::{load_snapshot, parse_snapshot, snapshot_bytes, SnapshotMeta};
+pub use store::{
+    ApplyReceipt, CommitHook, RecoveryReport, Store, StoreConfig, StoreStatus, WalDiscard,
+};
+pub use wal::{read_wal, read_wal_payloads, wal_file_path};
 
 use std::sync::Arc;
 

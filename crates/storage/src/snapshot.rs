@@ -4,9 +4,11 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic    "SMSS"                       4 bytes
-//! version  u32 (currently 1)            4 bytes
-//! seq      u64 — generation number      8 bytes
+//! magic      "SMSS"                         4 bytes
+//! version    u32 (currently 2)              4 bytes
+//! seq        u64 — generation number        8 bytes
+//! update_seq u64 — committed updates total  8 bytes
+//! epoch      u64 — failover epoch           8 bytes
 //! next_id  u32                          4 bytes
 //! n_live   u32                          4 bytes
 //! n_dead   u32                          4 bytes
@@ -23,6 +25,14 @@
 //! harness already read and write; the wrapper adds what durability
 //! needs on top: the id bookkeeping (dead slots, next id) and an
 //! end-to-end CRC.
+//!
+//! Version 2 added `update_seq` (the store's total committed-update
+//! count at checkpoint time, the base every WAL record's global
+//! sequence number counts from) and `epoch` (bumped on follower
+//! promotion so a replication cursor from a diverged history is never
+//! silently resumed). Version-1 files are rejected by name like any
+//! other unknown version — the workspace has no deployed v1 stores to
+//! migrate.
 
 use std::fs::File;
 use std::io::Read;
@@ -35,17 +45,37 @@ use crate::crc32::crc32;
 use crate::{EngineState, StorageError};
 
 const SNAP_MAGIC: &[u8; 4] = b"SMSS";
-const SNAP_VERSION: u32 = 1;
+const SNAP_VERSION: u32 = 2;
+/// Fixed-size header: magic, version, seq, update_seq, epoch, next_id,
+/// n_live, n_dead.
+const SNAP_HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 4;
+
+/// The positional metadata a snapshot records alongside the engine
+/// state: which generation it is, how many updates the store had
+/// committed when it was taken (the base for WAL record sequence
+/// numbers), and the failover epoch of the history it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotMeta {
+    /// Generation number (matches the file name).
+    pub seq: u64,
+    /// Total committed updates at checkpoint time.
+    pub update_seq: u64,
+    /// Failover epoch; bumped by [`Store::bump_epoch`](crate::Store::bump_epoch).
+    pub epoch: u64,
+}
 
 /// Serializes one snapshot generation to bytes.
-pub fn snapshot_bytes(seq: u64, state: &EngineState) -> Vec<u8> {
+pub fn snapshot_bytes(meta: SnapshotMeta, state: &EngineState) -> Vec<u8> {
     let sets: Vec<&Vec<String>> = state.live.iter().map(|(_, set)| set).collect();
     let payload = codec::encode_sets(&sets, state.tokenization);
-    let mut out =
-        Vec::with_capacity(44 + 4 * (state.live.len() + state.dead.len()) + payload.len());
+    let mut out = Vec::with_capacity(
+        SNAP_HEADER_LEN + 12 + 4 * (state.live.len() + state.dead.len()) + payload.len(),
+    );
     out.extend_from_slice(SNAP_MAGIC);
     out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
-    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&meta.seq.to_le_bytes());
+    out.extend_from_slice(&meta.update_seq.to_le_bytes());
+    out.extend_from_slice(&meta.epoch.to_le_bytes());
     out.extend_from_slice(&state.next_id.to_le_bytes());
     out.extend_from_slice(&(state.live.len() as u32).to_le_bytes());
     out.extend_from_slice(&(state.dead.len() as u32).to_le_bytes());
@@ -63,9 +93,12 @@ pub fn snapshot_bytes(seq: u64, state: &EngineState) -> Vec<u8> {
 }
 
 /// Parses and fully validates snapshot bytes: magic, version, CRC,
-/// declared lengths, id ordering. Returns the generation number and the
+/// declared lengths, id ordering. Returns the snapshot metadata and the
 /// recovered state.
-pub fn parse_snapshot(bytes: &[u8], file: &str) -> Result<(u64, EngineState), StorageError> {
+pub fn parse_snapshot(
+    bytes: &[u8],
+    file: &str,
+) -> Result<(SnapshotMeta, EngineState), StorageError> {
     let corrupt = |detail: String| StorageError::Corrupt {
         file: file.to_owned(),
         detail,
@@ -73,7 +106,7 @@ pub fn parse_snapshot(bytes: &[u8], file: &str) -> Result<(u64, EngineState), St
     if bytes.len() < 4 || &bytes[..4] != SNAP_MAGIC {
         return Err(corrupt("bad magic".into()));
     }
-    if bytes.len() < 28 + 8 + 4 {
+    if bytes.len() < SNAP_HEADER_LEN + 8 + 4 {
         return Err(corrupt("truncated header".into()));
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
@@ -87,11 +120,15 @@ pub fn parse_snapshot(bytes: &[u8], file: &str) -> Result<(u64, EngineState), St
     if crc32(body) != want_crc {
         return Err(corrupt("CRC mismatch".into()));
     }
-    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let next_id = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
-    let n_live = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
-    let n_dead = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")) as usize;
-    let ids_end = 28usize
+    let meta = SnapshotMeta {
+        seq: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+        update_seq: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+        epoch: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+    };
+    let next_id = u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes"));
+    let n_live = u32::from_le_bytes(bytes[36..40].try_into().expect("4 bytes")) as usize;
+    let n_dead = u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes")) as usize;
+    let ids_end = SNAP_HEADER_LEN
         .checked_add(4 * (n_live + n_dead))
         .ok_or_else(|| corrupt("id counts overflow".into()))?;
     if body.len() < ids_end + 8 {
@@ -108,8 +145,8 @@ pub fn parse_snapshot(bytes: &[u8], file: &str) -> Result<(u64, EngineState), St
             })
             .collect()
     };
-    let live_ids = read_ids(28, n_live);
-    let dead = read_ids(28 + 4 * n_live, n_dead);
+    let live_ids = read_ids(SNAP_HEADER_LEN, n_live);
+    let dead = read_ids(SNAP_HEADER_LEN + 4 * n_live, n_dead);
     let payload_len =
         u64::from_le_bytes(body[ids_end..ids_end + 8].try_into().expect("8 bytes")) as usize;
     if body.len() != ids_end + 8 + payload_len {
@@ -132,11 +169,11 @@ pub fn parse_snapshot(bytes: &[u8], file: &str) -> Result<(u64, EngineState), St
         tokenization,
     };
     state.validate()?;
-    Ok((seq, state))
+    Ok((meta, state))
 }
 
 /// Reads and validates one snapshot file.
-pub fn load_snapshot(path: &Path) -> Result<(u64, EngineState), StorageError> {
+pub fn load_snapshot(path: &Path) -> Result<(SnapshotMeta, EngineState), StorageError> {
     let mut bytes = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
@@ -162,18 +199,26 @@ mod tests {
         }
     }
 
+    fn meta() -> SnapshotMeta {
+        SnapshotMeta {
+            seq: 7,
+            update_seq: 41,
+            epoch: 3,
+        }
+    }
+
     #[test]
     fn roundtrip() {
         let s = state();
-        let bytes = snapshot_bytes(7, &s);
-        let (seq, back) = parse_snapshot(&bytes, "test").unwrap();
-        assert_eq!(seq, 7);
+        let bytes = snapshot_bytes(meta(), &s);
+        let (back_meta, back) = parse_snapshot(&bytes, "test").unwrap();
+        assert_eq!(back_meta, meta());
         assert_eq!(back, s);
     }
 
     #[test]
     fn every_truncation_is_an_error() {
-        let bytes = snapshot_bytes(1, &state());
+        let bytes = snapshot_bytes(meta(), &state());
         for cut in 0..bytes.len() {
             assert!(
                 parse_snapshot(&bytes[..cut], "test").is_err(),
@@ -187,7 +232,7 @@ mod tests {
         // The trailing CRC covers every byte, so any single-byte
         // corruption must be rejected (a flip inside the CRC field
         // itself included).
-        let bytes = snapshot_bytes(3, &state());
+        let bytes = snapshot_bytes(meta(), &state());
         let mut copy = bytes.clone();
         for i in 0..copy.len() {
             copy[i] ^= 0x40;
@@ -198,7 +243,7 @@ mod tests {
 
     #[test]
     fn unknown_version_rejected_by_name() {
-        let mut bytes = snapshot_bytes(1, &state());
+        let mut bytes = snapshot_bytes(meta(), &state());
         bytes[4] = 9;
         let err = parse_snapshot(&bytes, "test").unwrap_err();
         // Version is checked before the CRC so the message names the
@@ -211,7 +256,7 @@ mod tests {
         let mut s = state();
         s.dead.push(0); // 0 is live
         s.dead.sort_unstable();
-        let bytes = snapshot_bytes(1, &s);
+        let bytes = snapshot_bytes(meta(), &s);
         assert!(matches!(
             parse_snapshot(&bytes, "test"),
             Err(StorageError::BadState(_))

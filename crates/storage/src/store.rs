@@ -2,14 +2,16 @@
 //! disk, with crash recovery and policy-driven auto-compaction and
 //! auto-snapshots. See the crate docs for the layout and guarantees.
 
+use std::fmt;
 use std::fs::{self, File};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use silkmoth_core::wire::encode_update;
 use silkmoth_core::{CompactionPolicy, Update, UpdateOutcome};
 
-use crate::snapshot::{load_snapshot, snapshot_bytes};
-use crate::wal::{read_wal, WalWriter};
+use crate::snapshot::{load_snapshot, snapshot_bytes, SnapshotMeta};
+use crate::wal::{read_wal, wal_file_path, WalWriter};
 use crate::{StorageError, StoreEngine};
 
 /// Store configuration.
@@ -69,6 +71,29 @@ pub struct ApplyReceipt {
     pub auto_snapshot: Option<u64>,
 }
 
+/// An observer of the store's commit point, installed with
+/// [`Store::set_commit_hook`]: called with the new total committed
+/// update count immediately after every durable WAL append (caller
+/// updates and policy-driven auto-actions alike). Replication uses it
+/// to wake streamers without polling. The hook runs on the committing
+/// thread while the store is borrowed, so it must not call back into
+/// the store or block.
+#[derive(Clone)]
+pub struct CommitHook(Arc<dyn Fn(u64) + Send + Sync>);
+
+impl CommitHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(u64) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for CommitHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CommitHook(..)")
+    }
+}
+
 /// Live observability counters for `/stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStatus {
@@ -76,6 +101,14 @@ pub struct StoreStatus {
     pub snapshot_seq: u64,
     /// Records in the current WAL.
     pub wal_records: u64,
+    /// Total committed updates across all generations — the global,
+    /// monotonic sequence number of the most recent WAL record (0 when
+    /// none were ever committed). Record `i` (zero-based) of the
+    /// current WAL has sequence `update_seq - wal_records + i + 1`.
+    pub update_seq: u64,
+    /// Failover epoch this store's history belongs to (see
+    /// [`Store::bump_epoch`]).
+    pub epoch: u64,
     /// Whether the most recent WAL fsync (or fsync-less append)
     /// succeeded — `false` means the last update was **not** durably
     /// acknowledged.
@@ -98,9 +131,12 @@ pub struct Store<E: StoreEngine> {
     wal: WalWriter,
     seq: u64,
     wal_records: u64,
+    update_seq: u64,
+    epoch: u64,
     last_fsync_ok: bool,
     auto_compactions: u64,
     auto_snapshots: u64,
+    commit_hook: Option<CommitHook>,
 }
 
 fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
@@ -108,7 +144,7 @@ fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
 }
 
 fn wal_path(dir: &Path, seq: u64) -> PathBuf {
-    dir.join(format!("wal-{seq}.log"))
+    wal_file_path(dir, seq)
 }
 
 /// All snapshot generation numbers present in `dir`, descending.
@@ -156,6 +192,22 @@ impl<E: StoreEngine> Store<E> {
         engine: E,
         cfg: StoreConfig,
     ) -> Result<Self, StorageError> {
+        Self::create_continuing(dir, engine, cfg, 0, 0)
+    }
+
+    /// Like [`create`](Self::create), but the update-sequence counter
+    /// and failover epoch continue from an existing replicated history
+    /// instead of zero — what a follower does when it installs a
+    /// primary's bootstrap snapshot. The engine passed in must already
+    /// reflect the first `update_seq` committed updates of epoch
+    /// `epoch`.
+    pub fn create_continuing(
+        dir: impl Into<PathBuf>,
+        engine: E,
+        cfg: StoreConfig,
+        update_seq: u64,
+        epoch: u64,
+    ) -> Result<Self, StorageError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)
             .map_err(StorageError::io(format!("creating {}", dir.display())))?;
@@ -164,7 +216,12 @@ impl<E: StoreEngine> Store<E> {
                 dir: dir.display().to_string(),
             });
         }
-        let wal = write_generation(&dir, 0, &engine)?;
+        let meta = SnapshotMeta {
+            seq: 0,
+            update_seq,
+            epoch,
+        };
+        let wal = write_generation(&dir, meta, &engine)?;
         sync_dir(&dir)?;
         Ok(Self {
             dir,
@@ -173,9 +230,12 @@ impl<E: StoreEngine> Store<E> {
             wal,
             seq: 0,
             wal_records: 0,
+            update_seq,
+            epoch,
             last_fsync_ok: true,
             auto_compactions: 0,
             auto_snapshots: 0,
+            commit_hook: None,
         })
     }
 
@@ -207,8 +267,8 @@ impl<E: StoreEngine> Store<E> {
         let mut skipped = 0u64;
         for &seq in &generations {
             let path = snapshot_path(&dir, seq);
-            let state = match load_snapshot(&path) {
-                Ok((file_seq, state)) if file_seq == seq => state,
+            let (meta, state) = match load_snapshot(&path) {
+                Ok((meta, state)) if meta.seq == seq => (meta, state),
                 // A snapshot whose header seq disagrees with its file
                 // name is as untrustworthy as a bad CRC: skip it.
                 Ok(_)
@@ -259,9 +319,12 @@ impl<E: StoreEngine> Store<E> {
                 wal,
                 seq,
                 wal_records: replayed,
+                update_seq: meta.update_seq + replayed,
+                epoch: meta.epoch,
                 last_fsync_ok: true,
                 auto_compactions: 0,
                 auto_snapshots: 0,
+                commit_hook: None,
                 cfg,
                 dir,
             };
@@ -298,10 +361,18 @@ impl<E: StoreEngine> Store<E> {
         StoreStatus {
             snapshot_seq: self.seq,
             wal_records: self.wal_records,
+            update_seq: self.update_seq,
+            epoch: self.epoch,
             last_fsync_ok: self.last_fsync_ok,
             auto_compactions: self.auto_compactions,
             auto_snapshots: self.auto_snapshots,
         }
+    }
+
+    /// Installs (or replaces) the commit-point observer; see
+    /// [`CommitHook`].
+    pub fn set_commit_hook(&mut self, hook: CommitHook) {
+        self.commit_hook = Some(hook);
     }
 
     /// Applies one update durably: pre-validates it, appends the WAL
@@ -350,6 +421,10 @@ impl<E: StoreEngine> Store<E> {
         }
         self.last_fsync_ok = true;
         self.wal_records += 1;
+        self.update_seq += 1;
+        if let Some(hook) = &self.commit_hook {
+            (hook.0)(self.update_seq);
+        }
         let outcome = self
             .engine
             .apply_update(update)
@@ -381,7 +456,12 @@ impl<E: StoreEngine> Store<E> {
     /// that might not survive, and the old one is left on disk.
     pub fn snapshot(&mut self) -> Result<u64, StorageError> {
         let new_seq = self.seq + 1;
-        let mut new_wal = write_generation(&self.dir, new_seq, &self.engine)?;
+        let meta = SnapshotMeta {
+            seq: new_seq,
+            update_seq: self.update_seq,
+            epoch: self.epoch,
+        };
+        let mut new_wal = write_generation(&self.dir, meta, &self.engine)?;
         self.seq = new_seq;
         self.wal_records = 0;
         let committed = sync_dir(&self.dir);
@@ -396,6 +476,26 @@ impl<E: StoreEngine> Store<E> {
             self.retire_generations_before(new_seq);
         }
         committed.map(|()| new_seq)
+    }
+
+    /// Advances the failover epoch and durably records it with an
+    /// immediate snapshot rotation — called when a follower is
+    /// promoted, so a replication cursor minted against the old history
+    /// can never silently resume against the new one. Returns the new
+    /// epoch. On error the in-memory epoch is rolled back: either the
+    /// rotation never committed (the store keeps serving the old epoch,
+    /// consistently) or the ambiguous post-rename failure poisoned the
+    /// WAL (no further write is acknowledged until reopen) — in neither
+    /// case is an update committed under an unrecorded epoch.
+    pub fn bump_epoch(&mut self) -> Result<u64, StorageError> {
+        self.epoch += 1;
+        match self.snapshot() {
+            Ok(_) => Ok(self.epoch),
+            Err(e) => {
+                self.epoch -= 1;
+                Err(e)
+            }
+        }
     }
 
     /// Best-effort removal of every generation older than `keep` (plus
@@ -443,13 +543,14 @@ impl<E: StoreEngine> Store<E> {
 /// next attempt, and a leftover tempfile is swept by retirement.
 fn write_generation<E: StoreEngine>(
     dir: &Path,
-    seq: u64,
+    meta: SnapshotMeta,
     engine: &E,
 ) -> Result<WalWriter, StorageError> {
+    let seq = meta.seq;
     let wal = WalWriter::create(&wal_path(dir, seq), seq)?;
     sync_dir(dir)?;
     let state = engine.capture();
-    let bytes = snapshot_bytes(seq, &state);
+    let bytes = snapshot_bytes(meta, &state);
     let final_path = snapshot_path(dir, seq);
     let tmp_path = dir.join(format!("snapshot-{seq}.smc.tmp"));
     let err = |what: &str, p: &Path| StorageError::io(format!("{what} {}", p.display()));

@@ -45,6 +45,12 @@ pub(crate) const WAL_MAGIC: &[u8; 4] = b"SMWL";
 pub(crate) const WAL_VERSION: u32 = 1;
 pub(crate) const WAL_HEADER_LEN: u64 = 16;
 
+/// The WAL file of generation `seq` inside a store directory — the
+/// path contract replication readers share with the store itself.
+pub fn wal_file_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq}.log"))
+}
+
 /// What reading a WAL produced: the committed records, how far the
 /// valid prefix reaches, and why reading stopped early (if it did).
 #[derive(Debug)]
@@ -147,6 +153,73 @@ pub fn read_wal(path: &Path, seq: u64) -> Result<WalReplay, StorageError> {
         valid_len: pos as u64,
         discarded,
     })
+}
+
+/// Reads raw committed record payloads from a WAL for replication
+/// shipping: skips the first `skip` records, then returns up to
+/// `limit` payloads (each one encoded `Update`, exactly the bytes the
+/// store framed), validating the header and every record CRC on the
+/// way.
+///
+/// The reader stops silently at a torn tail — the caller bounds
+/// `limit` by the store's *committed* record count, so a torn suffix
+/// is always beyond everything requested; hitting it early (fewer than
+/// `limit` intact records after `skip`) therefore means real
+/// corruption and is reported by the caller, not here. Reading races
+/// appends safely: records are appended with a single `write_all`
+/// before the store's committed counter advances, and committed bytes
+/// are never truncated, so every record the caller may request is
+/// fully present in the file.
+pub fn read_wal_payloads(
+    path: &Path,
+    seq: u64,
+    skip: u64,
+    limit: usize,
+) -> Result<Vec<Vec<u8>>, StorageError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(StorageError::io(format!("reading {}", path.display())))?;
+    let corrupt = |detail: String| StorageError::Corrupt {
+        file: path.display().to_string(),
+        detail,
+    };
+    if bytes.len() < WAL_HEADER_LEN as usize || &bytes[..4] != WAL_MAGIC {
+        return Err(corrupt("bad or short WAL header".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(corrupt(format!("unknown WAL format version {version}")));
+    }
+    let file_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if file_seq != seq {
+        return Err(corrupt(format!(
+            "header seq {file_seq} does not match generation {seq}"
+        )));
+    }
+    let mut out = Vec::new();
+    let mut index = 0u64;
+    let mut pos = WAL_HEADER_LEN as usize;
+    while out.len() < limit && pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            break; // torn frame prefix — beyond the committed range
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let want_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > bytes.len() - pos - 8 {
+            break; // torn record body
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != want_crc {
+            break; // torn record payload
+        }
+        if index >= skip {
+            out.push(payload.to_vec());
+        }
+        index += 1;
+        pos += 8 + len;
+    }
+    Ok(out)
 }
 
 /// An open WAL being appended to. The file is held in **append mode**,

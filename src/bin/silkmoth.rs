@@ -25,12 +25,16 @@
 //! silkmoth update   --input lake.sets --append new.sets --remove 3,17 --output lake.sets
 //! ```
 
+use silkmoth::storage::EngineState;
 use silkmoth::{
     Collection, CompactionPolicy, Engine, EngineConfig, FilterKind, QuerySpec, RelatednessMetric,
     ShardSpec, ShardedEngine, SignatureScheme, SimilarityFunction, StorageError, Store,
-    StoreConfig, Tokenization,
+    StoreConfig, StoreEngine, Tokenization,
 };
-use silkmoth_server::SearchService;
+use silkmoth_server::{
+    dir_needs_fresh_store, follower_store_config, serve_log, start_follower, FollowerConfig,
+    SearchService, ServiceSource, StreamerConfig,
+};
 use std::io::Read;
 use std::process::exit;
 use std::sync::Arc;
@@ -66,6 +70,8 @@ struct Cli {
     snapshot_every: Option<u64>,
     max_inflight_updates: Option<usize>,
     no_fsync: bool,
+    replicate_addr: Option<String>,
+    replicate_from: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -118,11 +124,20 @@ options:
                       POST /search/batch; an exhausted request gets 504
   --no-fsync          durable: skip the per-update fsync (faster bulk
                       loads; a crash may lose the unsynced tail)
+  --replicate-addr A:P
+                      durable: also listen on A:P and ship the WAL to
+                      followers (snapshot bootstrap + live tail)
+  --replicate-from A:P
+                      durable: run as a read-only follower of the
+                      primary's replication listener at A:P; an empty
+                      --data-dir bootstraps from the primary, updates
+                      answer 409 until POST /promote (conflicts with
+                      --input; both flags together chain replicas)
 
 serve exposes POST /search, POST /search/batch, POST /discover,
 POST /sets, DELETE /sets, POST /compact, POST /snapshot (durable),
-GET /stats, GET /healthz (JSON wire format; see the README for the
-schema and curl examples).
+POST /promote (follower failover), GET /stats, GET /healthz (JSON
+wire format; see the README for the schema and curl examples).
 
 update applies --append and/or --remove to the collection through the
 incremental-update layer, compacts it, and writes the surviving sets
@@ -174,6 +189,8 @@ fn parse_cli() -> Cli {
         snapshot_every: None,
         max_inflight_updates: None,
         no_fsync: false,
+        replicate_addr: None,
+        replicate_from: None,
     };
     while let Some(a) = args.next() {
         let mut val = || opt_value(&mut args, &a);
@@ -267,6 +284,8 @@ fn parse_cli() -> Cli {
                 )
             }
             "--no-fsync" => cli.no_fsync = true,
+            "--replicate-addr" => cli.replicate_addr = Some(val()),
+            "--replicate-from" => cli.replicate_from = Some(val()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -375,20 +394,34 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     if cli.no_fsync && cli.data_dir.is_none() {
         fail("--no-fsync requires --data-dir");
     }
+    if cli.replicate_addr.is_some() && cli.data_dir.is_none() {
+        fail("--replicate-addr requires --data-dir (followers resume from the WAL)");
+    }
+    if cli.replicate_from.is_some() && cli.data_dir.is_none() {
+        fail("--replicate-from requires --data-dir");
+    }
+    if cli.replicate_from.is_some() && cli.input.is_some() {
+        fail("--input conflicts with --replicate-from; the collection comes from the primary");
+    }
 
+    let spec = ShardSpec {
+        cfg,
+        shards: cli.shards,
+    };
     let service = match &cli.data_dir {
         Some(dir) => {
             // Snapshots are what bound WAL growth, so durable serving
             // defaults to a checkpoint every 4096 records.
             policy = policy.snapshot_at_wal_records(cli.snapshot_every.unwrap_or(4096));
-            let store_cfg = StoreConfig {
+            let mut store_cfg = StoreConfig {
                 sync: !cli.no_fsync,
                 policy,
             };
-            let spec = ShardSpec {
-                cfg,
-                shards: cli.shards,
-            };
+            if cli.replicate_from.is_some() {
+                // Compactions reach a follower through the log, never
+                // as its own decision — a local one would diverge it.
+                store_cfg = follower_store_config(store_cfg);
+            }
             match Store::open(dir, &spec, store_cfg) {
                 Ok((store, report)) => {
                     eprintln!(
@@ -403,6 +436,23 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
                     if cli.input.is_some() {
                         eprintln!("# note: --input ignored, {dir} already holds the collection");
                     }
+                    SearchService::durable(store)
+                }
+                Err(e) if cli.replicate_from.is_some() && dir_needs_fresh_store(&e) => {
+                    // A follower needs no --input: create an empty
+                    // store; the first handshake (cursor 0) bootstraps
+                    // a full snapshot from the primary.
+                    let state = EngineState {
+                        live: Vec::new(),
+                        dead: Vec::new(),
+                        next_id: 0,
+                        tokenization: cfg.tokenization(),
+                    };
+                    let engine = <ShardedEngine as StoreEngine>::restore(&spec, state)
+                        .unwrap_or_else(|e| fail(&e.to_string()));
+                    let store = Store::create(dir, engine, store_cfg)
+                        .unwrap_or_else(|e| fail(&e.to_string()));
+                    eprintln!("# initialized empty follower store in {dir}");
                     SearchService::durable(store)
                 }
                 Err(StorageError::NotInitialized { .. }) => {
@@ -439,6 +489,33 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     };
     let service = Arc::new(service);
 
+    // Replication wiring: the follower tail loop and/or the primary's
+    // log listener. Both at once chains replicas (A → B → C).
+    let follower_runtime = cli.replicate_from.as_ref().map(|primary| {
+        eprintln!(
+            "# follower of {primary}: updates answer 409 until POST /promote; \
+             an unreachable primary is retried (see GET /healthz)"
+        );
+        start_follower(
+            Arc::clone(&service),
+            primary.clone(),
+            spec,
+            follower_store_config(StoreConfig {
+                sync: !cli.no_fsync,
+                policy,
+            }),
+            FollowerConfig::default(),
+        )
+    });
+    let log_server = cli.replicate_addr.as_ref().map(|addr| {
+        let source = Arc::new(ServiceSource::new(Arc::clone(&service)));
+        let log = serve_log(source, addr.as_str(), StreamerConfig::default())
+            .unwrap_or_else(|e| fail(&format!("binding replication log {addr}: {e}")));
+        service.set_follower_gauge(log.follower_gauge());
+        eprintln!("# replication log listening on {}", log.local_addr());
+        log
+    });
+
     let threads = match cli.threads {
         0 => std::thread::available_parallelism().map_or(1, usize::from),
         n => n,
@@ -461,9 +538,16 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     );
     eprintln!(
         "# endpoints: POST /search, POST /search/batch, POST /discover, POST /sets, \
-         DELETE /sets, POST /compact, POST /snapshot, GET /stats, GET /healthz"
+         DELETE /sets, POST /compact, POST /snapshot, POST /promote, GET /stats, GET /healthz"
     );
     server.wait();
+    if let Some(mut log) = log_server {
+        log.shutdown();
+    }
+    if let Some(rt) = follower_runtime {
+        rt.shared.stop();
+        let _ = rt.handle.join();
+    }
 }
 
 fn main() {
