@@ -20,9 +20,11 @@
 
 use silkmoth_server::json::{obj, Json};
 use silkmoth_server::read_simple_response;
+use silkmoth_telemetry::expo;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 struct Opts {
@@ -36,6 +38,7 @@ struct Opts {
     json_out: Option<String>,
     label: Option<String>,
     dump_sets: Option<String>,
+    scrape_metrics_ms: Option<u64>,
 }
 
 /// Version of the `--json-out` report schema.
@@ -59,6 +62,11 @@ options:
   --dump-sets F  write the deterministic --sets corpus to F in
                  `silkmoth serve --input` format and exit — serve this
                  file and the generated references actually match it
+  --scrape-metrics N
+                 also poll GET /metrics every N ms during the run on a
+                 separate connection, validate every page with the
+                 exposition linter, and report scrape count + latency —
+                 measures what monitoring costs under load
 ";
 
 fn fail(msg: &str) -> ! {
@@ -79,6 +87,7 @@ fn parse_opts() -> Opts {
         json_out: None,
         label: None,
         dump_sets: None,
+        scrape_metrics_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -99,6 +108,13 @@ fn parse_opts() -> Opts {
             "--json-out" => opts.json_out = Some(val()),
             "--label" => opts.label = Some(val()),
             "--dump-sets" => opts.dump_sets = Some(val()),
+            "--scrape-metrics" => {
+                opts.scrape_metrics_ms = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --scrape-metrics")),
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -154,6 +170,69 @@ fn healthcheck(addr: &str) -> Result<(), String> {
         doc.get("shards").and_then(Json::as_usize).unwrap_or(0),
     );
     Ok(())
+}
+
+/// Background `/metrics` poller: one keep-alive connection scraping at
+/// a fixed interval for as long as the load runs. Every page must parse
+/// and pass the exposition lint against its predecessor — the same
+/// monotonicity checks CI runs — so a malformed or backwards-moving
+/// page under concurrent load fails the whole run.
+fn scrape_metrics(
+    addr: &str,
+    interval: Duration,
+    done: &AtomicBool,
+) -> (Vec<Duration>, Vec<String>) {
+    let mut latencies = Vec::new();
+    let mut problems = Vec::new();
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return (
+            latencies,
+            vec![format!("scraper: connecting to {addr} failed")],
+        );
+    };
+    let _ = stream.set_nodelay(true);
+    let Ok(clone) = stream.try_clone() else {
+        return (
+            latencies,
+            vec!["scraper: cloning the connection failed".into()],
+        );
+    };
+    let mut reader = BufReader::new(clone);
+    let mut prev: Option<Vec<expo::ParsedFamily>> = None;
+    while !done.load(Ordering::Relaxed) {
+        let request = format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n");
+        let start = Instant::now();
+        if let Err(e) = stream.write_all(request.as_bytes()) {
+            problems.push(format!("scraper: sending request: {e}"));
+            break;
+        }
+        match read_simple_response(&mut reader) {
+            Ok((200, body)) => {
+                latencies.push(start.elapsed());
+                let text = match std::str::from_utf8(&body) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        problems.push(format!("scrape {}: not UTF-8: {e}", latencies.len()));
+                        continue;
+                    }
+                };
+                match expo::parse_text(text) {
+                    Ok(cur) => {
+                        problems.extend(expo::lint(prev.as_deref(), &cur));
+                        prev = Some(cur);
+                    }
+                    Err(e) => problems.push(format!("scrape {}: {e}", latencies.len())),
+                }
+            }
+            Ok((status, _)) => problems.push(format!("scraper: /metrics returned HTTP {status}")),
+            Err(e) => {
+                problems.push(format!("scraper: reading response: {e}"));
+                break;
+            }
+        }
+        std::thread::sleep(interval);
+    }
+    (latencies, problems)
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -248,7 +327,14 @@ fn main() {
     let mut all_latencies: Vec<Duration> = Vec::new();
     let mut total_results = 0usize;
     let mut errors = 0usize;
+    let done = AtomicBool::new(false);
+    let mut scrape_outcome: Option<(Vec<Duration>, Vec<String>)> = None;
     std::thread::scope(|scope| {
+        let scraper = opts.scrape_metrics_ms.map(|interval_ms| {
+            let addr = &opts.addr;
+            let done = &done;
+            scope.spawn(move || scrape_metrics(addr, Duration::from_millis(interval_ms), done))
+        });
         let handles: Vec<_> = (0..opts.threads)
             .map(|tid| {
                 let bodies = &bodies;
@@ -298,6 +384,10 @@ fn main() {
             total_results += results;
             errors += errs;
         }
+        done.store(true, Ordering::Relaxed);
+        if let Some(h) = scraper {
+            scrape_outcome = Some(h.join().expect("scraper thread panicked"));
+        }
     });
     let elapsed = t0.elapsed();
 
@@ -327,6 +417,24 @@ fn main() {
         ms(percentile(&all_latencies, 0.99)),
         ms(percentile(&all_latencies, 1.0)),
     );
+    if let Some((scrapes, problems)) = &scrape_outcome {
+        let scrape_mean = if scrapes.is_empty() {
+            Duration::ZERO
+        } else {
+            scrapes.iter().sum::<Duration>() / scrapes.len() as u32
+        };
+        let scrape_max = scrapes.iter().max().copied().unwrap_or(Duration::ZERO);
+        println!(
+            "metrics scrapes {}  latency ms  mean {:.2}  max {:.2}  lint problems {}",
+            scrapes.len(),
+            ms(scrape_mean),
+            ms(scrape_max),
+            problems.len(),
+        );
+        for p in problems {
+            eprintln!("# metrics lint: {p}");
+        }
+    }
     if opts.batch > 1 {
         // The amortized cost of one query inside a batch — the number to
         // compare against the per-request line of a --batch 1 run.
@@ -394,6 +502,26 @@ fn main() {
         if opts.batch > 1 {
             fields.push(("per_query_latency_ms", latency(opts.batch as f64)));
         }
+        if let Some((scrapes, problems)) = &scrape_outcome {
+            let scrape_mean = if scrapes.is_empty() {
+                Duration::ZERO
+            } else {
+                scrapes.iter().sum::<Duration>() / scrapes.len() as u32
+            };
+            let scrape_max = scrapes.iter().max().copied().unwrap_or(Duration::ZERO);
+            fields.push(("metrics_scrapes", Json::Num(scrapes.len() as f64)));
+            fields.push((
+                "scrape_latency_ms",
+                obj(vec![
+                    ("mean", Json::Num(ms(scrape_mean))),
+                    ("max", Json::Num(ms(scrape_max))),
+                ]),
+            ));
+            fields.push((
+                "scrape_problems",
+                Json::Arr(problems.iter().map(|p| Json::Str(p.clone())).collect()),
+            ));
+        }
         let report = obj(fields).to_string();
         if out == "-" {
             println!("{report}");
@@ -402,7 +530,7 @@ fn main() {
             exit(1);
         }
     }
-    if errors > 0 {
+    if errors > 0 || scrape_outcome.as_ref().is_some_and(|(_, p)| !p.is_empty()) {
         exit(1);
     }
 }

@@ -1,0 +1,65 @@
+//! `metricslint` — validates saved Prometheus text-format pages with
+//! the `silkmoth-telemetry` exposition linter.
+//!
+//! ```text
+//! curl -s localhost:7700/metrics > a.prom
+//! # ... traffic ...
+//! curl -s localhost:7700/metrics > b.prom
+//! metricslint a.prom b.prom
+//! ```
+//!
+//! Each file must parse as valid exposition text; with two or more
+//! files every page is additionally linted *against its predecessor*
+//! (same scrape target, in scrape order), which catches drift a single
+//! page can't show: counters or histogram rows moving backwards,
+//! families or labelled series disappearing, a family changing kind.
+//! Any problem prints one line to stderr and the exit code is 1 —
+//! which is how the CI soaks fail when a scrape goes bad.
+
+use silkmoth_telemetry::expo;
+use std::process::exit;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() || files.iter().any(|f| f == "--help" || f == "-h") {
+        eprintln!(
+            "usage: metricslint FILE [FILE...]   (FILEs are scrapes of one target, oldest first)"
+        );
+        exit(2);
+    }
+    let mut problems = 0usize;
+    let mut prev: Option<Vec<expo::ParsedFamily>> = None;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                exit(2);
+            }
+        };
+        match expo::parse_text(&text) {
+            Ok(cur) => {
+                for p in expo::lint(prev.as_deref(), &cur) {
+                    eprintln!("{file}: {p}");
+                    problems += 1;
+                }
+                prev = Some(cur);
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                problems += 1;
+                // A page that didn't parse can't serve as the baseline
+                // for the next one.
+                prev = None;
+            }
+        }
+    }
+    if problems > 0 {
+        eprintln!(
+            "metricslint: {problems} problem(s) across {} page(s)",
+            files.len()
+        );
+        exit(1);
+    }
+    println!("metricslint: {} page(s) clean", files.len());
+}

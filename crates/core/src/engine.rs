@@ -10,7 +10,7 @@ use crate::explain::explain_pair;
 use crate::filter::{PassStats, Restriction, Searcher};
 use crate::query::{Query, QueryIter};
 use crate::rank::rank_top_k;
-use crate::spec::{QueryOutput, QuerySpec};
+use crate::spec::{PhaseTiming, QueryOutput, QuerySpec};
 use silkmoth_collection::{Collection, InvertedIndex, SetIdx, SetRecord, UpdateError};
 
 /// One related pair found by discovery.
@@ -265,12 +265,18 @@ impl Engine {
         // explanations included.
         let deadline = spec.deadline_at(cap);
         let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        // Phase timing brackets the phases with clock reads and nothing
+        // else — the result path (hits, stats, explanations) is the same
+        // code with or without anyone consuming `timing`.
+        let t0 = Instant::now();
         let mut iter = QueryIter::stage(self, r, spec, deadline);
+        let staged_at = Instant::now();
         let mut hits: Vec<(SetIdx, f64)> = iter.by_ref().collect();
         match spec.top_k() {
             Some(k) => rank_top_k(&mut hits, k),
             None => hits.sort_unstable_by_key(|&(sid, _)| sid),
         }
+        let verified_at = Instant::now();
         let stats = iter.stats();
         let mut timed_out = iter.timed_out();
         let mut explanations = Vec::new();
@@ -292,11 +298,17 @@ impl Engine {
                 ));
             }
         }
+        let timing = PhaseTiming {
+            stage: staged_at - t0,
+            verify: verified_at - staged_at,
+            explain: verified_at.elapsed(),
+        };
         QueryOutput {
             hits,
             stats,
             timed_out,
             explanations,
+            timing,
         }
     }
 

@@ -96,5 +96,5 @@ pub use policy::CompactionPolicy;
 pub use query::{Query, QueryIter};
 pub use signature::{generate as generate_signature, SigElem, SigKind, SigParams, Signature};
 pub use silkmoth_collection::UpdateError;
-pub use spec::{QueryOutput, QuerySpec};
+pub use spec::{PhaseTiming, QueryOutput, QuerySpec};
 pub use verify::{matching_score, relatedness, size_check, verify_pair, VerifyCost};

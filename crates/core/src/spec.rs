@@ -47,6 +47,7 @@ pub struct QuerySpec {
     deadline: Option<Duration>,
     want_stats: bool,
     want_explain: bool,
+    want_timing: bool,
 }
 
 impl QuerySpec {
@@ -61,6 +62,7 @@ impl QuerySpec {
             deadline: None,
             want_stats: true,
             want_explain: false,
+            want_timing: false,
         }
     }
 
@@ -111,6 +113,14 @@ impl QuerySpec {
         self
     }
 
+    /// Whether serialization layers should ship [`PhaseTiming`] back
+    /// (default false). Like stats, execution always measures; the flag
+    /// only governs the response shape.
+    pub fn with_timing(mut self, want: bool) -> Self {
+        self.want_timing = want;
+        self
+    }
+
     /// The reference set's raw element strings.
     pub fn reference(&self) -> &[String] {
         &self.reference
@@ -141,6 +151,11 @@ impl QuerySpec {
         self.want_explain
     }
 
+    /// Whether per-phase timing should be reported back.
+    pub fn want_timing(&self) -> bool {
+        self.want_timing
+    }
+
     /// The engine configuration with this spec's floor applied.
     /// Infallible because the floor was validated at construction.
     pub(crate) fn effective_cfg(&self, base: &EngineConfig) -> EngineConfig {
@@ -167,6 +182,52 @@ impl QuerySpec {
     }
 }
 
+/// Wall-clock time spent in each phase of one query execution,
+/// measured with [`Instant`] reads *around* the phases — never inside
+/// them — so timing is provably off the result path: the hits, stats,
+/// and explanations are computed by exactly the same code whether or
+/// not anyone reads the clock.
+///
+/// The phases partition `execute`'s wall time:
+///
+/// * `stage` — candidate generation: signature selection + inverted
+///   index probe (`Searcher::stage`).
+/// * `verify` — the chunked check/NN filter + exact maximum-matching
+///   verification drain, including ranking.
+/// * `explain` — per-hit explanation derivation (zero unless the spec
+///   asked for explanations).
+///
+/// Sharded execution reports the **element-wise maximum** across
+/// shards — "the worst shard per phase" — because per-shard durations
+/// overlap in wall time under the parallel scatter (their sum can
+/// exceed the request's elapsed time; the per-phase max of any single
+/// shard cannot). On a single shard the phases sum to ≤ the request's
+/// wall time exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Candidate generation (signatures + index probe).
+    pub stage: Duration,
+    /// Chunked filtering + exact verification + ranking.
+    pub verify: Duration,
+    /// Per-hit explanation derivation (zero without `want_explain`).
+    pub explain: Duration,
+}
+
+impl PhaseTiming {
+    /// The phases' sum — on one engine, ≤ the query's wall time.
+    pub fn total(&self) -> Duration {
+        self.stage + self.verify + self.explain
+    }
+
+    /// Folds `other` in element-wise by maximum (the sharded merge; see
+    /// the type docs for why max, not sum).
+    pub fn max_merge(&mut self, other: &PhaseTiming) {
+        self.stage = self.stage.max(other.stage);
+        self.verify = self.verify.max(other.verify);
+        self.explain = self.explain.max(other.explain);
+    }
+}
+
 /// What executing a [`QuerySpec`] produces, on every layer.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
@@ -187,6 +248,10 @@ pub struct QueryOutput {
     /// deadline as the search: on expiry this holds the prefix computed
     /// in time and `timed_out` is set.
     pub explanations: Vec<(SetIdx, PairExplanation)>,
+    /// Per-phase wall-clock timing (always measured, like `stats`;
+    /// [`QuerySpec::want_timing`] only governs whether serialization
+    /// layers report it).
+    pub timing: PhaseTiming,
 }
 
 #[cfg(test)]

@@ -33,7 +33,8 @@
 //! ```text
 //! n_elems  u32, per element: len u32 + UTF-8 bytes
 //! flags    u8: bit0 has_top_k, bit1 has_floor, bit2 has_deadline,
-//!              bit3 want_stats, bit4 want_explain (other bits must be 0)
+//!              bit3 want_stats, bit4 want_explain, bit5 want_timing
+//!              (other bits must be 0)
 //! top_k    u64            (present when bit0)
 //! floor    f64 (LE bits)  (present when bit1; validated on decode
 //!                          through the QuerySpec constructor — the one
@@ -224,7 +225,9 @@ mod spec_flags {
     pub const HAS_DEADLINE: u8 = 1 << 2;
     pub const WANT_STATS: u8 = 1 << 3;
     pub const WANT_EXPLAIN: u8 = 1 << 4;
-    pub const ALL: u8 = HAS_TOP_K | HAS_FLOOR | HAS_DEADLINE | WANT_STATS | WANT_EXPLAIN;
+    pub const WANT_TIMING: u8 = 1 << 5;
+    pub const ALL: u8 =
+        HAS_TOP_K | HAS_FLOOR | HAS_DEADLINE | WANT_STATS | WANT_EXPLAIN | WANT_TIMING;
 }
 
 /// Appends the versioned encoding of `spec` to `out`; see the module
@@ -253,6 +256,9 @@ pub fn encode_query_spec(spec: &QuerySpec, out: &mut Vec<u8>) {
     }
     if spec.want_explain() {
         flags |= spec_flags::WANT_EXPLAIN;
+    }
+    if spec.want_timing() {
+        flags |= spec_flags::WANT_TIMING;
     }
     out.push(flags);
     if let Some(k) = spec.top_k() {
@@ -295,7 +301,8 @@ pub fn decode_query_spec(buf: &[u8]) -> Result<QuerySpec, WireError> {
     }
     let mut spec = QuerySpec::new(reference)
         .with_stats(flags & spec_flags::WANT_STATS != 0)
-        .with_explain(flags & spec_flags::WANT_EXPLAIN != 0);
+        .with_explain(flags & spec_flags::WANT_EXPLAIN != 0)
+        .with_timing(flags & spec_flags::WANT_TIMING != 0);
     if flags & spec_flags::HAS_TOP_K != 0 {
         spec = spec.with_top_k(r.u64()? as usize);
     }
@@ -459,6 +466,7 @@ mod tests {
         spec_roundtrip(&base.clone().with_deadline(Duration::ZERO));
         spec_roundtrip(&base.clone().with_deadline(Duration::from_micros(123_456)));
         spec_roundtrip(&base.clone().with_stats(false).with_explain(true));
+        spec_roundtrip(&base.clone().with_timing(true));
         spec_roundtrip(
             &base
                 .with_top_k(7)
@@ -466,7 +474,8 @@ mod tests {
                 .unwrap()
                 .with_deadline(Duration::from_millis(50))
                 .with_stats(false)
-                .with_explain(true),
+                .with_explain(true)
+                .with_timing(true),
         );
         spec_roundtrip(&QuerySpec::new(Vec::new()));
     }

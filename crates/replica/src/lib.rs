@@ -48,11 +48,15 @@
 //!   [`ReplicaSink`]; [`FollowerShared`] exposes live status and stop.
 //! - `sim`: a deterministic in-process duplex transport with seeded
 //!   faults (delays, cuts mid-record, byte flips) for chaos tests.
+//! - `telemetry`: [`FollowerMetrics`] — replication lag / connect /
+//!   bootstrap gauges refreshed from a [`FollowerStatus`] at scrape
+//!   time, so the replication loop itself stays metrics-free.
 
 mod follower;
 mod proto;
 mod sim;
 mod source;
+mod telemetry;
 
 pub use follower::{
     run_follower, Connector, FollowerConfig, FollowerShared, FollowerState, FollowerStatus,
@@ -66,6 +70,7 @@ pub use source::{
     serve_log, store_records_after, stream_updates, CommitSignal, ReplicaServer, ReplicationSource,
     StoreSource, StreamerConfig,
 };
+pub use telemetry::FollowerMetrics;
 
 use silkmoth_storage::StorageError;
 use std::fmt;

@@ -1,0 +1,133 @@
+//! Replication metrics: a bundle of gauges and counters describing one
+//! follower loop, refreshed from its [`FollowerStatus`] at scrape time.
+//!
+//! The follower loop itself stays metrics-free — it already maintains
+//! [`FollowerStatus`] under [`FollowerShared`], so the metrics layer
+//! polls that snapshot when `/metrics` is scraped instead of
+//! instrumenting the replication hot path. Monotonic totals
+//! (`connects`, `bootstraps`) go through
+//! [`Counter::record_total`](silkmoth_telemetry::Counter::record_total)
+//! so a scrape can never observe them moving backwards even though they
+//! are polled, not incremented.
+
+use silkmoth_telemetry::{Counter, Gauge, Registry};
+
+use crate::follower::{FollowerState, FollowerStatus};
+
+/// The replication metric family bundle. Register once per process
+/// with [`FollowerMetrics::register`], then call
+/// [`record`](Self::record) with the current status whenever fresh
+/// values are wanted (typically on each `/metrics` scrape).
+#[derive(Debug, Clone)]
+pub struct FollowerMetrics {
+    lag: Gauge,
+    applied_seq: Gauge,
+    primary_seq: Gauge,
+    streaming: Gauge,
+    connects: Counter,
+    bootstraps: Counter,
+}
+
+impl FollowerMetrics {
+    /// Gets or creates the replication families in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            lag: registry.gauge(
+                "silkmoth_replication_lag_records",
+                "Records the primary has committed that this follower has not yet applied",
+                &[],
+            ),
+            applied_seq: registry.gauge(
+                "silkmoth_replication_applied_seq",
+                "Updates this follower has applied locally",
+                &[],
+            ),
+            primary_seq: registry.gauge(
+                "silkmoth_replication_primary_seq",
+                "The primary's committed update count per its latest heartbeat",
+                &[],
+            ),
+            streaming: registry.gauge(
+                "silkmoth_replication_streaming",
+                "1 while the follower is connected and processing frames, else 0",
+                &[],
+            ),
+            connects: registry.counter(
+                "silkmoth_replication_connects_total",
+                "Successful connections this follower has made to the primary",
+                &[],
+            ),
+            bootstraps: registry.counter(
+                "silkmoth_replication_bootstraps_total",
+                "Snapshot bootstraps this follower has performed",
+                &[],
+            ),
+        }
+    }
+
+    /// Refreshes every family from one status snapshot.
+    pub fn record(&self, status: &FollowerStatus) {
+        self.lag.set(status.lag() as i64);
+        self.applied_seq.set(status.applied_seq as i64);
+        self.primary_seq.set(status.primary_seq as i64);
+        self.streaming
+            .set(i64::from(status.state == FollowerState::Streaming));
+        self.connects.record_total(status.connects);
+        self.bootstraps.record_total(status.bootstraps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(applied: u64, primary: u64, connects: u64) -> FollowerStatus {
+        FollowerStatus {
+            state: FollowerState::Streaming,
+            applied_seq: applied,
+            primary_seq: primary,
+            connects,
+            frames: 0,
+            skipped: 0,
+            bootstraps: 1,
+            last_error: None,
+        }
+    }
+
+    #[test]
+    fn record_reflects_the_status_snapshot() {
+        let registry = Registry::new();
+        let metrics = FollowerMetrics::register(&registry);
+        metrics.record(&status(7, 10, 3));
+        let page = registry.render();
+        assert!(
+            page.contains("silkmoth_replication_lag_records 3"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_replication_applied_seq 7"),
+            "{page}"
+        );
+        assert!(page.contains("silkmoth_replication_streaming 1"), "{page}");
+        assert!(
+            page.contains("silkmoth_replication_connects_total 3"),
+            "{page}"
+        );
+    }
+
+    #[test]
+    fn polled_counters_never_move_backwards() {
+        // A racing status read could deliver an older snapshot after a
+        // newer one; record_total's fetch_max keeps the exposed counter
+        // monotonic regardless of arrival order.
+        let registry = Registry::new();
+        let metrics = FollowerMetrics::register(&registry);
+        metrics.record(&status(5, 5, 4));
+        metrics.record(&status(3, 5, 2)); // stale snapshot arrives late
+        let page = registry.render();
+        assert!(
+            page.contains("silkmoth_replication_connects_total 4"),
+            "{page}"
+        );
+    }
+}

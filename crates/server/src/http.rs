@@ -115,6 +115,17 @@ impl Response {
         }
     }
 
+    /// A plain-text response with an explicit `Content-Type` (e.g. the
+    /// Prometheus exposition type for `/metrics`).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        Self {
+            status,
+            content_type,
+            body: body.into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
     /// Adds one extra response header.
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
         self.headers.push((name, value.into()));

@@ -15,8 +15,9 @@
 //! * [`http`] — an HTTP/1.1 server on [`std::net::TcpListener`] with a
 //!   fixed worker pool, keep-alive, and graceful drain on shutdown;
 //! * [`service`] — the routes: `POST /search`, `POST /discover`,
-//!   `GET /stats` (cumulative per-shard [`PassStats`] merged), and
-//!   `GET /healthz`.
+//!   `GET /stats` (cumulative per-shard [`PassStats`] merged),
+//!   `GET /healthz`, and `GET /metrics` (the [`metrics`] bundle in the
+//!   Prometheus text exposition format).
 //!
 //! ## Example
 //!
@@ -52,6 +53,7 @@
 pub mod durable;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod queryspec;
 pub mod replication;
 pub mod service;
@@ -60,12 +62,13 @@ pub mod shard;
 pub use durable::ShardSpec;
 pub use http::{read_simple_response, HttpServer, Request, Response};
 pub use json::{Json, JsonError};
+pub use metrics::{canonical_route, ServiceMetrics};
 pub use queryspec::{spec_from_json, spec_to_json, QUERY_SPEC_JSON_VERSION};
 pub use replication::{
     dir_needs_fresh_store, follower_store_config, serve_log, start_follower, FollowerConfig,
     FollowerRuntime, ReplicaServer, ServiceSink, ServiceSource, StreamerConfig,
 };
-pub use service::{serve, serve_service, EngineGuard, SearchService};
+pub use service::{serve, serve_service, EngineGuard, LogFormat, SearchService};
 pub use shard::{
     merge_stats, ShardedDiscoveryOutput, ShardedEngine, ShardedQueryOutput, ShardedSearchOutput,
 };

@@ -1,0 +1,319 @@
+//! The service's metric bundle: every family the stack exposes on
+//! `GET /metrics`, registered eagerly so the exposition page has a
+//! deterministic family order from the first scrape (the golden-format
+//! test pins it).
+//!
+//! Four layers feed one [`Registry`]:
+//!
+//! * **HTTP** — per-route request counters (`route`/`status` labels),
+//!   per-route latency histograms, and an in-flight gauge, observed by
+//!   the service's request wrapper;
+//! * **query phases** — stage / verify / explain durations from
+//!   [`PhaseTiming`], the per-shard worst merged by
+//!   [`ShardedQueryOutput::merged_timing`](crate::shard::ShardedQueryOutput::merged_timing);
+//! * **storage** — WAL append/fsync latency and snapshot / compaction
+//!   counters, delivered through a [`TelemetryHook`] so the storage
+//!   crate itself stays dependency-free;
+//! * **replication** — the follower lag/connect/bootstrap families from
+//!   [`FollowerMetrics`], refreshed at scrape time, plus a follower
+//!   count gauge on the primary.
+//!
+//! Route and status label sets are bounded: paths are canonicalised
+//! through [`canonical_route`] (unknown paths collapse to `"other"`),
+//! and statuses are the handful the service actually emits.
+
+use silkmoth_core::PhaseTiming;
+use silkmoth_replica::{FollowerMetrics, FollowerStatus};
+use silkmoth_storage::{StoreEvent, TelemetryHook};
+use silkmoth_telemetry::{Counter, Gauge, Histogram, MetricKind, Registry, LATENCY_BUCKETS};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HTTP_REQUESTS: &str = "silkmoth_http_requests_total";
+const HTTP_REQUESTS_HELP: &str = "HTTP requests served, by route and status";
+const HTTP_DURATION: &str = "silkmoth_http_request_duration_seconds";
+const HTTP_DURATION_HELP: &str = "Wall-clock request latency, by route";
+
+/// Collapses a request path to a bounded route label. Every route the
+/// service dispatches maps to itself; anything else — typos, probes,
+/// scanners — collapses to `"other"` so label cardinality cannot grow
+/// with traffic.
+pub fn canonical_route(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/search" => "/search",
+        "/search/batch" => "/search/batch",
+        "/discover" => "/discover",
+        "/sets" => "/sets",
+        "/compact" => "/compact",
+        "/snapshot" => "/snapshot",
+        "/promote" => "/promote",
+        _ => "other",
+    }
+}
+
+/// One process's metric families and the handles to record into them.
+/// Construct once per [`SearchService`](crate::service::SearchService);
+/// cloning shares the registry and every cell.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    registry: Arc<Registry>,
+    inflight: Gauge,
+    phase_stage: Histogram,
+    phase_verify: Histogram,
+    phase_explain: Histogram,
+    wal_append: Histogram,
+    wal_fsync: Histogram,
+    snapshots: Counter,
+    auto_compactions: Counter,
+    auto_snapshots: Counter,
+    follower: FollowerMetrics,
+    followers: Gauge,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Registers every family the stack exposes, in the order the
+    /// `/metrics` page renders them. The HTTP families are declared
+    /// (header-only) here because their series only appear as routes
+    /// are hit; everything else registers its series immediately.
+    pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        registry.declare(HTTP_REQUESTS, HTTP_REQUESTS_HELP, MetricKind::Counter, None);
+        registry.declare(
+            HTTP_DURATION,
+            HTTP_DURATION_HELP,
+            MetricKind::Histogram,
+            Some(&LATENCY_BUCKETS),
+        );
+        let inflight = registry.gauge(
+            "silkmoth_http_inflight_requests",
+            "Requests currently being handled",
+            &[],
+        );
+        let phase = |name: &'static str| {
+            registry.histogram(
+                "silkmoth_query_phase_duration_seconds",
+                "Query time per engine phase (worst shard per phase)",
+                &[("phase", name)],
+                &LATENCY_BUCKETS,
+            )
+        };
+        let phase_stage = phase("stage");
+        let phase_verify = phase("verify");
+        let phase_explain = phase("explain");
+        let wal_append = registry.histogram(
+            "silkmoth_wal_append_duration_seconds",
+            "Time writing one record into the WAL file (before fsync)",
+            &[],
+            &LATENCY_BUCKETS,
+        );
+        let wal_fsync = registry.histogram(
+            "silkmoth_wal_fsync_duration_seconds",
+            "Time in fsync per WAL append (0 when sync is off)",
+            &[],
+            &LATENCY_BUCKETS,
+        );
+        let snapshots = registry.counter(
+            "silkmoth_storage_snapshots_total",
+            "Snapshots written (manual and automatic)",
+            &[],
+        );
+        let auto_compactions = registry.counter(
+            "silkmoth_storage_auto_compactions_total",
+            "Auto-compactions triggered by the WAL growth policy",
+            &[],
+        );
+        let auto_snapshots = registry.counter(
+            "silkmoth_storage_auto_snapshots_total",
+            "Snapshots taken automatically by the WAL growth policy",
+            &[],
+        );
+        let follower = FollowerMetrics::register(&registry);
+        let followers = registry.gauge(
+            "silkmoth_replication_followers",
+            "Follower connections currently streaming from this primary",
+            &[],
+        );
+        Self {
+            registry,
+            inflight,
+            phase_stage,
+            phase_verify,
+            phase_explain,
+            wal_append,
+            wal_fsync,
+            snapshots,
+            auto_compactions,
+            auto_snapshots,
+            follower,
+            followers,
+        }
+    }
+
+    /// The gauge tracking requests currently inside the handler.
+    pub fn inflight(&self) -> &Gauge {
+        &self.inflight
+    }
+
+    /// Records one finished request into the per-route counter and
+    /// latency histogram. `route` must come from [`canonical_route`] so
+    /// the label set stays bounded.
+    pub fn observe_request(&self, route: &'static str, status: u16, elapsed: Duration) {
+        let status = status.to_string();
+        self.registry
+            .counter(
+                HTTP_REQUESTS,
+                HTTP_REQUESTS_HELP,
+                &[("route", route), ("status", &status)],
+            )
+            .inc();
+        self.registry
+            .histogram(
+                HTTP_DURATION,
+                HTTP_DURATION_HELP,
+                &[("route", route)],
+                &LATENCY_BUCKETS,
+            )
+            .observe(elapsed);
+    }
+
+    /// Records one query's per-phase timing (already merged across
+    /// shards — element-wise max, the worst shard per phase).
+    pub fn observe_phases(&self, timing: &PhaseTiming) {
+        self.phase_stage.observe(timing.stage);
+        self.phase_verify.observe(timing.verify);
+        self.phase_explain.observe(timing.explain);
+    }
+
+    /// A [`TelemetryHook`] to install on the durable store: WAL append
+    /// and fsync timings land in the latency histograms, snapshot and
+    /// compaction events in their counters. The hook captures clones of
+    /// the cells, so the storage crate never sees the registry.
+    pub fn storage_hook(&self) -> TelemetryHook {
+        let append = self.wal_append.clone();
+        let fsync = self.wal_fsync.clone();
+        let snapshots = self.snapshots.clone();
+        let compactions = self.auto_compactions.clone();
+        let auto_snapshots = self.auto_snapshots.clone();
+        TelemetryHook::new(move |event| match event {
+            StoreEvent::WalAppend { write, sync } => {
+                append.observe(write);
+                fsync.observe(sync);
+            }
+            StoreEvent::Snapshot => snapshots.inc(),
+            StoreEvent::AutoCompaction => compactions.inc(),
+            StoreEvent::AutoSnapshot => auto_snapshots.inc(),
+        })
+    }
+
+    /// Refreshes the replication families from a follower's status
+    /// snapshot (called at scrape time on follower-role services).
+    pub fn record_follower(&self, status: &FollowerStatus) {
+        self.follower.record(status);
+    }
+
+    /// Sets the primary-side follower connection count.
+    pub fn set_followers(&self, n: i64) {
+        self.followers.set(n);
+    }
+
+    /// Renders the `/metrics` page.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_paths_collapse_to_other() {
+        assert_eq!(canonical_route("/search"), "/search");
+        assert_eq!(canonical_route("/search/"), "other");
+        assert_eq!(canonical_route("/../etc/passwd"), "other");
+    }
+
+    #[test]
+    fn every_family_renders_before_any_traffic() {
+        let m = ServiceMetrics::new();
+        let page = m.render();
+        for family in [
+            "silkmoth_http_requests_total",
+            "silkmoth_http_request_duration_seconds",
+            "silkmoth_http_inflight_requests",
+            "silkmoth_query_phase_duration_seconds",
+            "silkmoth_wal_append_duration_seconds",
+            "silkmoth_wal_fsync_duration_seconds",
+            "silkmoth_storage_snapshots_total",
+            "silkmoth_storage_auto_compactions_total",
+            "silkmoth_storage_auto_snapshots_total",
+            "silkmoth_replication_lag_records",
+            "silkmoth_replication_connects_total",
+            "silkmoth_replication_followers",
+        ] {
+            assert!(
+                page.contains(&format!("# TYPE {family} ")),
+                "{family} missing:\n{page}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_hook_routes_events_to_the_right_cells() {
+        let m = ServiceMetrics::new();
+        let hook = m.storage_hook();
+        hook.fire(StoreEvent::WalAppend {
+            write: Duration::from_micros(20),
+            sync: Duration::from_millis(2),
+        });
+        hook.fire(StoreEvent::Snapshot);
+        hook.fire(StoreEvent::AutoCompaction);
+        hook.fire(StoreEvent::AutoSnapshot);
+        let page = m.render();
+        assert!(
+            page.contains("silkmoth_wal_append_duration_seconds_count 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_wal_fsync_duration_seconds_count 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_storage_snapshots_total 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_storage_auto_compactions_total 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_storage_auto_snapshots_total 1"),
+            "{page}"
+        );
+    }
+
+    #[test]
+    fn request_observation_creates_bounded_series() {
+        let m = ServiceMetrics::new();
+        m.observe_request(canonical_route("/search"), 200, Duration::from_millis(1));
+        m.observe_request(canonical_route("/nope"), 404, Duration::from_micros(30));
+        let page = m.render();
+        assert!(
+            page.contains("silkmoth_http_requests_total{route=\"/search\",status=\"200\"} 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_http_requests_total{route=\"other\",status=\"404\"} 1"),
+            "{page}"
+        );
+    }
+}

@@ -12,7 +12,8 @@
 //!   "floor": 0.3,                // optional threshold override in [0,1]
 //!   "deadline_ms": 50,           // optional wall-clock budget
 //!   "stats": true,               // optional; default true
-//!   "explain": false             // optional; default false
+//!   "explain": false,            // optional; default false
+//!   "timing": false              // optional; default false
 //! }
 //! ```
 //!
@@ -78,14 +79,14 @@ pub fn spec_from_json(doc: &Json) -> Result<QuerySpec, String> {
             None => return Err("'deadline_ms' must be a non-negative integer".into()),
         },
     }
-    for (field, set) in [("stats", true), ("explain", false)] {
+    for field in ["stats", "explain", "timing"] {
         match doc.get(field) {
             None | Some(Json::Null) => {}
             Some(Json::Bool(b)) => {
-                spec = if set {
-                    spec.with_stats(*b)
-                } else {
-                    spec.with_explain(*b)
+                spec = match field {
+                    "stats" => spec.with_stats(*b),
+                    "explain" => spec.with_explain(*b),
+                    _ => spec.with_timing(*b),
                 };
             }
             Some(_) => return Err(format!("'{field}' must be a boolean")),
@@ -125,6 +126,7 @@ pub fn spec_to_json(spec: &QuerySpec) -> Json {
     }
     fields.push(("stats", Json::Bool(spec.want_stats())));
     fields.push(("explain", Json::Bool(spec.want_explain())));
+    fields.push(("timing", Json::Bool(spec.want_timing())));
     obj(fields)
 }
 
@@ -192,7 +194,8 @@ mod tests {
                 .unwrap()
                 .with_deadline(Duration::from_millis(25))
                 .with_stats(false)
-                .with_explain(true),
+                .with_explain(true)
+                .with_timing(true),
         ];
         for spec in specs {
             // Through the text form too, so escaping is exercised.
@@ -233,6 +236,7 @@ mod tests {
             r#"{"reference": ["a"], "deadline_ms": "soon"}"#,
             r#"{"reference": ["a"], "stats": 1}"#,
             r#"{"reference": ["a"], "explain": "yes"}"#,
+            r#"{"reference": ["a"], "timing": 0}"#,
         ] {
             assert!(parse(bad).is_err(), "{bad}");
         }

@@ -14,7 +14,8 @@
 //! | `POST /snapshot` | —                                                | `{"snapshot_seq": n}` (durable mode; 409 otherwise) |
 //! | `POST /promote`  | —                                                | `{"role": "primary", "epoch", "update_seq"}` — follower failover (409 when already primary) |
 //! | `GET /stats`     | —                                                | request counters, per-shard and merged [`PassStats`], and (durable) the storage generation |
-//! | `GET /healthz`   | —                                                | `{"status": "ok", "durable": b, "role": "primary"\|"follower", …}` |
+//! | `GET /healthz`   | —                                                | `{"status": "ok", "durable": b, "role": "primary"\|"follower", "version", "uptime_secs", "update_seq", …}` |
+//! | `GET /metrics`   | —                                                | the [`metrics`](crate::metrics) bundle in the Prometheus text exposition format |
 //!
 //! Set ids in responses are **global** (the line number of the set in
 //! the served input; appended sets continue the numbering), identical
@@ -51,12 +52,25 @@
 //! [`with_max_inflight_updates`](SearchService::with_max_inflight_updates)
 //! the queue is bounded — excess updates are rejected immediately with
 //! `503` + `Retry-After` instead of pinning workers.
+//!
+//! ## Observability
+//!
+//! Every request flows through an instrumented wrapper: a monotonic
+//! request id, an in-flight gauge, and per-route counters + latency
+//! histograms in the [`metrics`](crate::metrics) bundle served on
+//! `GET /metrics`. Search routes additionally record per-phase query
+//! timing (stage / verify / explain, worst shard per phase) and — when
+//! the spec sets `"timing": true` — return the same numbers in the
+//! response. [`with_log_format`](SearchService::with_log_format) turns
+//! on one structured log line per request (text or JSON), and
+//! [`with_slow_query_ms`](SearchService::with_slow_query_ms) logs the
+//! full spec of any search slower than the threshold.
 
 use std::io;
 use std::net::ToSocketAddrs;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
 use silkmoth_collection::UpdateError;
@@ -66,11 +80,18 @@ use silkmoth_storage::{StorageError, Store};
 
 use crate::http::{self, HttpServer, Request, Response};
 use crate::json::{obj, Json};
-use crate::queryspec::{explanation_json, spec_from_json};
+use crate::metrics::{canonical_route, ServiceMetrics};
+use crate::queryspec::{explanation_json, spec_from_json, spec_to_json};
 use crate::shard::{merge_stats, ShardedEngine, ShardedQueryOutput};
 
 /// What the service serves: a bare engine, or an engine owned by a
 /// durable store that WAL-logs every update.
+//
+// One Backend exists per service, so the size gap between the
+// variants (the Store carries WAL + policy + hooks inline) costs
+// nothing; boxing the durable side would only add a pointer chase to
+// every update.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Backend {
     Ephemeral(ShardedEngine),
@@ -110,6 +131,46 @@ impl Drop for InflightGuard<'_> {
             counter.fetch_sub(1, Ordering::AcqRel);
         }
     }
+}
+
+/// How request log lines are rendered (`serve --log-format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// `request id=42 route=/search status=200 duration_ms=1.234 …`
+    Text,
+    /// One JSON object per line, same fields.
+    Json,
+}
+
+/// Where request log lines go. Defaults to stderr; tests inject a
+/// capturing sink.
+#[derive(Clone)]
+struct LogSink(Arc<dyn Fn(&str) + Send + Sync>);
+
+impl std::fmt::Debug for LogSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LogSink(..)")
+    }
+}
+
+impl Default for LogSink {
+    fn default() -> Self {
+        Self(Arc::new(|line| eprintln!("{line}")))
+    }
+}
+
+/// What a handler reports back to the instrumented request wrapper:
+/// the shard fan-out, whether any query timed out, and — only when
+/// slow-query logging is armed — the parsed specs, for the slow-query
+/// log line.
+#[derive(Debug, Default)]
+struct RequestInfo {
+    /// Shards the request scattered across (search/discover routes).
+    shards: Option<usize>,
+    /// True when any query in the request timed out cooperatively.
+    timed_out: bool,
+    /// Specs rendered for slow-query logging (empty unless armed).
+    specs: Vec<Json>,
 }
 
 /// The service's place in a replication topology. Everything starts as
@@ -162,6 +223,17 @@ pub struct SearchService {
     auto_compactions: AtomicU64,
     /// Cumulative pass stats per shard, merged in after every request.
     shard_stats: Vec<Mutex<PassStats>>,
+    /// The `/metrics` registry and its recording handles.
+    metrics: ServiceMetrics,
+    /// When the service started, for `/healthz` uptime.
+    started: Instant,
+    /// Monotonic request id source for log correlation.
+    request_ids: AtomicU64,
+    /// `Some`: one structured log line per request.
+    log_format: Option<LogFormat>,
+    /// `Some(ms)`: searches slower than this log their full specs.
+    slow_query_ms: Option<u64>,
+    log_sink: LogSink,
 }
 
 impl SearchService {
@@ -183,9 +255,11 @@ impl SearchService {
             .map(|_| Mutex::new(PassStats::default()))
             .collect();
         let commit_signal = Arc::new(CommitSignal::new());
+        let metrics = ServiceMetrics::new();
         if let Backend::Durable(store) = &mut backend {
             commit_signal.seed(store.status().update_seq);
             store.set_commit_hook(commit_signal.hook());
+            store.set_telemetry_hook(metrics.storage_hook());
         }
         Self {
             backend: RwLock::new(backend),
@@ -201,6 +275,12 @@ impl SearchService {
             updates: AtomicU64::new(0),
             auto_compactions: AtomicU64::new(0),
             shard_stats,
+            metrics,
+            started: Instant::now(),
+            request_ids: AtomicU64::new(0),
+            log_format: None,
+            slow_query_ms: None,
+            log_sink: LogSink::default(),
         }
     }
 
@@ -232,6 +312,34 @@ impl SearchService {
     pub fn with_search_timeout(mut self, timeout: Duration) -> Self {
         self.search_timeout = Some(timeout);
         self
+    }
+
+    /// Turns on structured request logging: one line per request
+    /// (`serve --log-format`). Off by default.
+    pub fn with_log_format(mut self, format: LogFormat) -> Self {
+        self.log_format = Some(format);
+        self
+    }
+
+    /// Logs the full spec of any search request slower than `ms`
+    /// milliseconds (`serve --slow-query-ms`). Independent of
+    /// [`with_log_format`](Self::with_log_format); slow-query lines
+    /// render as text unless a format says otherwise.
+    pub fn with_slow_query_ms(mut self, ms: u64) -> Self {
+        self.slow_query_ms = Some(ms);
+        self
+    }
+
+    /// Redirects log lines (tests capture them; the default sink is
+    /// stderr).
+    pub fn with_log_sink(mut self, sink: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        self.log_sink = LogSink(Arc::new(sink));
+        self
+    }
+
+    /// The service's metric bundle (what `GET /metrics` renders).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// Read access to the engine being served (shared with in-flight
@@ -275,6 +383,7 @@ impl SearchService {
         // a *lower* seq than a diverged local history did).
         self.commit_signal.reset(store.status().update_seq);
         store.set_commit_hook(self.commit_signal.hook());
+        store.set_telemetry_hook(self.metrics.storage_hook());
         *backend = Backend::Durable(store);
         true
     }
@@ -322,15 +431,33 @@ impl SearchService {
     }
 
     /// Routes one request. Pure request → response, so it is directly
-    /// testable without a socket.
+    /// testable without a socket. Wraps the private route dispatch
+    /// with the observability layer: request id, in-flight gauge,
+    /// per-route counter + latency histogram, and (when configured) the
+    /// structured log line.
     pub fn handle(&self, req: &Request) -> Response {
+        let id = self.request_ids.fetch_add(1, Ordering::Relaxed) + 1;
         let path = req.path.split('?').next().unwrap_or("");
+        let route = canonical_route(path);
+        let mut info = RequestInfo::default();
+        let start = Instant::now();
+        self.metrics.inflight().add(1);
+        let resp = self.dispatch(req, path, &mut info);
+        self.metrics.inflight().sub(1);
+        let elapsed = start.elapsed();
+        self.metrics.observe_request(route, resp.status, elapsed);
+        self.log_request(id, route, resp.status, elapsed, &info);
+        resp
+    }
+
+    fn dispatch(&self, req: &Request, path: &str, info: &mut RequestInfo) -> Response {
         match (req.method.as_str(), path) {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
-            ("POST", "/search") => self.search(&req.body),
-            ("POST", "/search/batch") => self.search_batch(&req.body),
-            ("POST", "/discover") => self.discover(&req.body),
+            ("GET", "/metrics") => self.metrics_page(),
+            ("POST", "/search") => self.search(&req.body, info),
+            ("POST", "/search/batch") => self.search_batch(&req.body, info),
+            ("POST", "/discover") => self.discover(&req.body, info),
             ("POST", "/sets") => self.append(&req.body),
             ("DELETE", "/sets") => self.remove(&req.body),
             ("POST", "/compact") => self.compact(),
@@ -338,11 +465,92 @@ impl SearchService {
             ("POST", "/promote") => self.promote(),
             (
                 _,
-                "/healthz" | "/stats" | "/search" | "/search/batch" | "/discover" | "/sets"
-                | "/compact" | "/snapshot" | "/promote",
+                "/healthz" | "/stats" | "/metrics" | "/search" | "/search/batch" | "/discover"
+                | "/sets" | "/compact" | "/snapshot" | "/promote",
             ) => error_response(405, "method not allowed for this route"),
             _ => error_response(404, "no such route"),
         }
+    }
+
+    /// One structured line per request (when configured), plus the
+    /// slow-query line carrying the full specs of a search that blew
+    /// the `--slow-query-ms` budget.
+    fn log_request(
+        &self,
+        id: u64,
+        route: &str,
+        status: u16,
+        elapsed: Duration,
+        info: &RequestInfo,
+    ) {
+        let ms = elapsed.as_secs_f64() * 1e3;
+        if let Some(format) = self.log_format {
+            let line = match format {
+                LogFormat::Text => format!(
+                    "request id={id} route={route} status={status} duration_ms={ms:.3} \
+                     shards={} timed_out={}",
+                    info.shards.map_or_else(|| "-".into(), |n| n.to_string()),
+                    info.timed_out,
+                ),
+                LogFormat::Json => obj(vec![
+                    ("event", Json::Str("request".into())),
+                    ("id", Json::Num(id as f64)),
+                    ("route", Json::Str(route.into())),
+                    ("status", Json::Num(f64::from(status))),
+                    ("duration_ms", Json::Num(ms)),
+                    (
+                        "shards",
+                        info.shards.map_or(Json::Null, |n| Json::Num(n as f64)),
+                    ),
+                    ("timed_out", Json::Bool(info.timed_out)),
+                ])
+                .to_string(),
+            };
+            (self.log_sink.0)(&line);
+        }
+        let slow = self.slow_query_ms.is_some_and(|limit| ms >= limit as f64);
+        if slow {
+            for spec in &info.specs {
+                let line = match self.log_format.unwrap_or(LogFormat::Text) {
+                    LogFormat::Text => {
+                        format!("slow_query id={id} route={route} duration_ms={ms:.3} spec={spec}")
+                    }
+                    LogFormat::Json => obj(vec![
+                        ("event", Json::Str("slow_query".into())),
+                        ("id", Json::Num(id as f64)),
+                        ("route", Json::Str(route.into())),
+                        ("duration_ms", Json::Num(ms)),
+                        ("spec", spec.clone()),
+                    ])
+                    .to_string(),
+                };
+                (self.log_sink.0)(&line);
+            }
+        }
+    }
+
+    /// `GET /metrics`: refresh the poll-style families (replication
+    /// status, follower count), then render the page.
+    fn metrics_page(&self) -> Response {
+        {
+            let role = self
+                .replication
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let ReplicationRole::Follower { shared, .. } = &*role {
+                self.metrics.record_follower(&shared.status());
+            }
+        }
+        if let Some(gauge) = self
+            .follower_gauge
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            self.metrics
+                .set_followers(gauge.load(Ordering::Relaxed) as i64);
+        }
+        Response::text(200, silkmoth_telemetry::CONTENT_TYPE, self.metrics.render())
     }
 
     fn healthz(&self) -> Response {
@@ -359,13 +567,26 @@ impl SearchService {
         };
         let backend = self.backend.read().expect("engine lock poisoned");
         let engine = backend.engine();
+        // Followers report the replicated store's seq, primaries their
+        // own; ephemeral services (no WAL) report the request-level
+        // update count instead so the field always moves on writes.
+        let update_seq = match &*backend {
+            Backend::Durable(store) => store.status().update_seq,
+            Backend::Ephemeral(_) => self.updates.load(Ordering::Relaxed),
+        };
         let mut fields = vec![
             ("status", Json::Str("ok".into())),
+            ("version", Json::Str(env!("CARGO_PKG_VERSION").into())),
+            (
+                "uptime_secs",
+                Json::Num(self.started.elapsed().as_secs() as f64),
+            ),
             (
                 "durable",
                 Json::Bool(matches!(*backend, Backend::Durable(_))),
             ),
             ("role", Json::Str(role.into())),
+            ("update_seq", Json::Num(update_seq as f64)),
             ("shards", Json::Num(engine.shard_count() as f64)),
             ("sets", Json::Num(engine.len() as f64)),
         ];
@@ -415,10 +636,13 @@ impl SearchService {
 
     fn stats(&self) -> Response {
         let replication = self.replication_json();
+        // Recover from poison instead of panicking: PassStats is plain
+        // counters, so the worst a poisoned merge leaves behind is one
+        // request's missing increments — not worth failing /stats over.
         let per_shard: Vec<PassStats> = self
             .shard_stats
             .iter()
-            .map(|m| *m.lock().expect("stats lock poisoned"))
+            .map(|m| *m.lock().unwrap_or_else(PoisonError::into_inner))
             .collect();
         let (sizes, total, slots, storage, auto_compactions) = {
             let backend = self.backend.read().expect("engine lock poisoned");
@@ -505,7 +729,7 @@ impl SearchService {
         self.search_timeout.is_some_and(|t| start.elapsed() >= t)
     }
 
-    fn search(&self, body: &[u8]) -> Response {
+    fn search(&self, body: &[u8], info: &mut RequestInfo) -> Response {
         let doc = match parse_body(body) {
             Ok(doc) => doc,
             Err(resp) => return resp,
@@ -514,19 +738,25 @@ impl SearchService {
             Ok(spec) => spec,
             Err(msg) => return error_response(400, &msg),
         };
+        if self.slow_query_ms.is_some() {
+            info.specs.push(spec_to_json(&spec));
+        }
         let start = Instant::now();
         let out = self
             .engine()
             .execute_until(&spec, self.request_deadline(start));
         self.searches.fetch_add(1, Ordering::Relaxed);
         self.accumulate(&out.shard_stats);
+        self.metrics.observe_phases(&out.merged_timing());
+        info.shards = Some(out.shard_timings.len());
+        info.timed_out = out.timed_out;
         if self.request_expired(start) {
             return search_timeout_response();
         }
         Response::json(200, query_output_json(&spec, &out).to_string())
     }
 
-    fn search_batch(&self, body: &[u8]) -> Response {
+    fn search_batch(&self, body: &[u8], info: &mut RequestInfo) -> Response {
         let doc = match parse_body(body) {
             Ok(doc) => doc,
             Err(resp) => return resp,
@@ -547,6 +777,9 @@ impl SearchService {
                 Err(msg) => return error_response(400, &format!("queries[{i}]: {msg}")),
             }
         }
+        if self.slow_query_ms.is_some() {
+            info.specs.extend(specs.iter().map(spec_to_json));
+        }
         let start = Instant::now();
         let outs = self
             .engine()
@@ -555,7 +788,10 @@ impl SearchService {
             .fetch_add(specs.len() as u64, Ordering::Relaxed);
         for out in &outs {
             self.accumulate(&out.shard_stats);
+            self.metrics.observe_phases(&out.merged_timing());
+            info.timed_out |= out.timed_out;
         }
+        info.shards = outs.first().map(|out| out.shard_timings.len());
         if self.request_expired(start) {
             return search_timeout_response();
         }
@@ -567,7 +803,7 @@ impl SearchService {
         Response::json(200, obj(vec![("outputs", Json::Arr(outputs))]).to_string())
     }
 
-    fn discover(&self, body: &[u8]) -> Response {
+    fn discover(&self, body: &[u8], info: &mut RequestInfo) -> Response {
         let doc = match parse_body(body) {
             Ok(doc) => doc,
             Err(resp) => return resp,
@@ -596,6 +832,7 @@ impl SearchService {
         let out = self.engine().discover(&references);
         self.discoveries.fetch_add(1, Ordering::Relaxed);
         self.accumulate(&out.shard_stats);
+        info.shards = Some(out.shard_stats.len());
         let pairs: Vec<Json> = out
             .pairs
             .iter()
@@ -819,7 +1056,10 @@ impl SearchService {
 
     fn accumulate(&self, per_shard: &[PassStats]) {
         for (mutex, stats) in self.shard_stats.iter().zip(per_shard) {
-            mutex.lock().expect("stats lock poisoned").merge(stats);
+            mutex
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .merge(stats);
         }
     }
 }
@@ -905,6 +1145,29 @@ fn query_output_json(spec: &QuerySpec, out: &ShardedQueryOutput) -> Json {
             .map(|(set, expl)| explanation_json(*set, expl))
             .collect();
         fields.push(("explain", Json::Arr(explain)));
+    }
+    if spec.want_timing() {
+        // Microsecond integers: per-phase worst shard (element-wise
+        // max across shards — phases overlap in wall time, so summing
+        // per-shard durations would overstate).
+        let t = out.merged_timing();
+        let us = |d: Duration| d.as_micros() as f64;
+        // total is the sum of the three REPORTED integers, not a
+        // separately truncated Duration sum — the invariant
+        // total_us == stage_us + verify_us + explain_us must hold
+        // exactly for whoever diffs the log against the page.
+        fields.push((
+            "timing",
+            obj(vec![
+                ("stage_us", Json::Num(us(t.stage))),
+                ("verify_us", Json::Num(us(t.verify))),
+                ("explain_us", Json::Num(us(t.explain))),
+                (
+                    "total_us",
+                    Json::Num(us(t.stage) + us(t.verify) + us(t.explain)),
+                ),
+            ]),
+        ));
     }
     obj(fields)
 }
@@ -1007,6 +1270,198 @@ mod tests {
         assert_eq!(doc.get("durable"), Some(&Json::Bool(false)));
         assert_eq!(doc.get("shards").and_then(Json::as_usize), Some(3));
         assert_eq!(doc.get("sets").and_then(Json::as_usize), Some(20));
+        assert_eq!(
+            doc.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(doc.get("uptime_secs").and_then(Json::as_usize).is_some());
+        // Ephemeral services count request-level updates as their seq.
+        assert_eq!(doc.get("update_seq").and_then(Json::as_usize), Some(0));
+        post(&s, "/sets", r#"{"sets": [["seq marker"]]}"#);
+        let (_, doc) = get(&s, "/healthz");
+        assert_eq!(doc.get("update_seq").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn metrics_page_matches_golden_file() {
+        // A fresh service's first scrape is fully deterministic: the
+        // declared HTTP families are header-only (the scrape itself is
+        // observed after rendering), the in-flight gauge reads 1 (this
+        // request), and every histogram is empty. Pinning the whole
+        // page pins family order, HELP text, bucket bounds, and the
+        // exposition syntax at once. Regenerate with
+        // `BLESS_GOLDEN_METRICS=1 cargo test -p silkmoth-server`.
+        let s = service();
+        let req = Request::new("GET", "/metrics", Vec::new());
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, silkmoth_telemetry::CONTENT_TYPE);
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/golden_metrics.txt");
+        if std::env::var_os("BLESS_GOLDEN_METRICS").is_some() {
+            std::fs::write(golden_path, body).unwrap();
+        }
+        assert_eq!(
+            body,
+            include_str!("golden_metrics.txt"),
+            "exposition format drifted; re-bless with BLESS_GOLDEN_METRICS=1 if intended"
+        );
+        // The page must also satisfy the same parser + lint CI runs.
+        let families = silkmoth_telemetry::expo::parse_text(body).expect("page parses");
+        assert_eq!(
+            silkmoth_telemetry::expo::lint(None, &families),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn metrics_track_requests_phases_and_lint_clean_across_scrapes() {
+        let s = service();
+        post(&s, "/search", r#"{"reference": ["w0 w1 shared0"]}"#);
+        post(&s, "/nope", "");
+        let first = {
+            let resp = s.handle(&Request::new("GET", "/metrics", Vec::new()));
+            String::from_utf8(resp.body).unwrap()
+        };
+        assert!(
+            first.contains("silkmoth_http_requests_total{route=\"/search\",status=\"200\"} 1"),
+            "{first}"
+        );
+        assert!(
+            first.contains("silkmoth_http_requests_total{route=\"other\",status=\"404\"} 1"),
+            "{first}"
+        );
+        assert!(
+            first.contains("silkmoth_query_phase_duration_seconds_count{phase=\"stage\"} 1"),
+            "{first}"
+        );
+        // A second scrape (after more traffic) must pass the
+        // two-scrape lint: counters only move forward.
+        post(&s, "/search", r#"{"reference": ["w2 w3 shared1"]}"#);
+        let second = {
+            let resp = s.handle(&Request::new("GET", "/metrics", Vec::new()));
+            String::from_utf8(resp.body).unwrap()
+        };
+        let prev = silkmoth_telemetry::expo::parse_text(&first).unwrap();
+        let cur = silkmoth_telemetry::expo::parse_text(&second).unwrap();
+        assert_eq!(
+            silkmoth_telemetry::expo::lint(Some(&prev), &cur),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn phase_timings_fit_inside_the_route_histogram() {
+        // With one shard the three phases are disjoint slices of the
+        // query's wall time, and the route histogram brackets the whole
+        // request — so summed phase seconds can never exceed summed
+        // /search seconds. (Multi-shard timings are per-phase maxima
+        // across overlapping shards, where this inequality is not
+        // guaranteed; hence the 1-shard service.)
+        let s = SearchService::new(ShardedEngine::build(&corpus(), engine_cfg(), 1).unwrap());
+        for _ in 0..5 {
+            let (status, _) = post(&s, "/search", r#"{"reference": ["w0 w1 shared0"], "k": 5}"#);
+            assert_eq!(status, 200);
+        }
+        let page = s.metrics().render();
+        let families = silkmoth_telemetry::expo::parse_text(&page).unwrap();
+        let sum_of = |family: &str, sample: &str| -> f64 {
+            families
+                .iter()
+                .find(|f| f.name == family)
+                .unwrap_or_else(|| panic!("{family} missing"))
+                .samples
+                .iter()
+                .filter(|s| s.name == sample)
+                .map(|s| s.value)
+                .sum()
+        };
+        let phases = sum_of(
+            "silkmoth_query_phase_duration_seconds",
+            "silkmoth_query_phase_duration_seconds_sum",
+        );
+        let route = sum_of(
+            "silkmoth_http_request_duration_seconds",
+            "silkmoth_http_request_duration_seconds_sum",
+        );
+        assert!(phases > 0.0, "no phase time recorded:\n{page}");
+        assert!(
+            phases <= route,
+            "phase seconds {phases} exceed route seconds {route}:\n{page}"
+        );
+    }
+
+    #[test]
+    fn request_logging_emits_one_line_per_request_and_slow_specs() {
+        let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&lines);
+        let s = SearchService::new(ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap())
+            .with_log_format(LogFormat::Json)
+            .with_slow_query_ms(0) // everything is "slow": specs always log
+            .with_log_sink(move |line| sink.lock().unwrap().push(line.to_owned()));
+        post(&s, "/search", r#"{"reference": ["w0 w1 shared0"], "k": 2}"#);
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        let request = Json::parse(&lines[0]).expect("request line is JSON");
+        assert_eq!(request.get("event").and_then(Json::as_str), Some("request"));
+        assert_eq!(request.get("id").and_then(Json::as_usize), Some(1));
+        assert_eq!(request.get("route").and_then(Json::as_str), Some("/search"));
+        assert_eq!(request.get("status").and_then(Json::as_usize), Some(200));
+        assert_eq!(request.get("shards").and_then(Json::as_usize), Some(3));
+        assert_eq!(request.get("timed_out"), Some(&Json::Bool(false)));
+        assert!(request.get("duration_ms").and_then(Json::as_f64).is_some());
+        let slow = Json::parse(&lines[1]).expect("slow-query line is JSON");
+        assert_eq!(slow.get("event").and_then(Json::as_str), Some("slow_query"));
+        let spec = slow.get("spec").expect("slow line carries the full spec");
+        assert_eq!(spec.get("k").and_then(Json::as_usize), Some(2));
+    }
+
+    #[test]
+    fn text_logging_renders_one_line_and_respects_the_slow_threshold() {
+        let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&lines);
+        let s = SearchService::new(ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap())
+            .with_log_format(LogFormat::Text)
+            .with_slow_query_ms(60_000) // nothing in this test is slow
+            .with_log_sink(move |line| sink.lock().unwrap().push(line.to_owned()));
+        post(&s, "/search", r#"{"reference": ["w0 w1 shared0"]}"#);
+        get(&s, "/healthz");
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].starts_with("request id=1 route=/search status=200 duration_ms="),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[0].ends_with("shards=3 timed_out=false"),
+            "{}",
+            lines[0]
+        );
+        // Routes without a fan-out log a placeholder, not a fake count.
+        assert!(lines[1].contains("route=/healthz"), "{}", lines[1]);
+        assert!(lines[1].contains("shards=-"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn timing_section_appears_only_when_asked() {
+        let s = service();
+        let (status, doc) = post(&s, "/search", r#"{"reference": ["w0 w1 shared0"]}"#);
+        assert_eq!(status, 200);
+        assert!(doc.get("timing").is_none());
+        let (status, doc) = post(
+            &s,
+            "/search",
+            r#"{"reference": ["w0 w1 shared0"], "timing": true}"#,
+        );
+        assert_eq!(status, 200, "{doc}");
+        let timing = doc.get("timing").expect("timing section");
+        let total = timing.get("total_us").and_then(Json::as_usize).unwrap();
+        let parts: usize = ["stage_us", "verify_us", "explain_us"]
+            .iter()
+            .map(|f| timing.get(f).and_then(Json::as_usize).unwrap())
+            .sum();
+        assert_eq!(total, parts);
     }
 
     #[test]
@@ -1092,6 +1547,7 @@ mod tests {
         assert_eq!(get(&s, "/sets").0, 405);
         assert_eq!(get(&s, "/compact").0, 405);
         assert_eq!(get(&s, "/snapshot").0, 405);
+        assert_eq!(post(&s, "/metrics", "").0, 405);
         // Query strings are ignored for routing.
         assert_eq!(get(&s, "/healthz?verbose=1").0, 200);
     }

@@ -26,8 +26,8 @@ use std::time::Instant;
 use silkmoth_collection::{Collection, SetIdx, SetRecord, UpdateError};
 use silkmoth_core::rank::merge_partitioned;
 use silkmoth_core::{
-    ConfigError, Engine, EngineConfig, PairExplanation, PassStats, QueryOutput, QuerySpec,
-    RelatedPair, Update, UpdateOutcome,
+    ConfigError, Engine, EngineConfig, PairExplanation, PassStats, PhaseTiming, QueryOutput,
+    QuerySpec, RelatedPair, Update, UpdateOutcome,
 };
 
 /// A collection hash-partitioned across N [`Engine`] shards, answering
@@ -87,12 +87,26 @@ pub struct ShardedQueryOutput {
     /// the full list normally, shorter only when `timed_out` cut the
     /// explain phase short on some shard.
     pub explanations: Vec<(SetIdx, PairExplanation)>,
+    /// One [`PhaseTiming`] per shard, indexed by shard id.
+    pub shard_timings: Vec<PhaseTiming>,
 }
 
 impl ShardedQueryOutput {
     /// All shards' stats merged.
     pub fn merged_stats(&self) -> PassStats {
         merge_stats(&self.shard_stats)
+    }
+
+    /// All shards' phase timings merged — the element-wise **max**, i.e.
+    /// the worst shard per phase, because shards run the phases
+    /// concurrently and their wall times overlap (summing would
+    /// overstate elapsed time by up to the shard count).
+    pub fn merged_timing(&self) -> PhaseTiming {
+        let mut total = PhaseTiming::default();
+        for t in &self.shard_timings {
+            total.max_merge(t);
+        }
+        total
     }
 }
 
@@ -498,11 +512,13 @@ impl ShardedEngine {
     /// the single-engine answer with global ids.
     fn gather_query(&self, spec: &QuerySpec, per_shard: Vec<QueryOutput>) -> ShardedQueryOutput {
         let mut shard_stats = Vec::with_capacity(self.shards.len());
+        let mut shard_timings = Vec::with_capacity(self.shards.len());
         let mut parts = Vec::with_capacity(self.shards.len());
         let mut timed_out = false;
         let mut pool: Vec<(SetIdx, PairExplanation)> = Vec::new();
         for (shard, out) in per_shard.into_iter().enumerate() {
             shard_stats.push(out.stats);
+            shard_timings.push(out.timing);
             timed_out |= out.timed_out;
             pool.extend(
                 out.explanations
@@ -532,6 +548,7 @@ impl ShardedEngine {
             shard_stats,
             timed_out,
             explanations,
+            shard_timings,
         }
     }
 

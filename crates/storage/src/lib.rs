@@ -75,7 +75,8 @@ mod wal;
 pub use crc32::crc32;
 pub use snapshot::{load_snapshot, parse_snapshot, snapshot_bytes, SnapshotMeta};
 pub use store::{
-    ApplyReceipt, CommitHook, RecoveryReport, Store, StoreConfig, StoreStatus, WalDiscard,
+    ApplyReceipt, CommitHook, RecoveryReport, Store, StoreConfig, StoreEvent, StoreStatus,
+    TelemetryHook, WalDiscard,
 };
 pub use wal::{read_wal, read_wal_payloads, wal_file_path};
 

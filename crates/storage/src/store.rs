@@ -6,6 +6,7 @@ use std::fmt;
 use std::fs::{self, File};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use silkmoth_core::wire::encode_update;
 use silkmoth_core::{CompactionPolicy, Update, UpdateOutcome};
@@ -94,6 +95,52 @@ impl fmt::Debug for CommitHook {
     }
 }
 
+/// One observable store event, delivered to the [`TelemetryHook`].
+///
+/// The variants carry everything a metrics layer needs so the store
+/// itself depends on no telemetry crate — the hook owner translates
+/// events into whatever counters and histograms it keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreEvent {
+    /// One WAL record was durably appended: how long the buffered
+    /// write and the fsync each took (`sync` is zero when the store
+    /// runs fsync-less).
+    WalAppend { write: Duration, sync: Duration },
+    /// A snapshot generation was written (explicit or automatic).
+    Snapshot,
+    /// The policy triggered an automatic compaction.
+    AutoCompaction,
+    /// The policy triggered an automatic snapshot.
+    AutoSnapshot,
+}
+
+/// An observer of store I/O for metrics, installed with
+/// [`Store::set_telemetry_hook`] — the telemetry twin of
+/// [`CommitHook`]. Called on the committing thread while the store is
+/// borrowed, so it must not call back into the store or block; it is
+/// never on the durability path (events fire only after the store has
+/// already committed or completed the action they describe).
+#[derive(Clone)]
+pub struct TelemetryHook(Arc<dyn Fn(StoreEvent) + Send + Sync>);
+
+impl TelemetryHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(StoreEvent) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Invokes the callback with one event.
+    pub fn fire(&self, event: StoreEvent) {
+        (self.0)(event);
+    }
+}
+
+impl fmt::Debug for TelemetryHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TelemetryHook(..)")
+    }
+}
+
 /// Live observability counters for `/stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStatus {
@@ -137,6 +184,7 @@ pub struct Store<E: StoreEngine> {
     auto_compactions: u64,
     auto_snapshots: u64,
     commit_hook: Option<CommitHook>,
+    telemetry_hook: Option<TelemetryHook>,
 }
 
 fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
@@ -236,6 +284,7 @@ impl<E: StoreEngine> Store<E> {
             auto_compactions: 0,
             auto_snapshots: 0,
             commit_hook: None,
+            telemetry_hook: None,
         })
     }
 
@@ -325,6 +374,7 @@ impl<E: StoreEngine> Store<E> {
                 auto_compactions: 0,
                 auto_snapshots: 0,
                 commit_hook: None,
+                telemetry_hook: None,
                 cfg,
                 dir,
             };
@@ -375,6 +425,18 @@ impl<E: StoreEngine> Store<E> {
         self.commit_hook = Some(hook);
     }
 
+    /// Installs (or replaces) the store-event observer; see
+    /// [`TelemetryHook`].
+    pub fn set_telemetry_hook(&mut self, hook: TelemetryHook) {
+        self.telemetry_hook = Some(hook);
+    }
+
+    fn emit(&self, event: StoreEvent) {
+        if let Some(hook) = &self.telemetry_hook {
+            hook.fire(event);
+        }
+    }
+
     /// Applies one update durably: pre-validates it, appends the WAL
     /// record, fsyncs (the commit point — an error here means the
     /// update is **not** acknowledged), then mutates the engine.
@@ -394,11 +456,13 @@ impl<E: StoreEngine> Store<E> {
         {
             self.log_and_apply(Update::Compact)?;
             self.auto_compactions += 1;
+            self.emit(StoreEvent::AutoCompaction);
             receipt.auto_compacted = true;
         }
         if self.cfg.policy.should_snapshot(self.wal_records) {
             let seq = self.snapshot()?;
             self.auto_snapshots += 1;
+            self.emit(StoreEvent::AutoSnapshot);
             receipt.auto_snapshot = Some(seq);
         }
         Ok(receipt)
@@ -415,10 +479,17 @@ impl<E: StoreEngine> Store<E> {
         };
         let mut payload = Vec::new();
         encode_update(&update, planned_remap.as_deref(), &mut payload);
-        if let Err(e) = self.wal.append(&payload, self.cfg.sync) {
-            self.last_fsync_ok = false;
-            return Err(e);
-        }
+        let timing = match self.wal.append(&payload, self.cfg.sync) {
+            Ok(timing) => timing,
+            Err(e) => {
+                self.last_fsync_ok = false;
+                return Err(e);
+            }
+        };
+        self.emit(StoreEvent::WalAppend {
+            write: timing.write,
+            sync: timing.sync,
+        });
         self.last_fsync_ok = true;
         self.wal_records += 1;
         self.update_seq += 1;
@@ -475,6 +546,7 @@ impl<E: StoreEngine> Store<E> {
             self.wal = new_wal;
             self.retire_generations_before(new_seq);
         }
+        self.emit(StoreEvent::Snapshot);
         committed.map(|()| new_seq)
     }
 

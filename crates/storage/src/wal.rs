@@ -34,6 +34,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use silkmoth_core::wire::{decode_update, DecodedUpdate};
 
@@ -44,6 +45,14 @@ use crate::StorageError;
 pub(crate) const WAL_MAGIC: &[u8; 4] = b"SMWL";
 pub(crate) const WAL_VERSION: u32 = 1;
 pub(crate) const WAL_HEADER_LEN: u64 = 16;
+
+/// How long one committed [`WalWriter::append`] spent in the buffered
+/// write vs. the fsync (`sync` is zero when fsync-less).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AppendTiming {
+    pub write: Duration,
+    pub sync: Duration,
+}
 
 /// The WAL file of generation `seq` inside a store directory — the
 /// path contract replication readers share with the store itself.
@@ -292,7 +301,15 @@ impl WalWriter {
     /// a partially written (or written-but-unsynced, hence
     /// unacknowledged) record can never precede a later acknowledged
     /// one; if even the rollback fails, the writer poisons itself.
-    pub(crate) fn append(&mut self, payload: &[u8], sync: bool) -> Result<(), StorageError> {
+    ///
+    /// Returns how long the buffered write and the fsync each took
+    /// (the fsync duration is zero when `sync` is off) for the store's
+    /// telemetry hook.
+    pub(crate) fn append(
+        &mut self,
+        payload: &[u8],
+        sync: bool,
+    ) -> Result<AppendTiming, StorageError> {
         if let Some(why) = &self.poisoned {
             return Err(StorageError::Io {
                 context: format!("WAL {} is poisoned", self.path.display()),
@@ -304,7 +321,10 @@ impl WalWriter {
         record.extend_from_slice(&crc32(payload).to_le_bytes());
         record.extend_from_slice(payload);
         let context = format!("appending to {}", self.path.display());
+        let started = Instant::now();
+        let mut written_at = started;
         let result = self.file.write_all(&record).and_then(|()| {
+            written_at = Instant::now();
             if sync {
                 self.file.sync_data()
             } else {
@@ -314,7 +334,10 @@ impl WalWriter {
         match result {
             Ok(()) => {
                 self.committed_len += record.len() as u64;
-                Ok(())
+                Ok(AppendTiming {
+                    write: written_at - started,
+                    sync: written_at.elapsed(),
+                })
             }
             Err(e) => {
                 if let Err(rollback) = self.file.set_len(self.committed_len) {

@@ -178,4 +178,9 @@ for probe in \
     fi
 done
 
+# With the recovered server still up and warm from the probe panel,
+# validate its /metrics exposition: two scrapes, linted for format and
+# counter monotonicity.
+"$(dirname "$0")/metrics_check.sh" "$PORT"
+
 echo "PASS: $ROUNDS rounds × $UPDATES updates, kill -9 each round, recovery byte-identical on the probe panel"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Scrape `GET /metrics` twice on one or more live servers and validate
+# both pages with the exposition linter (`metricslint`, built from
+# crates/bench). The second scrape is linted against the first, so
+# besides format problems (duplicate families, kind mismatches,
+# non-cumulative histogram buckets) this catches counters or histogram
+# rows moving BACKWARDS between scrapes — the regression the linter
+# exists for.
+#
+# The soak scripts call this while their servers are still up, passing
+# the primary's and (for the failover soak) the follower's HTTP port,
+# so CI validates the exposition on both roles under real traffic.
+#
+# Usage: scripts/metrics_check.sh PORT [PORT...]
+# Env:   METRICSLINT=path/to/metricslint (default: target/release/metricslint)
+
+set -euo pipefail
+
+[ "$#" -ge 1 ] || {
+    echo "usage: $0 PORT [PORT...]" >&2
+    exit 2
+}
+METRICSLINT="${METRICSLINT:-target/release/metricslint}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+for port in "$@"; do
+    a="$WORK/$port.1.prom"
+    b="$WORK/$port.2.prom"
+    curl -sf "localhost:$port/metrics" >"$a" || {
+        echo "FAIL: scraping localhost:$port/metrics" >&2
+        exit 1
+    }
+    # A little traffic between the scrapes so the monotonicity lint has
+    # movement to judge; /healthz itself bumps the request counters.
+    curl -sf "localhost:$port/healthz" >/dev/null
+    curl -sf "localhost:$port/stats" >/dev/null
+    curl -sf "localhost:$port/metrics" >"$b" || {
+        echo "FAIL: re-scraping localhost:$port/metrics" >&2
+        exit 1
+    }
+    "$METRICSLINT" "$a" "$b" || {
+        echo "FAIL: exposition lint on localhost:$port" >&2
+        exit 1
+    }
+    echo "# metrics on port $port: two scrapes, lint clean"
+done

@@ -167,6 +167,11 @@ wait_caught_up
 check_sets "$F_PORT"
 echo "# follower caught up at update_seq $(update_seq "$F_PORT") with $(live_count) live sets"
 
+# Both roles are live and mid-replication: validate the /metrics
+# exposition on the primary AND the follower (two scrapes each, linted
+# for format and counter monotonicity).
+"$(dirname "$0")/metrics_check.sh" "$PORT" "$F_PORT"
+
 # --- kill -9 the primary, promote the follower -----------------------------
 kill -9 "$PRIMARY_PID"
 wait "$PRIMARY_PID" 2>/dev/null || true

@@ -33,7 +33,7 @@ use silkmoth::{
 };
 use silkmoth_server::{
     dir_needs_fresh_store, follower_store_config, serve_log, start_follower, FollowerConfig,
-    SearchService, ServiceSource, StreamerConfig,
+    LogFormat, SearchService, ServiceSource, StreamerConfig,
 };
 use std::io::Read;
 use std::process::exit;
@@ -72,6 +72,8 @@ struct Cli {
     no_fsync: bool,
     replicate_addr: Option<String>,
     replicate_from: Option<String>,
+    log_format: Option<LogFormat>,
+    slow_query_ms: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -124,6 +126,10 @@ options:
                       POST /search/batch; an exhausted request gets 504
   --no-fsync          durable: skip the per-update fsync (faster bulk
                       loads; a crash may lose the unsynced tail)
+  --log-format F      serve: structured request logging to stderr, one
+                      line per request — text | json (off by default)
+  --slow-query-ms N   serve: log the full spec of any search slower
+                      than N ms (independent of --log-format)
   --replicate-addr A:P
                       durable: also listen on A:P and ship the WAL to
                       followers (snapshot bootstrap + live tail)
@@ -136,8 +142,9 @@ options:
 
 serve exposes POST /search, POST /search/batch, POST /discover,
 POST /sets, DELETE /sets, POST /compact, POST /snapshot (durable),
-POST /promote (follower failover), GET /stats, GET /healthz (JSON
-wire format; see the README for the schema and curl examples).
+POST /promote (follower failover), GET /stats, GET /healthz, and
+GET /metrics (Prometheus text format; JSON everywhere else — see the
+README for the schema and curl examples).
 
 update applies --append and/or --remove to the collection through the
 incremental-update layer, compacts it, and writes the surviving sets
@@ -191,6 +198,8 @@ fn parse_cli() -> Cli {
         no_fsync: false,
         replicate_addr: None,
         replicate_from: None,
+        log_format: None,
+        slow_query_ms: None,
     };
     while let Some(a) = args.next() {
         let mut val = || opt_value(&mut args, &a);
@@ -286,6 +295,20 @@ fn parse_cli() -> Cli {
             "--no-fsync" => cli.no_fsync = true,
             "--replicate-addr" => cli.replicate_addr = Some(val()),
             "--replicate-from" => cli.replicate_from = Some(val()),
+            "--log-format" => {
+                cli.log_format = Some(match val().as_str() {
+                    "text" => LogFormat::Text,
+                    "json" => LogFormat::Json,
+                    f => fail(&format!("unknown log format {f} (text | json)")),
+                })
+            }
+            "--slow-query-ms" => {
+                cli.slow_query_ms = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --slow-query-ms")),
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -487,6 +510,14 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
         Some(ms) => service.with_search_timeout(Duration::from_millis(ms)),
         None => service,
     };
+    let service = match cli.log_format {
+        Some(format) => service.with_log_format(format),
+        None => service,
+    };
+    let service = match cli.slow_query_ms {
+        Some(ms) => service.with_slow_query_ms(ms),
+        None => service,
+    };
     let service = Arc::new(service);
 
     // Replication wiring: the follower tail loop and/or the primary's
@@ -538,7 +569,8 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     );
     eprintln!(
         "# endpoints: POST /search, POST /search/batch, POST /discover, POST /sets, \
-         DELETE /sets, POST /compact, POST /snapshot, POST /promote, GET /stats, GET /healthz"
+         DELETE /sets, POST /compact, POST /snapshot, POST /promote, GET /stats, \
+         GET /healthz, GET /metrics"
     );
     server.wait();
     if let Some(mut log) = log_server {
