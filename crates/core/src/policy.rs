@@ -40,13 +40,18 @@ pub struct CompactionPolicy {
     /// Snapshot when the WAL holds at least this many records (and at
     /// least one). `None` disables automatic snapshots.
     pub max_wal_records: Option<u64>,
+    /// Seal the active WAL segment and start a new one once it holds at
+    /// least this many bytes. `None` keeps one unbounded segment per
+    /// generation.
+    pub max_segment_bytes: Option<u64>,
 }
 
 impl CompactionPolicy {
-    /// The inert policy: never compacts, never snapshots.
+    /// The inert policy: never compacts, never snapshots, never seals.
     pub const DISABLED: Self = Self {
         max_dead_ratio: None,
         max_wal_records: None,
+        max_segment_bytes: None,
     };
 
     /// Enables automatic compaction at the given dead-slot ratio
@@ -61,6 +66,14 @@ impl CompactionPolicy {
     /// (a threshold of 0 behaves like 1: an empty WAL never snapshots).
     pub fn snapshot_at_wal_records(mut self, records: u64) -> Self {
         self.max_wal_records = Some(records);
+        self
+    }
+
+    /// Enables WAL segmentation: the store seals its active segment and
+    /// starts a new one once the segment file reaches `bytes` bytes (a
+    /// threshold of 0 behaves like 1: every committed batch seals).
+    pub fn segment_at_wal_bytes(mut self, bytes: u64) -> Self {
+        self.max_segment_bytes = Some(bytes);
         self
     }
 
@@ -85,9 +98,20 @@ impl CompactionPolicy {
         wal_records > 0 && wal_records >= max
     }
 
-    /// True when neither trigger is configured.
+    /// True when a WAL segment currently holding `segment_bytes` bytes
+    /// of records should be sealed so new appends open a fresh segment.
+    pub fn should_seal(&self, segment_bytes: u64) -> bool {
+        let Some(max) = self.max_segment_bytes else {
+            return false;
+        };
+        segment_bytes > 0 && segment_bytes >= max
+    }
+
+    /// True when no trigger is configured.
     pub fn is_disabled(&self) -> bool {
-        self.max_dead_ratio.is_none() && self.max_wal_records.is_none()
+        self.max_dead_ratio.is_none()
+            && self.max_wal_records.is_none()
+            && self.max_segment_bytes.is_none()
     }
 }
 
@@ -137,6 +161,20 @@ mod tests {
         assert_eq!(p.max_dead_ratio, Some(1.0));
         let p = CompactionPolicy::default().compact_at_dead_ratio(-1.0);
         assert_eq!(p.max_dead_ratio, Some(0.0));
+    }
+
+    #[test]
+    fn segment_threshold_edges() {
+        let p = CompactionPolicy::default().segment_at_wal_bytes(64);
+        assert!(!p.should_seal(0));
+        assert!(!p.should_seal(63));
+        assert!(p.should_seal(64), "exactly at the threshold");
+        assert!(!p.is_disabled());
+        // Threshold 0 behaves like 1: an empty segment never seals.
+        let p = CompactionPolicy::default().segment_at_wal_bytes(0);
+        assert!(!p.should_seal(0));
+        assert!(p.should_seal(1));
+        assert!(!CompactionPolicy::DISABLED.should_seal(u64::MAX));
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub use proto::{
 };
 pub use sim::{sim_duplex, FaultPlan, SimStream};
 pub use source::{
-    serve_log, store_records_after, stream_updates, CommitSignal, ReplicaServer, ReplicationSource,
-    StoreSource, StreamerConfig,
+    serve_log, store_records_after, stream_updates, CommitSignal, CursorHandle, CursorTracker,
+    ReplicaServer, ReplicationSource, StoreSource, StreamerConfig,
 };
 pub use telemetry::FollowerMetrics;
 

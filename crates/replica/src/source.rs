@@ -6,13 +6,14 @@
 use crate::proto::{read_handshake, write_frame, Frame};
 use crate::ReplicaError;
 use silkmoth_storage::{
-    read_wal_payloads, snapshot_bytes, wal_file_path, CommitHook, SnapshotMeta, StorageError,
-    Store, StoreEngine, StoreStatus,
+    list_wal_segments, read_wal_payloads, snapshot_bytes, wal_file_path, CommitHook, SnapshotMeta,
+    StorageError, Store, StoreEngine, StoreStatus,
 };
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -114,50 +115,127 @@ pub trait ReplicationSource: Send + Sync {
     fn snapshot(&self) -> Result<(Vec<u8>, u64, u64), ReplicaError>;
 }
 
-/// Maps a follower cursor onto a store's current WAL generation and
+/// One servable stretch of the retained log: a WAL file and the global
+/// update sequence its records start after. Its records end where the
+/// next span's begin.
+struct LogSpan {
+    path: PathBuf,
+    generation: u64,
+    base: u64,
+}
+
+/// Maps a follower cursor onto a store's **retained** WAL files —
+/// every version-2 segment still on disk (including sealed segments of
+/// older generations kept back for cursors like this one, whose bases
+/// chain globally across generations) plus the current generation's
+/// legacy single-file log if the store predates segmentation — and
 /// reads the next batch of raw record payloads. `status` and `dir`
 /// must come from one consistent read of the store (hold the lock
-/// while calling `status()`; the file read itself happens lock-free —
-/// committed WAL bytes are append-only, and a generation rotated away
-/// mid-read surfaces as `Ok(None)`, i.e. "bootstrap instead").
+/// while calling `status()`; the file reads themselves happen
+/// lock-free — committed WAL bytes are append-only, and a segment
+/// retired away mid-read surfaces as `Ok(None)`, i.e. "bootstrap
+/// instead").
 pub fn store_records_after(
     dir: &Path,
     status: &StoreStatus,
     applied: u64,
     limit: usize,
 ) -> Result<Option<Vec<Vec<u8>>>, ReplicaError> {
-    let base = status.update_seq - status.wal_records;
-    if applied < base || applied > status.update_seq {
+    if applied > status.update_seq {
         return Ok(None);
     }
     let take = ((status.update_seq - applied) as usize).min(limit);
     if take == 0 {
         return Ok(Some(Vec::new()));
     }
-    let path = wal_file_path(dir, status.snapshot_seq);
-    match read_wal_payloads(&path, status.snapshot_seq, applied - base, take) {
-        Ok(payloads) => {
-            if payloads.len() < take {
-                // The WAL holds fewer intact records than the store
-                // says it committed — local corruption, not a race.
-                Err(ReplicaError::Storage(StorageError::Corrupt {
-                    file: path.display().to_string(),
-                    detail: format!(
-                        "only {} of {take} committed records after cursor {applied} are intact",
-                        payloads.len()
-                    ),
-                }))
-            } else {
-                Ok(Some(payloads))
+    let mut spans: Vec<LogSpan> = Vec::new();
+    let legacy = wal_file_path(dir, status.snapshot_seq);
+    if legacy.exists() {
+        spans.push(LogSpan {
+            path: legacy,
+            generation: status.snapshot_seq,
+            base: status.update_seq - status.wal_records,
+        });
+    }
+    let segments = list_wal_segments(dir).map_err(ReplicaError::Storage)?;
+    for seg in segments {
+        // A segment with an unreadable header (mid-creation or damaged)
+        // serves no one; skip it — a cursor actually needing its
+        // records fails the shortfall check below.
+        if let Some(base) = seg.base_seq {
+            spans.push(LogSpan {
+                path: seg.path,
+                generation: seg.generation,
+                base,
+            });
+        }
+    }
+    // Bases are global sequence numbers, so sorting by base interleaves
+    // the legacy file and the segments of every generation into one
+    // contiguous log.
+    spans.sort_by_key(|s| s.base);
+    let Some(mut i) = spans.iter().rposition(|s| s.base <= applied) else {
+        // The cursor predates everything retained.
+        return Ok(None);
+    };
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(take);
+    let mut cursor = applied;
+    while out.len() < take && i < spans.len() {
+        let span = &spans[i];
+        // Records past the committed count (a rotation racing this
+        // read created a newer, still-empty span) are never requested.
+        let end = spans
+            .get(i + 1)
+            .map(|next| next.base)
+            .unwrap_or(status.update_seq)
+            .min(status.update_seq);
+        if cursor < end {
+            let skip = cursor - span.base;
+            let want = ((end - cursor) as usize).min(take - out.len());
+            match read_wal_payloads(&span.path, span.generation, skip, want) {
+                Ok(payloads) => {
+                    if payloads.len() < want {
+                        // The WAL holds fewer intact records than the
+                        // store says it committed — local corruption,
+                        // not a race.
+                        return Err(ReplicaError::Storage(StorageError::Corrupt {
+                            file: span.path.display().to_string(),
+                            detail: format!(
+                                "only {} of {want} committed records after cursor {cursor} \
+                                 are intact",
+                                payloads.len()
+                            ),
+                        }));
+                    }
+                    cursor += payloads.len() as u64;
+                    out.extend(payloads);
+                }
+                // Retired between the listing and the open: the cursor
+                // is no longer servable from the retained log.
+                Err(StorageError::Io { source, .. })
+                    if source.kind() == std::io::ErrorKind::NotFound =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(ReplicaError::Storage(e)),
             }
         }
-        // Generation rotated away between the status read and the file
-        // open: not an error, just no longer servable from the WAL.
-        Err(StorageError::Io { source, .. }) if source.kind() == std::io::ErrorKind::NotFound => {
-            Ok(None)
-        }
-        Err(e) => Err(ReplicaError::Storage(e)),
+        i += 1;
     }
+    if out.len() < take {
+        // The spans never covered the requested range — a hole in the
+        // retained log is corruption, not a rotation race (retirement
+        // only ever removes a prefix of the old spans, which lands in
+        // the NotFound arm above).
+        return Err(ReplicaError::Storage(StorageError::Corrupt {
+            file: dir.display().to_string(),
+            detail: format!(
+                "retained WAL covers only {} of {take} committed records after cursor {applied}",
+                out.len()
+            ),
+        }));
+    }
+    Ok(Some(out))
 }
 
 /// A [`ReplicationSource`] over a shared [`Store`]. Construction via
@@ -240,6 +318,94 @@ impl<E: StoreEngine + Sync> ReplicationSource for StoreSource<E> {
     }
 }
 
+/// The registry of live follower cursors on a primary, feeding the
+/// store's segment-retention floor
+/// ([`RetentionHook`](silkmoth_storage::RetentionHook)): sealed WAL
+/// segments already covered by the snapshot are kept on disk while any
+/// registered cursor still needs their records, so a follower resuming
+/// inside a retained segment streams records instead of being forced
+/// through a full snapshot bootstrap.
+#[derive(Debug, Default)]
+pub struct CursorTracker {
+    cursors: Mutex<HashMap<u64, u64>>,
+    next_id: AtomicU64,
+}
+
+impl CursorTracker {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a follower cursor at `applied` (use `u64::MAX` for a
+    /// cursor that is bootstrapping and needs no retained records yet).
+    /// The cursor deregisters when the returned handle drops.
+    pub fn register(self: &Arc<Self>, applied: u64) -> CursorHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.cursors
+            .lock()
+            .expect("cursor tracker poisoned")
+            .insert(id, applied);
+        CursorHandle {
+            tracker: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// The lowest applied sequence across registered cursors — every
+    /// record with a sequence above this is still needed by someone.
+    /// `u64::MAX` when no cursor is outstanding.
+    pub fn floor(&self) -> u64 {
+        self.cursors
+            .lock()
+            .expect("cursor tracker poisoned")
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Registered cursors.
+    pub fn len(&self) -> usize {
+        self.cursors.lock().expect("cursor tracker poisoned").len()
+    }
+
+    /// True when no cursor is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One registered cursor in a [`CursorTracker`]; advancing it raises
+/// the retention floor, dropping it deregisters.
+#[derive(Debug)]
+pub struct CursorHandle {
+    tracker: Arc<CursorTracker>,
+    id: u64,
+}
+
+impl CursorHandle {
+    /// Records that the follower behind this cursor has applied (or
+    /// been shipped) everything up to `applied`.
+    pub fn advance(&self, applied: u64) {
+        self.tracker
+            .cursors
+            .lock()
+            .expect("cursor tracker poisoned")
+            .insert(self.id, applied);
+    }
+}
+
+impl Drop for CursorHandle {
+    fn drop(&mut self) {
+        self.tracker
+            .cursors
+            .lock()
+            .expect("cursor tracker poisoned")
+            .remove(&self.id);
+    }
+}
+
 /// Tuning for one follower connection's streamer.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamerConfig {
@@ -269,11 +435,16 @@ impl Default for StreamerConfig {
 ///
 /// A malformed handshake is answered with a best-effort [`Frame::Error`]
 /// naming the problem before the error is returned.
+///
+/// When a `tracker` is given, the connection registers its cursor in
+/// it for the lifetime of the stream, so the primary's store retains
+/// the sealed WAL segments this follower still needs.
 pub fn stream_updates(
     source: &dyn ReplicationSource,
     io: &mut (impl Read + Write),
     stop: &AtomicBool,
     cfg: &StreamerConfig,
+    tracker: Option<&Arc<CursorTracker>>,
 ) -> Result<(), ReplicaError> {
     let hello = match read_handshake(io) {
         Ok(hello) => hello,
@@ -293,6 +464,7 @@ pub fn stream_updates(
     } else {
         u64::MAX
     };
+    let cursor = tracker.map(|t| t.register(applied));
     let mut committed = source.committed_seq();
     write_frame(
         io,
@@ -340,6 +512,9 @@ pub fn stream_updates(
                         },
                     )?;
                 }
+                if let Some(cursor) = &cursor {
+                    cursor.advance(applied);
+                }
             }
             // Unservable cursor (too old, foreign epoch, or rotated
             // away mid-read) or an empty batch from a raced rotation:
@@ -355,6 +530,9 @@ pub fn stream_updates(
                     },
                 )?;
                 applied = seq;
+                if let Some(cursor) = &cursor {
+                    cursor.advance(applied);
+                }
             }
         }
         committed = source.committed_seq();
@@ -369,6 +547,7 @@ pub struct ReplicaServer {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     followers: Arc<AtomicUsize>,
+    cursors: Arc<CursorTracker>,
 }
 
 impl ReplicaServer {
@@ -385,6 +564,14 @@ impl ReplicaServer {
     /// The shared follower-count gauge, for surfacing in stats.
     pub fn follower_gauge(&self) -> Arc<AtomicUsize> {
         Arc::clone(&self.followers)
+    }
+
+    /// The registry of this listener's follower cursors — wire its
+    /// [`floor`](CursorTracker::floor) into the store's
+    /// [`RetentionHook`](silkmoth_storage::RetentionHook) so sealed WAL
+    /// segments outlive snapshot rotation while a follower needs them.
+    pub fn cursor_tracker(&self) -> Arc<CursorTracker> {
+        Arc::clone(&self.cursors)
     }
 
     /// Stops accepting and asks streamer threads to exit (they notice
@@ -417,9 +604,11 @@ pub fn serve_log<S: ReplicationSource + 'static>(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let followers = Arc::new(AtomicUsize::new(0));
+    let cursors = Arc::new(CursorTracker::new());
     let accept = {
         let stop = Arc::clone(&stop);
         let followers = Arc::clone(&followers);
+        let cursors = Arc::clone(&cursors);
         std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop.load(Ordering::Relaxed) {
@@ -429,12 +618,13 @@ pub fn serve_log<S: ReplicationSource + 'static>(
                 let source = Arc::clone(&source);
                 let stop = Arc::clone(&stop);
                 let followers = Arc::clone(&followers);
+                let cursors = Arc::clone(&cursors);
                 std::thread::spawn(move || {
                     let _ = conn.set_nodelay(true);
                     let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
                     let _ = conn.set_write_timeout(Some(Duration::from_secs(30)));
                     followers.fetch_add(1, Ordering::Relaxed);
-                    let _ = stream_updates(source.as_ref(), &mut conn, &stop, &cfg);
+                    let _ = stream_updates(source.as_ref(), &mut conn, &stop, &cfg, Some(&cursors));
                     followers.fetch_sub(1, Ordering::Relaxed);
                 });
             }
@@ -445,5 +635,6 @@ pub fn serve_log<S: ReplicationSource + 'static>(
         stop,
         accept: Some(accept),
         followers,
+        cursors,
     })
 }

@@ -13,13 +13,15 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use silkmoth_collection::Collection;
-use silkmoth_core::{Engine, EngineConfig, RelatednessMetric, Update};
+use silkmoth_core::{CompactionPolicy, Engine, EngineConfig, RelatednessMetric, Update};
 use silkmoth_replica::{
     run_follower, serve_log, sim_duplex, stream_updates, write_frame, Connector, FaultPlan,
     FollowerConfig, FollowerShared, Frame, ReplicaSink, SimStream, StoreSink, StoreSource,
     StreamerConfig, TcpConnector,
 };
-use silkmoth_storage::{snapshot_bytes, SnapshotMeta, Store, StoreConfig, StoreEngine};
+use silkmoth_storage::{
+    snapshot_bytes, RetentionHook, SnapshotMeta, Store, StoreConfig, StoreEngine,
+};
 use silkmoth_text::SimilarityFunction;
 use std::io::Read;
 use std::path::PathBuf;
@@ -190,7 +192,7 @@ impl Connector for ChaosConnector {
         let stop = Arc::clone(&self.stop);
         let cfg = self.streamer_cfg;
         self.threads.push(thread::spawn(move || {
-            let _ = stream_updates(source.as_ref(), &mut primary_io, &stop, &cfg);
+            let _ = stream_updates(source.as_ref(), &mut primary_io, &stop, &cfg, None);
         }));
         Ok(follower_io)
     }
@@ -548,6 +550,137 @@ fn tcp_serve_log_tails_live_commits() {
         "tcp tail",
     );
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}
+
+/// A faultless connector over the simulated transport: every connect
+/// succeeds and streams cleanly, so any bootstrap the follower takes
+/// is forced by the source, never by transport damage.
+struct CleanConnector {
+    source: Arc<StoreSource<Engine>>,
+    stop: Arc<AtomicBool>,
+    streamer_cfg: StreamerConfig,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Connector for CleanConnector {
+    type Io = SimStream;
+
+    fn connect(&mut self) -> std::io::Result<SimStream> {
+        let (follower_io, mut primary_io) = sim_duplex(
+            FaultPlan::default(),
+            FaultPlan::default(),
+            Duration::from_millis(500),
+        );
+        let source = Arc::clone(&self.source);
+        let stop = Arc::clone(&self.stop);
+        let cfg = self.streamer_cfg;
+        self.threads.push(thread::spawn(move || {
+            let _ = stream_updates(source.as_ref(), &mut primary_io, &stop, &cfg, None);
+        }));
+        Ok(follower_io)
+    }
+}
+
+/// A follower whose cursor sits inside **sealed, retained WAL
+/// segments** — including old-generation segments that survived a
+/// snapshot rotation thanks to the retention floor — must resume from
+/// records alone. Re-bootstrapping from a full snapshot here would
+/// mean segment retention is not load-bearing for read scale-out.
+#[test]
+fn resume_inside_retained_segments_never_bootstraps() {
+    let primary_dir = temp_dir("retain-primary");
+    let follower_dir = temp_dir("retain-follower");
+    let store_cfg = StoreConfig {
+        sync: false,
+        // Tiny segments: every record seals one, so the cursor always
+        // points inside a sealed segment.
+        policy: CompactionPolicy::DISABLED.segment_at_wal_bytes(64),
+    };
+    let mut store = Store::create(&primary_dir, fresh_engine(&base_sets()), store_cfg).unwrap();
+    // The floor a replication cursor parked at seq 3 would publish.
+    store.set_retention_hook(RetentionHook::new(|| 3));
+    let primary = Arc::new(RwLock::new(store));
+    let source = Arc::new(StoreSource::install(Arc::clone(&primary)));
+    for i in 0..3 {
+        primary
+            .write()
+            .unwrap()
+            .apply(Update::Append(vec![vec![format!("pre rotation {i}")]]))
+            .unwrap();
+    }
+
+    let run_until_caught_up = |sink: StoreSink<Engine>, target: u64| -> (StoreSink<Engine>, u64) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(FollowerShared::new());
+        let connector = CleanConnector {
+            source: Arc::clone(&source),
+            stop: Arc::clone(&stop),
+            streamer_cfg: fast_streamer_cfg(),
+            threads: Vec::new(),
+        };
+        let follower = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_follower(connector, sink, &shared, &fast_follower_cfg()))
+        };
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while shared.status().applied_seq != target {
+            assert!(Instant::now() < deadline, "stuck: {:?}", shared.status());
+            thread::sleep(Duration::from_millis(2));
+        }
+        shared.stop();
+        let sink = follower.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        (sink, shared.status().bootstraps)
+    };
+
+    let sink = StoreSink::new(
+        Store::create(&follower_dir, fresh_engine(&[]), nosync()).unwrap(),
+        cfg(),
+        nosync(),
+    );
+    let (sink, _) = run_until_caught_up(sink, 3);
+    assert_eq!(sink.applied_seq(), 3);
+
+    // Records 4 and 5 land in sealed generation-0 segments, then a
+    // rotation moves the primary on — the floor (3) must keep every
+    // old segment still holding unconsumed records.
+    {
+        let mut guard = primary.write().unwrap();
+        for i in 3..5 {
+            guard
+                .apply(Update::Append(vec![vec![format!("sealed segment {i}")]]))
+                .unwrap();
+        }
+        guard.snapshot().unwrap();
+        for i in 5..7 {
+            guard
+                .apply(Update::Append(vec![vec![format!("post rotation {i}")]]))
+                .unwrap();
+        }
+    }
+    let old_segments = std::fs::read_dir(&primary_dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| n.starts_with("wal-0-"))
+        .count();
+    assert!(
+        old_segments > 0,
+        "the retention floor must keep generation-0 segments across the rotation"
+    );
+
+    let (sink, bootstraps) = run_until_caught_up(sink, 7);
+    assert_eq!(
+        bootstraps, 0,
+        "a cursor inside retained segments resumes from records, never a snapshot"
+    );
+    assert_eq!(sink.applied_seq(), 7);
+    assert_byte_identical(
+        sink.store().engine(),
+        primary.read().unwrap().engine(),
+        "after retained-segment resume",
+    );
     let _ = std::fs::remove_dir_all(&primary_dir);
     let _ = std::fs::remove_dir_all(&follower_dir);
 }

@@ -29,6 +29,11 @@ use silkmoth_telemetry::{Counter, Gauge, Histogram, MetricKind, Registry, LATENC
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Buckets for the commit-batch size histogram: a count, not a
+/// duration, so powers of two up to well past the practical number of
+/// concurrent writers.
+const BATCH_SIZE_BUCKETS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
 const HTTP_REQUESTS: &str = "silkmoth_http_requests_total";
 const HTTP_REQUESTS_HELP: &str = "HTTP requests served, by route and status";
 const HTTP_DURATION: &str = "silkmoth_http_request_duration_seconds";
@@ -66,6 +71,8 @@ pub struct ServiceMetrics {
     phase_explain: Histogram,
     wal_append: Histogram,
     wal_fsync: Histogram,
+    batch_records: Histogram,
+    batch_duration: Histogram,
     snapshots: Counter,
     auto_compactions: Counter,
     auto_snapshots: Counter,
@@ -117,7 +124,19 @@ impl ServiceMetrics {
         );
         let wal_fsync = registry.histogram(
             "silkmoth_wal_fsync_duration_seconds",
-            "Time in fsync per WAL append (0 when sync is off)",
+            "Time in fsync per commit batch (0 when sync is off)",
+            &[],
+            &LATENCY_BUCKETS,
+        );
+        let batch_records = registry.histogram(
+            "silkmoth_wal_commit_batch_records",
+            "Updates amortized into one WAL write + fsync by group commit",
+            &[],
+            &BATCH_SIZE_BUCKETS,
+        );
+        let batch_duration = registry.histogram(
+            "silkmoth_wal_commit_batch_duration_seconds",
+            "Wall-clock time of one commit batch (write + fsync)",
             &[],
             &LATENCY_BUCKETS,
         );
@@ -150,6 +169,8 @@ impl ServiceMetrics {
             phase_explain,
             wal_append,
             wal_fsync,
+            batch_records,
+            batch_duration,
             snapshots,
             auto_compactions,
             auto_snapshots,
@@ -193,20 +214,30 @@ impl ServiceMetrics {
         self.phase_explain.observe(timing.explain);
     }
 
-    /// A [`TelemetryHook`] to install on the durable store: WAL append
-    /// and fsync timings land in the latency histograms, snapshot and
-    /// compaction events in their counters. The hook captures clones of
-    /// the cells, so the storage crate never sees the registry.
+    /// A [`TelemetryHook`] to install on the durable store: each commit
+    /// batch lands its write/fsync timings in the latency histograms,
+    /// its record count and total duration in the group-commit
+    /// families; snapshot and compaction events hit their counters. The
+    /// hook captures clones of the cells, so the storage crate never
+    /// sees the registry.
     pub fn storage_hook(&self) -> TelemetryHook {
         let append = self.wal_append.clone();
         let fsync = self.wal_fsync.clone();
+        let batch_records = self.batch_records.clone();
+        let batch_duration = self.batch_duration.clone();
         let snapshots = self.snapshots.clone();
         let compactions = self.auto_compactions.clone();
         let auto_snapshots = self.auto_snapshots.clone();
         TelemetryHook::new(move |event| match event {
-            StoreEvent::WalAppend { write, sync } => {
+            StoreEvent::CommitBatch {
+                records,
+                write,
+                sync,
+            } => {
                 append.observe(write);
                 fsync.observe(sync);
+                batch_records.observe_secs(records as f64);
+                batch_duration.observe(write + sync);
             }
             StoreEvent::Snapshot => snapshots.inc(),
             StoreEvent::AutoCompaction => compactions.inc(),
@@ -253,6 +284,8 @@ mod tests {
             "silkmoth_query_phase_duration_seconds",
             "silkmoth_wal_append_duration_seconds",
             "silkmoth_wal_fsync_duration_seconds",
+            "silkmoth_wal_commit_batch_records",
+            "silkmoth_wal_commit_batch_duration_seconds",
             "silkmoth_storage_snapshots_total",
             "silkmoth_storage_auto_compactions_total",
             "silkmoth_storage_auto_snapshots_total",
@@ -271,7 +304,8 @@ mod tests {
     fn storage_hook_routes_events_to_the_right_cells() {
         let m = ServiceMetrics::new();
         let hook = m.storage_hook();
-        hook.fire(StoreEvent::WalAppend {
+        hook.fire(StoreEvent::CommitBatch {
+            records: 3,
             write: Duration::from_micros(20),
             sync: Duration::from_millis(2),
         });
@@ -285,6 +319,24 @@ mod tests {
         );
         assert!(
             page.contains("silkmoth_wal_fsync_duration_seconds_count 1"),
+            "{page}"
+        );
+        // The batch size histogram buckets by record count: 3 records
+        // land in le="4" but not le="2".
+        assert!(
+            page.contains("silkmoth_wal_commit_batch_records_count 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_wal_commit_batch_records_bucket{le=\"2\"} 0"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_wal_commit_batch_records_bucket{le=\"4\"} 1"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_wal_commit_batch_duration_seconds_count 1"),
             "{page}"
         );
         assert!(

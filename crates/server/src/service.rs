@@ -28,10 +28,22 @@
 //!
 //! In durable mode every update route is **WAL-logged and fsync'd
 //! before it is acknowledged** — a 200 means the mutation survives
-//! `kill -9`. `POST /snapshot` forces a checkpoint + WAL rotation, and
-//! the store's [`CompactionPolicy`] may compact/checkpoint
-//! automatically after any update. A storage failure (disk full,
-//! fsync error) is a 500 and the update is *not* acknowledged.
+//! `kill -9`. Concurrent updates **group-commit**: they queue in front
+//! of the store, and whichever request thread claims leadership
+//! drains the queue and commits the whole batch with one buffered WAL
+//! write and one fsync ([`Store::commit_batch`]), then applies it to
+//! the engine in WAL order under the write lock — so N concurrent
+//! writers pay ~1 fsync, not N. The WAL append itself runs under the
+//! *shared* engine lock: searches keep executing through the fsync.
+//! `POST /snapshot` forces a checkpoint + WAL rotation, and the
+//! store's [`CompactionPolicy`] may compact/checkpoint automatically
+//! after any update. A storage failure (disk full, fsync error) is a
+//! 500 and the update is *not* acknowledged — with one deliberate
+//! exception: when the update itself committed durably but the
+//! *post-commit* policy maintenance (auto-compaction / auto-snapshot)
+//! failed, the route still answers 200 with `"degraded": true` and
+//! logs the maintenance error, because a 500 would invite a retry of
+//! an update that already happened.
 //!
 //! ## Deadlines
 //!
@@ -70,10 +82,10 @@ use std::io;
 use std::net::ToSocketAddrs;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
-use silkmoth_collection::UpdateError;
+use silkmoth_collection::{SetIdx, UpdateError};
 use silkmoth_core::{CompactionPolicy, PassStats, QuerySpec, Update, UpdateOutcome};
 use silkmoth_replica::{CommitSignal, FollowerShared};
 use silkmoth_storage::{StorageError, Store};
@@ -131,6 +143,127 @@ impl Drop for InflightGuard<'_> {
             counter.fetch_sub(1, Ordering::AcqRel);
         }
     }
+}
+
+/// The group-commit queue in front of the durable store. Concurrent
+/// update requests enqueue here; whichever request thread finds no
+/// leader active claims leadership, drains the queue **once**, and
+/// commits everything drained as one batch (one WAL write + one
+/// fsync), applies it to the engine, and delivers each update's
+/// outcome into its slot. The other threads wait on the condvar —
+/// crucially *without* queueing on a lock the leader holds, so a
+/// writer whose update was acked by the previous leader can respond
+/// and enqueue its next update while the current leader is still
+/// inside its fsync. That is what lets batches grow: the fsync window
+/// is exactly when the queue fills.
+#[derive(Debug, Default)]
+struct CommitQueue {
+    /// Updates waiting for the next leader's drain.
+    pending: Mutex<Vec<QueuedUpdate>>,
+    /// True while a leader is inside its commit → apply → maintain
+    /// cycle (or `/snapshot`/`/promote` holds leadership before the
+    /// write lock) — so a WAL rotation can never interleave between a
+    /// batch's durable commit and its engine apply (a snapshot cut
+    /// there would record a seq the engine hasn't reached). Guarded by
+    /// this mutex, handed over through `wakeup`.
+    leading: Mutex<bool>,
+    /// Signalled when the leader resigns: completed waiters pick up
+    /// their results, and one of the rest becomes the next leader.
+    wakeup: Condvar,
+}
+
+impl CommitQueue {
+    /// Blocks until this thread holds batch leadership. While the
+    /// guard lives, no group commit can sit between its durable-commit
+    /// and engine-apply phases, and none can start.
+    fn lead(&self) -> LeaderGuard<'_> {
+        let mut leading = self.leading.lock().unwrap_or_else(PoisonError::into_inner);
+        while *leading {
+            leading = self
+                .wakeup
+                .wait(leading)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *leading = true;
+        LeaderGuard { queue: self }
+    }
+}
+
+/// Resigns leadership on drop (even on panic) and wakes every waiter.
+struct LeaderGuard<'a> {
+    queue: &'a CommitQueue,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        *self
+            .queue
+            .leading
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = false;
+        self.queue.wakeup.notify_all();
+    }
+}
+
+/// One enqueued update and the slot its outcome is delivered into.
+#[derive(Debug)]
+struct QueuedUpdate {
+    update: Update,
+    slot: Arc<UpdateSlot>,
+}
+
+/// Where a queued update's result lands. The completing leader fills
+/// every drained slot before resigning, so a waiter woken by the
+/// queue's condvar either finds its result here or becomes the next
+/// leader.
+#[derive(Debug, Default)]
+struct UpdateSlot(Mutex<Option<Result<GroupReceipt, GroupCommitError>>>);
+
+impl UpdateSlot {
+    fn complete(&self, result: Result<GroupReceipt, GroupCommitError>) {
+        *self.0.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+    }
+
+    fn take(&self) -> Option<Result<GroupReceipt, GroupCommitError>> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+}
+
+/// What one update gets back from its group commit.
+#[derive(Debug)]
+struct GroupReceipt {
+    outcome: UpdateOutcome,
+    /// Live sets after the whole batch applied.
+    total: usize,
+    /// The update is durably committed and applied, but post-commit
+    /// policy maintenance failed — the route must still answer
+    /// success, flagged degraded (see
+    /// [`ApplyReceipt::maintenance_error`](silkmoth_storage::ApplyReceipt)).
+    maintenance_error: Option<String>,
+}
+
+/// What an update route needs to render its response.
+#[derive(Debug)]
+struct AppliedUpdate {
+    outcome: UpdateOutcome,
+    /// Live sets after the update.
+    total: usize,
+    /// Durable mode: the update committed and applied but post-commit
+    /// maintenance failed — rendered as `"degraded": true`, never as
+    /// an error status (a retry would duplicate the update).
+    degraded: bool,
+}
+
+/// Why a queued update failed.
+#[derive(Debug)]
+enum GroupCommitError {
+    /// The update was invalid against the engine state it would have
+    /// applied to. It was never WAL-logged; the rest of its batch is
+    /// unaffected.
+    Update(UpdateError),
+    /// The batch's commit or apply failed — shared by every update in
+    /// the batch, none of which was acknowledged.
+    Storage(Arc<StorageError>),
 }
 
 /// How request log lines are rendered (`serve --log-format`).
@@ -204,6 +337,12 @@ pub struct SearchService {
     /// streamers block on instead of polling. Idle on ephemeral
     /// services.
     commit_signal: Arc<CommitSignal>,
+    /// Group-commit queue for durable updates (idle on ephemeral
+    /// services).
+    commit_queue: CommitQueue,
+    /// The WAL retention floor installed on the durable store, kept
+    /// here so a bootstrap store replacement re-installs it.
+    retention_hook: Mutex<Option<silkmoth_storage::RetentionHook>>,
     /// Ephemeral-mode auto-compaction (durable mode: the policy lives
     /// in the store's `StoreConfig` so auto-actions are WAL-logged).
     policy: CompactionPolicy,
@@ -266,6 +405,8 @@ impl SearchService {
             replication: Mutex::new(ReplicationRole::Primary),
             follower_gauge: Mutex::new(None),
             commit_signal,
+            commit_queue: CommitQueue::default(),
+            retention_hook: Mutex::new(None),
             policy: CompactionPolicy::DISABLED,
             max_inflight_updates: None,
             search_timeout: None,
@@ -384,6 +525,13 @@ impl SearchService {
         self.commit_signal.reset(store.status().update_seq);
         store.set_commit_hook(self.commit_signal.hook());
         store.set_telemetry_hook(self.metrics.storage_hook());
+        if let Some(hook) = &*self
+            .retention_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            store.set_retention_hook(hook.clone());
+        }
         *backend = Backend::Durable(store);
         true
     }
@@ -392,6 +540,24 @@ impl SearchService {
     /// streamers block on).
     pub(crate) fn commit_signal(&self) -> &Arc<CommitSignal> {
         &self.commit_signal
+    }
+
+    /// Installs the WAL segment retention floor on the durable store —
+    /// sealed segments a replication cursor still needs are kept until
+    /// the cursor moves past them. The hook survives a bootstrap store
+    /// replacement (it is re-installed by
+    /// [`replace_durable_store`](Self::replace_durable_store)). No-op
+    /// on an ephemeral service.
+    pub fn set_wal_retention(&self, hook: silkmoth_storage::RetentionHook) {
+        let mut backend = self.backend.write().expect("engine lock poisoned");
+        if let Backend::Durable(store) = &mut *backend {
+            store.set_retention_hook(hook.clone());
+        }
+        drop(backend);
+        *self
+            .retention_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(hook);
     }
 
     /// Marks this service a follower of `primary` (updates answer 409
@@ -654,6 +820,7 @@ impl SearchService {
                     let storage = obj(vec![
                         ("snapshot_seq", Json::Num(status.snapshot_seq as f64)),
                         ("wal_records", Json::Num(status.wal_records as f64)),
+                        ("wal_segments", Json::Num(f64::from(status.wal_segments))),
                         ("update_seq", Json::Num(status.update_seq as f64)),
                         ("epoch", Json::Num(status.epoch as f64)),
                         ("last_fsync_ok", Json::Bool(status.last_fsync_ok)),
@@ -854,40 +1021,238 @@ impl SearchService {
         )
     }
 
-    /// Applies one update through the backend — WAL-logged first in
-    /// durable mode, with the ephemeral compaction policy applied
-    /// afterwards in ephemeral mode. Returns the outcome and the
-    /// post-update live set count, or the ready-to-send error response.
-    fn apply_update(&self, update: Update) -> Result<(UpdateOutcome, usize), Response> {
+    /// Applies one update through the backend — group-committed to the
+    /// WAL first in durable mode, with the ephemeral compaction policy
+    /// applied afterwards in ephemeral mode. Returns the outcome, the
+    /// post-update live set count, and the maintenance-degraded flag,
+    /// or the ready-to-send error response.
+    fn apply_update(&self, update: Update) -> Result<AppliedUpdate, Response> {
         if let Some(resp) = self.reject_if_follower() {
             return Err(resp);
         }
         let Some(_admitted) = self.admit_update() else {
             return Err(overloaded_response());
         };
-        let mut backend = self.backend.write().expect("engine lock poisoned");
-        let outcome = match &mut *backend {
-            Backend::Ephemeral(engine) => {
-                let outcome = engine.apply(update).map_err(update_error_response)?;
-                if self
-                    .policy
-                    .should_compact(engine.len(), engine.slot_count())
-                {
-                    engine.apply(Update::Compact).expect("compact cannot fail");
-                    self.auto_compactions.fetch_add(1, Ordering::Relaxed);
+        let durable = matches!(
+            &*self.backend.read().expect("engine lock poisoned"),
+            Backend::Durable(_)
+        );
+        let applied = if durable {
+            match self.group_commit(update) {
+                Ok(receipt) => {
+                    if let Some(why) = &receipt.maintenance_error {
+                        // The update is durable and applied; only the
+                        // policy's post-commit maintenance failed.
+                        (self.log_sink.0)(&format!(
+                            "maintenance_degraded update_committed=true error={why}"
+                        ));
+                    }
+                    AppliedUpdate {
+                        outcome: receipt.outcome,
+                        total: receipt.total,
+                        degraded: receipt.maintenance_error.is_some(),
+                    }
                 }
-                outcome
+                Err(GroupCommitError::Update(e)) => return Err(update_error_response(e)),
+                Err(GroupCommitError::Storage(e)) => return Err(storage_error_response(&e)),
             }
-            Backend::Durable(store) => match store.apply(update) {
-                Ok(receipt) => receipt.outcome,
-                Err(StorageError::Update(e)) => return Err(update_error_response(e)),
-                Err(e) => return Err(storage_error_response(&e)),
-            },
+        } else {
+            let mut backend = self.backend.write().expect("engine lock poisoned");
+            let Backend::Ephemeral(engine) = &mut *backend else {
+                unreachable!("a service never changes from ephemeral to durable");
+            };
+            let outcome = engine.apply(update).map_err(update_error_response)?;
+            if self
+                .policy
+                .should_compact(engine.len(), engine.slot_count())
+            {
+                engine.apply(Update::Compact).expect("compact cannot fail");
+                self.auto_compactions.fetch_add(1, Ordering::Relaxed);
+            }
+            AppliedUpdate {
+                outcome,
+                total: engine.len(),
+                degraded: false,
+            }
         };
-        let total = backend.engine().len();
-        drop(backend);
         self.updates.fetch_add(1, Ordering::Relaxed);
-        Ok((outcome, total))
+        Ok(applied)
+    }
+
+    /// Commits one update through the group-commit queue, blocking
+    /// until a leader (possibly this thread) has made it durable and
+    /// applied it.
+    fn group_commit(&self, update: Update) -> Result<GroupReceipt, GroupCommitError> {
+        let slot = Arc::new(UpdateSlot::default());
+        self.commit_queue
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(QueuedUpdate {
+                update,
+                slot: Arc::clone(&slot),
+            });
+        let mut leading = self
+            .commit_queue
+            .leading
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result; // a previous leader batched this update in
+            }
+            if !*leading {
+                *leading = true;
+                drop(leading);
+                let guard = LeaderGuard {
+                    queue: &self.commit_queue,
+                };
+                self.lead_commit();
+                drop(guard); // resign + wake the batch's waiters
+                return slot
+                    .take()
+                    .expect("the leader completes every drained slot");
+            }
+            leading = self
+                .commit_queue
+                .wakeup
+                .wait(leading)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Drains the pending queue once (as the current leader) and
+    /// commits it as one or more batches. [`Update::Compact`] is a
+    /// batch barrier: the store requires it committed alone, and the
+    /// updates behind it must be validated against the post-compaction
+    /// engine (compaction drops tombstoned gids for good).
+    fn lead_commit(&self) {
+        // Classic group-commit window: give contending writers one
+        // scheduler beat to enqueue before the drain. When nothing
+        // else is runnable this is nearly free; when writers are
+        // contending it grows the batch, and every update added here
+        // rides an fsync that was being paid anyway.
+        std::thread::yield_now();
+        let drained = std::mem::take(
+            &mut *self
+                .commit_queue
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        let mut group: Vec<QueuedUpdate> = Vec::with_capacity(drained.len());
+        for queued in drained {
+            if matches!(queued.update, Update::Compact) {
+                if !group.is_empty() {
+                    self.commit_group(std::mem::take(&mut group));
+                }
+                self.commit_group(vec![queued]);
+            } else {
+                group.push(queued);
+            }
+        }
+        if !group.is_empty() {
+            self.commit_group(group);
+        }
+    }
+
+    /// Commits one batch. Phase 1 under the **shared** engine lock:
+    /// validate each update against the batch's virtual engine state
+    /// and make the accepted ones durable with one WAL write + one
+    /// fsync — searches keep executing through the fsync. Phase 2
+    /// under the write lock: apply the committed records to the engine
+    /// in WAL order, then run policy maintenance. The leader lock
+    /// (held by the caller) keeps rotations and other batches from
+    /// interleaving between the phases.
+    fn commit_group(&self, group: Vec<QueuedUpdate>) {
+        let fail_all = |slots: &[Arc<UpdateSlot>], e: StorageError| {
+            let shared = Arc::new(e);
+            for slot in slots {
+                slot.complete(Err(GroupCommitError::Storage(Arc::clone(&shared))));
+            }
+        };
+        // Phase 1: validate + durable commit, under the read lock.
+        let (batch, slots) = {
+            let backend = self.backend.read().expect("engine lock poisoned");
+            let Backend::Durable(store) = &*backend else {
+                let slots: Vec<_> = group.into_iter().map(|q| q.slot).collect();
+                fail_all(
+                    &slots,
+                    StorageError::BadState("group commit on an ephemeral service".into()),
+                );
+                return;
+            };
+            let engine = store.engine();
+            // Validate each update against the state it will apply to:
+            // appends advance a virtual next-gid, so a Remove may name
+            // a gid appended earlier in the same batch; engine removes
+            // are idempotent per gid, so an earlier Remove never
+            // invalidates a later one. A rejected update is never
+            // logged and does not fail its batch.
+            let engine_next = engine.next_gid();
+            let mut virtual_next = engine_next;
+            let mut updates = Vec::with_capacity(group.len());
+            let mut slots = Vec::with_capacity(group.len());
+            for queued in group {
+                let valid = match &queued.update {
+                    Update::Append(sets) => {
+                        virtual_next += sets.len() as SetIdx;
+                        Ok(())
+                    }
+                    Update::Remove(gids) => gids
+                        .iter()
+                        .find(|&&gid| {
+                            gid >= virtual_next || (gid < engine_next && !engine.has_gid(gid))
+                        })
+                        .map_or(Ok(()), |&bad| Err(UpdateError::NoSuchSet(bad))),
+                    Update::Compact => Ok(()),
+                };
+                match valid {
+                    Ok(()) => {
+                        updates.push(queued.update);
+                        slots.push(queued.slot);
+                    }
+                    Err(e) => queued.slot.complete(Err(GroupCommitError::Update(e))),
+                }
+            }
+            if updates.is_empty() {
+                return;
+            }
+            match store.commit_batch(updates) {
+                Ok(batch) => (batch, slots),
+                Err(e) => {
+                    fail_all(&slots, e);
+                    return;
+                }
+            }
+        };
+        // Phase 2: apply + maintain, under the write lock.
+        let mut backend = self.backend.write().expect("engine lock poisoned");
+        let applied = {
+            let Backend::Durable(store) = &mut *backend else {
+                unreachable!("backend flavor cannot change while the leader lock is held");
+            };
+            match store.apply_committed(batch) {
+                Ok(outcomes) => {
+                    let report = store.maintain();
+                    Ok((outcomes, report, store.engine().len()))
+                }
+                Err(e) => Err(e),
+            }
+        };
+        drop(backend);
+        match applied {
+            Ok((outcomes, report, total)) => {
+                for (slot, outcome) in slots.iter().zip(outcomes) {
+                    slot.complete(Ok(GroupReceipt {
+                        outcome,
+                        total,
+                        maintenance_error: report.error.clone(),
+                    }));
+                }
+            }
+            Err(e) => fail_all(&slots, e),
+        }
     }
 
     fn append(&self, body: &[u8]) -> Response {
@@ -916,23 +1281,24 @@ impl SearchService {
                 }
             }
         }
-        let (out, total) = match self.apply_update(Update::Append(sets)) {
+        let done = match self.apply_update(Update::Append(sets)) {
             Ok(done) => done,
             Err(resp) => return resp,
         };
-        let appended: Vec<Json> = out
+        let appended: Vec<Json> = done
+            .outcome
             .appended
             .iter()
             .map(|&gid| Json::Num(f64::from(gid)))
             .collect();
-        Response::json(
-            200,
-            obj(vec![
-                ("appended", Json::Arr(appended)),
-                ("sets", Json::Num(total as f64)),
-            ])
-            .to_string(),
-        )
+        let mut fields = vec![
+            ("appended", Json::Arr(appended)),
+            ("sets", Json::Num(done.total as f64)),
+        ];
+        if done.degraded {
+            fields.push(("degraded", Json::Bool(true)));
+        }
+        Response::json(200, obj(fields).to_string())
     }
 
     fn remove(&self, body: &[u8]) -> Response {
@@ -951,35 +1317,40 @@ impl SearchService {
                 _ => return error_response(400, "'ids' must contain non-negative set ids"),
             }
         }
-        let (out, total) = match self.apply_update(Update::Remove(ids)) {
+        let done = match self.apply_update(Update::Remove(ids)) {
             Ok(done) => done,
             Err(resp) => return resp,
         };
-        Response::json(
-            200,
-            obj(vec![
-                ("removed", Json::Num(out.removed as f64)),
-                ("sets", Json::Num(total as f64)),
-            ])
-            .to_string(),
-        )
+        let mut fields = vec![
+            ("removed", Json::Num(done.outcome.removed as f64)),
+            ("sets", Json::Num(done.total as f64)),
+        ];
+        if done.degraded {
+            fields.push(("degraded", Json::Bool(true)));
+        }
+        Response::json(200, obj(fields).to_string())
     }
 
     fn compact(&self) -> Response {
-        let (_, total) = match self.apply_update(Update::Compact) {
+        let done = match self.apply_update(Update::Compact) {
             Ok(done) => done,
             Err(resp) => return resp,
         };
-        Response::json(
-            200,
-            obj(vec![("sets", Json::Num(total as f64))]).to_string(),
-        )
+        let mut fields = vec![("sets", Json::Num(done.total as f64))];
+        if done.degraded {
+            fields.push(("degraded", Json::Bool(true)));
+        }
+        Response::json(200, obj(fields).to_string())
     }
 
     fn snapshot(&self) -> Response {
         let Some(_admitted) = self.admit_update() else {
             return overloaded_response();
         };
+        // Leadership first: a rotation must never interleave between
+        // a group's WAL commit and its engine apply — a snapshot cut
+        // there would record a seq the engine hasn't reached.
+        let _leader = self.commit_queue.lead();
         let mut backend = self.backend.write().expect("engine lock poisoned");
         match &mut *backend {
             Backend::Ephemeral(_) => error_response(
@@ -1027,6 +1398,9 @@ impl SearchService {
         if !shared.wait_exited(Duration::from_secs(10)) {
             return error_response(500, "follower loop did not stop in time; retry");
         }
+        // Same order as group commit and /snapshot: leadership before
+        // the write lock (the epoch bump rotates the WAL).
+        let _leader = self.commit_queue.lead();
         let mut backend = self.backend.write().expect("engine lock poisoned");
         match &mut *backend {
             Backend::Durable(store) => match store.bump_epoch() {

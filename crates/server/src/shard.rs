@@ -159,6 +159,31 @@ fn shard_of(gid: SetIdx, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
+/// Builds each shard's engine on scoped threads, in shard order —
+/// collection/dictionary/index construction dominates startup and
+/// recovery time and the shards are independent, so build and restore
+/// parallelize the same way searches scatter.
+fn build_shards_parallel<P, F>(parts: Vec<P>, build: F) -> Result<Vec<Engine>, ConfigError>
+where
+    P: Send,
+    F: Fn(P) -> Result<Engine, ConfigError> + Sync,
+{
+    if parts.len() <= 1 {
+        return parts.into_iter().map(build).collect();
+    }
+    let mut outputs = Vec::with_capacity(parts.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| scope.spawn(|| build(part)))
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("shard build worker panicked"));
+        }
+    });
+    outputs.into_iter().collect()
+}
+
 impl ShardedEngine {
     /// Partitions `raw` sets across `shards` engines (FNV-1a on the
     /// global set id) and builds each shard's collection, dictionary,
@@ -182,10 +207,9 @@ impl ShardedEngine {
             global_ids[shard].push(gid as SetIdx);
         }
         let tokenization = cfg.tokenization();
-        let shards = parts
-            .into_iter()
-            .map(|part| Engine::new(Collection::build(&part, tokenization), cfg))
-            .collect::<Result<Vec<_>, _>>()?;
+        let shards = build_shards_parallel(parts, |part| {
+            Engine::new(Collection::build(&part, tokenization), cfg)
+        })?;
         Ok(Self {
             shards,
             global_ids,
@@ -246,17 +270,15 @@ impl ShardedEngine {
             global_ids[shard].push(gid);
         }
         let tokenization = cfg.tokenization();
-        let shards = parts
-            .into_iter()
-            .zip(&dead_locals)
-            .map(|(part, dead)| {
-                let mut collection = Collection::build(&part, tokenization);
-                collection
-                    .remove_sets(dead)
-                    .expect("dead locals index the slots just built");
-                Engine::new(collection, cfg)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let work: Vec<(Vec<Vec<String>>, Vec<SetIdx>)> =
+            parts.into_iter().zip(dead_locals).collect();
+        let shards = build_shards_parallel(work, |(part, dead)| {
+            let mut collection = Collection::build(&part, tokenization);
+            collection
+                .remove_sets(&dead)
+                .expect("dead locals index the slots just built");
+            Engine::new(collection, cfg)
+        })?;
         Ok(Self {
             shards,
             global_ids,
@@ -300,6 +322,14 @@ impl ShardedEngine {
         self.global_ids[shard_of(gid, self.shards.len())]
             .binary_search(&gid)
             .is_ok()
+    }
+
+    /// The global id the next appended set will take (ids are assigned
+    /// sequentially and never reused) — with [`has_gid`](Self::has_gid),
+    /// what batch validation needs to vet a group of updates against
+    /// the engine state they will apply to.
+    pub fn next_gid(&self) -> SetIdx {
+        self.next_gid
     }
 
     /// Number of shards.

@@ -27,7 +27,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use silkmoth_collection::{Collection, SetIdx};
-use silkmoth_core::{Engine, EngineConfig, RelatednessMetric, Update};
+use silkmoth_core::{CompactionPolicy, Engine, EngineConfig, RelatednessMetric, Update};
 use silkmoth_server::{ShardSpec, ShardedEngine};
 use silkmoth_storage::{load_snapshot, Store, StoreConfig, StoreEngine};
 use silkmoth_text::SimilarityFunction;
@@ -101,8 +101,14 @@ struct Harness {
 /// Stores run with a disabled policy here: the harness forces explicit
 /// compactions/snapshots so the in-memory mirrors stay in lockstep
 /// (policy-triggered actions are pinned by the storage crate's tests).
+/// Segment sealing stays ON with a tiny threshold — it is
+/// state-neutral, so every crash/recovery in the harness also proves
+/// multi-segment stitching and the parallel replay path byte-identical.
 fn store_cfg() -> StoreConfig {
-    StoreConfig::default()
+    StoreConfig {
+        policy: CompactionPolicy::DISABLED.segment_at_wal_bytes(96),
+        ..StoreConfig::default()
+    }
 }
 
 impl Harness {

@@ -13,23 +13,37 @@
 //!
 //! ```text
 //! <data-dir>/
-//!   snapshot-<seq>.smc   checkpoint: header + the live sets in the
-//!                        silkmoth-collection codec format + CRC-32
-//!   wal-<seq>.log        updates committed after snapshot <seq>:
-//!                        header, then length-prefixed, CRC-checked
-//!                        records (one encoded Update each)
+//!   snapshot-<seq>.smc    checkpoint: header + the live sets in the
+//!                         silkmoth-collection codec format + CRC-32
+//!   wal-<seq>-<n>.log     segment <n> of the updates committed after
+//!                         snapshot <seq>: header (with the global
+//!                         sequence the segment starts at), then
+//!                         length-prefixed, CRC-checked records (one
+//!                         encoded Update each)
+//!   wal-<seq>.log         the same log in the legacy (version 1)
+//!                         single-file form — still recovered, no
+//!                         longer written
 //! ```
 //!
-//! Every acknowledged [`Store::apply`] is **WAL-logged and fsync'd
-//! before the in-memory engine mutates** (the commit point); a
-//! [`Store::snapshot`] first creates the next generation's fresh WAL,
-//! then writes the checkpoint to a tempfile, `fsync`s, atomically
-//! renames it into place (the instant recovery starts preferring it —
-//! its WAL already exists), and only then retires the previous
-//! generation. Crash anywhere ⇒ recovery ([`Store::open`]) loads the
-//! newest valid snapshot and replays its WAL; a torn tail (an
-//! unacknowledged record interrupted mid-write) is detected by the
-//! record CRC and discarded.
+//! Every acknowledged update is **WAL-logged and fsync'd before the
+//! in-memory engine mutates** (the commit point) — and the commit
+//! point batches: [`Store::commit_batch`] makes any number of
+//! concurrently submitted updates durable with one buffered write and
+//! one fsync (group commit), then [`Store::apply_committed`] mutates
+//! the engine in WAL order. The active segment is sealed at a
+//! policy-set size and its successor opened; a [`Store::snapshot`]
+//! first creates the next generation's fresh segment 0, then writes
+//! the checkpoint to a tempfile, `fsync`s, atomically renames it into
+//! place (the instant recovery starts preferring it — its WAL already
+//! exists), and only then retires stale files (old snapshots at once;
+//! old WAL segments only when no replication cursor still needs them —
+//! [`Store::set_retention_hook`]). Crash anywhere ⇒ recovery
+//! ([`Store::open`]) loads the newest valid snapshot and replays its
+//! segments — decoded and CRC-checked **in parallel**, applied in
+//! sequence order, so recovery time is bounded by segment size rather
+//! than history; a torn tail (an unacknowledged record interrupted
+//! mid-write) is detected by the record CRC and discarded, and is only
+//! tolerated in the final, active segment.
 //!
 //! ## Recovery is differential
 //!
@@ -46,10 +60,11 @@
 //!
 //! ## Format versioning
 //!
-//! Both file headers carry a format version (snapshot: 2, WAL: 1). The
-//! rule: any change to the byte layout bumps the version, and readers
-//! reject versions they don't know ([`StorageError::Corrupt`]) rather
-//! than guessing — an old binary never misreads a new store.
+//! Both file headers carry a format version (snapshot: 2, WAL: 2 —
+//! version 1 single-file logs are still read). The rule: any change to
+//! the byte layout bumps the version, and readers reject versions they
+//! don't know ([`StorageError::Corrupt`]) rather than guessing — an
+//! old binary never misreads a new store.
 //!
 //! ## Replication hooks
 //!
@@ -75,10 +90,12 @@ mod wal;
 pub use crc32::crc32;
 pub use snapshot::{load_snapshot, parse_snapshot, snapshot_bytes, SnapshotMeta};
 pub use store::{
-    ApplyReceipt, CommitHook, RecoveryReport, Store, StoreConfig, StoreEvent, StoreStatus,
-    TelemetryHook, WalDiscard,
+    ApplyReceipt, CommitHook, CommittedBatch, MaintenanceReport, RecoveryReport, RetentionHook,
+    Store, StoreConfig, StoreEvent, StoreStatus, TelemetryHook, WalDiscard,
 };
-pub use wal::{read_wal, read_wal_payloads, wal_file_path};
+pub use wal::{
+    list_wal_segments, read_wal, read_wal_payloads, wal_file_path, wal_segment_path, WalSegmentInfo,
+};
 
 use std::sync::Arc;
 

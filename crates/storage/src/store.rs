@@ -1,29 +1,44 @@
 //! The durable store: an engine plus its snapshot/WAL generation on
 //! disk, with crash recovery and policy-driven auto-compaction and
 //! auto-snapshots. See the crate docs for the layout and guarantees.
+//!
+//! The commit path is split in two so callers can group-commit:
+//! [`Store::commit_batch`] (shared `&self`; serializes on an internal
+//! mutex) makes a batch of updates durable with one buffered write and
+//! one fsync, and [`Store::apply_committed`] (exclusive `&mut self`)
+//! mutates the engine in WAL order. [`Store::apply`] composes the two
+//! for the single-writer case and runs policy maintenance afterwards —
+//! whose failures are *reported in the receipt*, never surfaced as an
+//! error for an update that already committed (an error after the
+//! commit point would make the caller retry a durable update).
 
 use std::fmt;
-use std::fs::{self, File};
+use std::fs::{self, File, OpenOptions};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
+use silkmoth_collection::SetIdx;
 use silkmoth_core::wire::encode_update;
 use silkmoth_core::{CompactionPolicy, Update, UpdateOutcome};
 
 use crate::snapshot::{load_snapshot, snapshot_bytes, SnapshotMeta};
-use crate::wal::{read_wal, wal_file_path, WalWriter};
+use crate::wal::{
+    list_wal_segments, read_wal, wal_file_path, wal_segment_path, WalReplay, WalWriter,
+    WAL_HEADER_V1_LEN,
+};
 use crate::{StorageError, StoreEngine};
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreConfig {
-    /// Fsync every WAL record before acknowledging it (the durability
+    /// Fsync every commit batch before acknowledging it (the durability
     /// guarantee). Disable only for tests or bulk loads that accept
     /// losing the tail on a crash.
     pub sync: bool,
-    /// When to auto-compact (tombstone ratio) and auto-snapshot (WAL
-    /// length). [`CompactionPolicy::DISABLED`] turns both off.
+    /// When to auto-compact (tombstone ratio), auto-snapshot (WAL
+    /// length), and seal WAL segments (segment size).
+    /// [`CompactionPolicy::DISABLED`] turns all three off.
     pub policy: CompactionPolicy,
 }
 
@@ -56,8 +71,10 @@ pub struct RecoveryReport {
     pub wal_replayed: u64,
     /// Discarded torn/corrupt WAL suffix, if any.
     pub wal_discarded: Option<WalDiscard>,
-    /// Newer snapshot generations that failed validation and were
-    /// skipped (0 in healthy operation).
+    /// Newer snapshot generations that failed validation, were skipped,
+    /// and were quarantined (renamed `*.corrupt`) — 0 in healthy
+    /// operation, and 0 again on the next open because of the
+    /// quarantine.
     pub snapshots_skipped: u64,
 }
 
@@ -70,15 +87,70 @@ pub struct ApplyReceipt {
     pub auto_compacted: bool,
     /// The policy triggered an automatic snapshot; the new generation.
     pub auto_snapshot: Option<u64>,
+    /// Post-commit maintenance (auto-compaction or auto-snapshot)
+    /// failed. The caller's update **is durably committed and applied**
+    /// — callers must acknowledge it as a success (at most flagged
+    /// degraded) and must not retry, or a non-idempotent update would
+    /// be applied twice.
+    pub maintenance_error: Option<String>,
+}
+
+/// What [`Store::maintain`] did. Maintenance runs after the caller's
+/// update is already durable, so failures are reported here instead of
+/// as an `Err` — see [`ApplyReceipt::maintenance_error`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MaintenanceReport {
+    /// The policy triggered an automatic [`Update::Compact`].
+    pub auto_compacted: bool,
+    /// The policy triggered an automatic snapshot; the new generation.
+    pub auto_snapshot: Option<u64>,
+    /// The first maintenance step that failed, if any.
+    pub error: Option<String>,
+}
+
+/// A batch of updates made durable by [`Store::commit_batch`] but not
+/// yet applied to the engine. Every batch must be passed to
+/// [`Store::apply_committed`], in commit order — a committed batch that
+/// is never applied (or applied out of order) leaves the engine behind
+/// the WAL, which recovery would then "repair" into a different state
+/// than the one that served reads.
+#[must_use = "a committed batch must be applied to the engine with apply_committed"]
+#[derive(Debug)]
+pub struct CommittedBatch {
+    entries: Vec<CommittedEntry>,
+    first_seq: u64,
+}
+
+#[derive(Debug)]
+struct CommittedEntry {
+    update: Update,
+    planned_remap: Option<Vec<Option<SetIdx>>>,
+}
+
+impl CommittedBatch {
+    /// Records in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false — empty batches are rejected at commit.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Global sequence number of the batch's last record.
+    pub fn last_seq(&self) -> u64 {
+        self.first_seq + self.entries.len() as u64 - 1
+    }
 }
 
 /// An observer of the store's commit point, installed with
 /// [`Store::set_commit_hook`]: called with the new total committed
-/// update count immediately after every durable WAL append (caller
+/// update count immediately after every durable commit batch (caller
 /// updates and policy-driven auto-actions alike). Replication uses it
 /// to wake streamers without polling. The hook runs on the committing
-/// thread while the store is borrowed, so it must not call back into
-/// the store or block.
+/// thread while the store's commit lock is held, so it must not call
+/// back into the store or block.
 #[derive(Clone)]
 pub struct CommitHook(Arc<dyn Fn(u64) + Send + Sync>);
 
@@ -95,6 +167,30 @@ impl fmt::Debug for CommitHook {
     }
 }
 
+/// Tells the store the oldest update sequence any replication cursor
+/// still needs, installed with [`Store::set_retention_hook`]: sealed
+/// WAL segments already covered by the current snapshot are retired
+/// only once their records fall at or below the returned floor. Return
+/// `u64::MAX` when no cursor is outstanding (everything covered by the
+/// snapshot may go). Called during rotation/retirement with the commit
+/// lock possibly held, so it must not call back into the store or
+/// block.
+#[derive(Clone)]
+pub struct RetentionHook(Arc<dyn Fn() -> u64 + Send + Sync>);
+
+impl RetentionHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for RetentionHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RetentionHook(..)")
+    }
+}
+
 /// One observable store event, delivered to the [`TelemetryHook`].
 ///
 /// The variants carry everything a metrics layer needs so the store
@@ -102,10 +198,15 @@ impl fmt::Debug for CommitHook {
 /// events into whatever counters and histograms it keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreEvent {
-    /// One WAL record was durably appended: how long the buffered
-    /// write and the fsync each took (`sync` is zero when the store
-    /// runs fsync-less).
-    WalAppend { write: Duration, sync: Duration },
+    /// One batch of records was durably committed: how many records it
+    /// held, and how long the single buffered write and the single
+    /// fsync took (`sync` is **exactly zero** when the store runs
+    /// fsync-less).
+    CommitBatch {
+        records: u64,
+        write: Duration,
+        sync: Duration,
+    },
     /// A snapshot generation was written (explicit or automatic).
     Snapshot,
     /// The policy triggered an automatic compaction.
@@ -146,12 +247,14 @@ impl fmt::Debug for TelemetryHook {
 pub struct StoreStatus {
     /// Current snapshot generation.
     pub snapshot_seq: u64,
-    /// Records in the current WAL.
+    /// Records in the current generation's WAL (across all its
+    /// segments).
     pub wal_records: u64,
     /// Total committed updates across all generations — the global,
     /// monotonic sequence number of the most recent WAL record (0 when
     /// none were ever committed). Record `i` (zero-based) of the
-    /// current WAL has sequence `update_seq - wal_records + i + 1`.
+    /// current generation's WAL has sequence
+    /// `update_seq - wal_records + i + 1`.
     pub update_seq: u64,
     /// Failover epoch this store's history belongs to (see
     /// [`Store::bump_epoch`]).
@@ -164,6 +267,27 @@ pub struct StoreStatus {
     pub auto_compactions: u64,
     /// Automatic snapshots since open.
     pub auto_snapshots: u64,
+    /// Segments in the current generation's WAL (the active one plus
+    /// any sealed earlier ones).
+    pub wal_segments: u32,
+}
+
+/// The mutable commit-path state, behind a mutex so
+/// [`Store::commit_batch`] can run with `&self` — concurrent
+/// committers serialize here (and nowhere else), which is what lets
+/// the server fsync outside its engine write lock.
+#[derive(Debug)]
+struct CommitState {
+    wal: WalWriter,
+    /// Current snapshot generation.
+    seq: u64,
+    /// Index of the active WAL segment within the generation.
+    segment_index: u32,
+    /// Records committed in the current generation (all segments).
+    wal_records: u64,
+    /// Global committed-update sequence.
+    update_seq: u64,
+    last_fsync_ok: bool,
 }
 
 /// A durable engine: every acknowledged update is WAL-logged (fsync'd)
@@ -175,24 +299,17 @@ pub struct Store<E: StoreEngine> {
     dir: PathBuf,
     cfg: StoreConfig,
     engine: E,
-    wal: WalWriter,
-    seq: u64,
-    wal_records: u64,
-    update_seq: u64,
+    commit: Mutex<CommitState>,
     epoch: u64,
-    last_fsync_ok: bool,
     auto_compactions: u64,
     auto_snapshots: u64,
     commit_hook: Option<CommitHook>,
     telemetry_hook: Option<TelemetryHook>,
+    retention_hook: Option<RetentionHook>,
 }
 
 fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("snapshot-{seq}.smc"))
-}
-
-fn wal_path(dir: &Path, seq: u64) -> PathBuf {
-    wal_file_path(dir, seq)
 }
 
 /// All snapshot generation numbers present in `dir`, descending.
@@ -216,6 +333,25 @@ fn list_generations(dir: &Path) -> Result<Vec<u64>, StorageError> {
     Ok(seqs)
 }
 
+/// The snapshot generation a store file belongs to, parsed from its
+/// name (`snapshot-<g>.smc`, legacy `wal-<g>.log`, `wal-<g>-<n>.log`).
+fn file_generation(name: &str) -> Option<u64> {
+    if let Some(body) = name
+        .strip_prefix("snapshot-")
+        .and_then(|s| s.strip_suffix(".smc"))
+    {
+        return body.parse().ok();
+    }
+    if let Some(body) = name
+        .strip_prefix("wal-")
+        .and_then(|s| s.strip_suffix(".log"))
+    {
+        let gen = body.split_once('-').map(|(g, _)| g).unwrap_or(body);
+        return gen.parse().ok();
+    }
+    None
+}
+
 /// Fsyncs the directory itself so renames and creations inside it are
 /// durable (no-op on platforms where directories cannot be opened).
 fn sync_dir(dir: &Path) -> Result<(), StorageError> {
@@ -230,11 +366,20 @@ fn sync_dir(dir: &Path) -> Result<(), StorageError> {
     Ok(())
 }
 
+/// Truncates a file to `len` and fsyncs it.
+fn truncate_file(path: &Path, len: u64) -> Result<(), StorageError> {
+    let err = || StorageError::io(format!("truncating {}", path.display()));
+    let f = OpenOptions::new().write(true).open(path).map_err(err())?;
+    f.set_len(len).map_err(err())?;
+    f.sync_all().map_err(err())?;
+    Ok(())
+}
+
 impl<E: StoreEngine> Store<E> {
     /// Initializes a fresh store in `dir` (created if missing) from an
-    /// already-built engine: writes generation 0 (snapshot + empty WAL)
-    /// and returns the running store. Refuses to clobber a directory
-    /// that already holds a store.
+    /// already-built engine: writes generation 0 (snapshot + empty WAL
+    /// segment) and returns the running store. Refuses to clobber a
+    /// directory that already holds a store.
     pub fn create(
         dir: impl Into<PathBuf>,
         engine: E,
@@ -275,28 +420,42 @@ impl<E: StoreEngine> Store<E> {
             dir,
             cfg,
             engine,
-            wal,
-            seq: 0,
-            wal_records: 0,
-            update_seq,
+            commit: Mutex::new(CommitState {
+                wal,
+                seq: 0,
+                segment_index: 0,
+                wal_records: 0,
+                update_seq,
+                last_fsync_ok: true,
+            }),
             epoch,
-            last_fsync_ok: true,
             auto_compactions: 0,
             auto_snapshots: 0,
             commit_hook: None,
             telemetry_hook: None,
+            retention_hook: None,
         })
     }
 
     /// Recovers a store from `dir`: loads the newest snapshot that
-    /// validates, replays its WAL's committed records, truncates any
-    /// torn tail, and retires stale generations. `spec` supplies what
-    /// the snapshot doesn't store (engine configuration, shard count).
+    /// validates, replays its WAL's committed records — decoding and
+    /// CRC-checking every segment **in parallel**, then applying in
+    /// sequence order — truncates any torn tail in the final segment,
+    /// quarantines skipped newer generations, and retires stale
+    /// generations. `spec` supplies what the snapshot doesn't store
+    /// (engine configuration, shard count).
     ///
-    /// Structural damage falls back (older generation, shorter WAL
-    /// prefix) and is reported; *semantic* damage — a record that
-    /// replays divergently, a configuration that rejects the data — is
-    /// a hard error, because serving anyway would silently diverge.
+    /// Structural damage in the final (active) segment falls back
+    /// (older generation, shorter WAL prefix) and is reported.
+    /// *Semantic* damage — a record that replays divergently, a torn
+    /// tail in a **sealed** segment, a segment whose base sequence
+    /// doesn't continue the log (a missing or reordered file), a
+    /// configuration that rejects the data — is a hard error, because
+    /// serving anyway would silently diverge or drop committed records.
+    ///
+    /// Legacy single-file (version 1) generations recover transparently:
+    /// the old log is replayed first, its torn tail truncated in place,
+    /// and a fresh version-2 segment is opened after it for new records.
     pub fn open(
         dir: impl Into<PathBuf>,
         spec: &E::Spec,
@@ -313,7 +472,7 @@ impl<E: StoreEngine> Store<E> {
                 dir: dir.display().to_string(),
             });
         }
-        let mut skipped = 0u64;
+        let mut skipped_gens: Vec<u64> = Vec::new();
         for &seq in &generations {
             let path = snapshot_path(&dir, seq);
             let (meta, state) = match load_snapshot(&path) {
@@ -324,29 +483,105 @@ impl<E: StoreEngine> Store<E> {
                 | Err(StorageError::Corrupt { .. })
                 | Err(StorageError::Codec(_))
                 | Err(StorageError::BadState(_)) => {
-                    skipped += 1;
+                    skipped_gens.push(seq);
                     continue;
                 }
                 Err(e) => return Err(e),
             };
             let mut engine = E::restore(spec, state)?;
 
-            let wpath = wal_path(&dir, seq);
-            let replay = if wpath.exists() {
-                read_wal(&wpath, seq)?
-            } else {
-                // The WAL is created (and fsync'd) before its snapshot
-                // is renamed into place, so a missing WAL can only
-                // mean an externally pruned file — with zero committed
-                // records to lose, treat it as empty and recreate it.
-                crate::wal::WalReplay {
-                    entries: Vec::new(),
-                    valid_len: 0,
-                    discarded: None,
+            // The generation's log catalog, in replay order: the legacy
+            // single-file log (if the store predates segmentation),
+            // then every segment by index.
+            let legacy = wal_file_path(&dir, seq);
+            let mut catalog: Vec<(PathBuf, Option<u32>)> = Vec::new();
+            if legacy.exists() {
+                catalog.push((legacy, None));
+            }
+            for info in list_wal_segments(&dir)? {
+                if info.generation == seq {
+                    catalog.push((info.path, Some(info.segment)));
                 }
-            };
-            let replayed = replay.entries.len() as u64;
-            for (i, entry) in replay.entries.into_iter().enumerate() {
+            }
+
+            // Decode and CRC-check every file in parallel; the chunks
+            // keep result order aligned with catalog order.
+            let mut replays: Vec<Option<Result<WalReplay, StorageError>>> =
+                catalog.iter().map(|_| None).collect();
+            if !catalog.is_empty() {
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(catalog.len());
+                let chunk = catalog.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (files, out) in catalog.chunks(chunk).zip(replays.chunks_mut(chunk)) {
+                        scope.spawn(move || {
+                            for ((path, _), slot) in files.iter().zip(out.iter_mut()) {
+                                *slot = Some(read_wal(path, seq));
+                            }
+                        });
+                    }
+                });
+            }
+
+            // Stitch the replays back together in order, checking that
+            // each segment continues the log exactly where the previous
+            // one left off.
+            let mut entries = Vec::new();
+            let mut expected = meta.update_seq;
+            let mut discarded = None;
+            let mut active: Option<(PathBuf, Option<u32>, u64, u64)> = None;
+            let files = catalog.len();
+            for (i, ((path, name_seg), slot)) in catalog.into_iter().zip(replays).enumerate() {
+                let replay = slot.expect("every catalog file was decoded")?;
+                let is_last = i + 1 == files;
+                if let Some(d) = replay.discarded {
+                    if !is_last {
+                        // New segments are created only after a fully
+                        // committed append, so a sealed segment can
+                        // never legitimately end torn.
+                        return Err(StorageError::Corrupt {
+                            file: path.display().to_string(),
+                            detail: format!("torn tail in a sealed WAL segment: {}", d.reason),
+                        });
+                    }
+                    discarded = Some(d);
+                }
+                if let Some(want) = name_seg {
+                    if let Some(got) = replay.segment {
+                        if got != want {
+                            return Err(StorageError::Corrupt {
+                                file: path.display().to_string(),
+                                detail: format!(
+                                    "segment header index {got} disagrees with file name ({want})"
+                                ),
+                            });
+                        }
+                    }
+                    if let Some(base) = replay.base_seq {
+                        if base != expected {
+                            return Err(StorageError::Corrupt {
+                                file: path.display().to_string(),
+                                detail: format!(
+                                    "segment base {base} does not continue the log at {expected} \
+                                     (missing or reordered segments)"
+                                ),
+                            });
+                        }
+                    }
+                }
+                let records = replay.entries.len() as u64;
+                expected += records;
+                entries.extend(replay.entries);
+                if is_last {
+                    active = Some((path, name_seg, replay.valid_len, records));
+                }
+            }
+
+            // Apply in sequence order.
+            let replayed = entries.len() as u64;
+            for (i, entry) in entries.into_iter().enumerate() {
                 let recorded_remap = entry.remap;
                 let outcome = engine.apply_update(entry.update).map_err(|e| {
                     StorageError::ReplayDivergence {
@@ -361,30 +596,74 @@ impl<E: StoreEngine> Store<E> {
                     });
                 }
             }
-            let wal = WalWriter::reopen(&wpath, seq, replay.valid_len)?;
+
+            // Set up the active writer, converting a legacy log by
+            // truncating its tail in place and opening segment 0 with
+            // the right base after it.
+            let update_seq = meta.update_seq + replayed;
+            let (wal, segment_index) = match active {
+                None => {
+                    // The WAL is created (and fsync'd) before its
+                    // snapshot is renamed into place, so a missing WAL
+                    // can only mean an externally pruned file — with
+                    // zero committed records to lose, recreate it empty.
+                    let w = WalWriter::create(
+                        &wal_segment_path(&dir, seq, 0),
+                        seq,
+                        0,
+                        meta.update_seq,
+                    )?;
+                    sync_dir(&dir)?;
+                    (w, 0)
+                }
+                Some((path, None, valid_len, _)) => {
+                    if valid_len < WAL_HEADER_V1_LEN {
+                        // The legacy log was discarded whole (torn
+                        // creation): nothing committed in it to keep.
+                        fs::remove_file(&path)
+                            .map_err(StorageError::io(format!("removing {}", path.display())))?;
+                    } else {
+                        truncate_file(&path, valid_len)?;
+                    }
+                    let w = WalWriter::create(&wal_segment_path(&dir, seq, 0), seq, 0, update_seq)?;
+                    sync_dir(&dir)?;
+                    (w, 0)
+                }
+                Some((path, Some(idx), valid_len, records)) => {
+                    let base = update_seq - records;
+                    let w = WalWriter::reopen(&path, seq, idx, base, valid_len)?;
+                    (w, idx)
+                }
+            };
 
             let store = Self {
                 engine,
-                wal,
-                seq,
-                wal_records: replayed,
-                update_seq: meta.update_seq + replayed,
+                commit: Mutex::new(CommitState {
+                    wal,
+                    seq,
+                    segment_index,
+                    wal_records: replayed,
+                    update_seq,
+                    last_fsync_ok: true,
+                }),
                 epoch: meta.epoch,
-                last_fsync_ok: true,
                 auto_compactions: 0,
                 auto_snapshots: 0,
                 commit_hook: None,
                 telemetry_hook: None,
+                retention_hook: None,
                 cfg,
                 dir,
             };
-            store.retire_generations_before(seq);
+            let skipped = skipped_gens.len() as u64;
+            store.quarantine_generations(&skipped_gens);
+            store.retire_stale_files(seq);
             return Ok((
                 store,
                 RecoveryReport {
                     snapshot_seq: seq,
                     wal_replayed: replayed,
-                    wal_discarded: replay.discarded,
+                    wal_discarded: discarded,
                     snapshots_skipped: skipped,
                 },
             ));
@@ -395,8 +674,8 @@ impl<E: StoreEngine> Store<E> {
     }
 
     /// The recovered/served engine (all mutation goes through
-    /// [`apply`](Self::apply) so it is WAL-logged — hence no `&mut`
-    /// accessor).
+    /// [`apply`](Self::apply) / [`apply_committed`](Self::apply_committed)
+    /// so it is WAL-logged — hence no `&mut` accessor).
     pub fn engine(&self) -> &E {
         &self.engine
     }
@@ -406,16 +685,22 @@ impl<E: StoreEngine> Store<E> {
         &self.dir
     }
 
+    fn commit_state(&self) -> MutexGuard<'_, CommitState> {
+        self.commit.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current generation + WAL counters.
     pub fn status(&self) -> StoreStatus {
+        let state = self.commit_state();
         StoreStatus {
-            snapshot_seq: self.seq,
-            wal_records: self.wal_records,
-            update_seq: self.update_seq,
+            snapshot_seq: state.seq,
+            wal_records: state.wal_records,
+            update_seq: state.update_seq,
             epoch: self.epoch,
-            last_fsync_ok: self.last_fsync_ok,
+            last_fsync_ok: state.last_fsync_ok,
             auto_compactions: self.auto_compactions,
             auto_snapshots: self.auto_snapshots,
+            wal_segments: state.segment_index + 1,
         }
     }
 
@@ -431,92 +716,255 @@ impl<E: StoreEngine> Store<E> {
         self.telemetry_hook = Some(hook);
     }
 
+    /// Installs (or replaces) the segment-retention floor; see
+    /// [`RetentionHook`].
+    pub fn set_retention_hook(&mut self, hook: RetentionHook) {
+        self.retention_hook = Some(hook);
+    }
+
     fn emit(&self, event: StoreEvent) {
         if let Some(hook) = &self.telemetry_hook {
             hook.fire(event);
         }
     }
 
-    /// Applies one update durably: pre-validates it, appends the WAL
-    /// record, fsyncs (the commit point — an error here means the
-    /// update is **not** acknowledged), then mutates the engine.
-    /// Afterwards the configured policy may trigger an automatic
-    /// compaction and/or snapshot, reported in the receipt.
+    fn retention_floor(&self) -> u64 {
+        self.retention_hook
+            .as_ref()
+            .map(|hook| (hook.0)())
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Applies one update durably: pre-validates it, commits it (WAL
+    /// append + fsync — an error here means the update is **not**
+    /// acknowledged), mutates the engine, then runs policy maintenance.
+    /// Maintenance failures do **not** fail the call — the update is
+    /// already durable by then — they are reported in
+    /// [`ApplyReceipt::maintenance_error`].
     pub fn apply(&mut self, update: Update) -> Result<ApplyReceipt, StorageError> {
-        let outcome = self.log_and_apply(update)?;
-        let mut receipt = ApplyReceipt {
+        self.engine
+            .check_update(&update)
+            .map_err(StorageError::Update)?;
+        let batch = self.commit_batch(vec![update])?;
+        let mut outcomes = self.apply_committed(batch)?;
+        let outcome = outcomes.pop().expect("one update was committed");
+        let report = self.maintain();
+        Ok(ApplyReceipt {
             outcome,
-            auto_compacted: false,
-            auto_snapshot: None,
+            auto_compacted: report.auto_compacted,
+            auto_snapshot: report.auto_snapshot,
+            maintenance_error: report.error,
+        })
+    }
+
+    /// Makes a batch of updates durable with **one** buffered WAL write
+    /// and **one** fsync — the amortized group-commit point — and
+    /// returns the batch for [`apply_committed`](Self::apply_committed).
+    /// Concurrent committers serialize on the store's internal commit
+    /// lock only, so this runs with `&self` (the server calls it under
+    /// its shared engine lock: the fsync never blocks searches).
+    ///
+    /// The caller's contract:
+    /// * every update must already be validated against the engine
+    ///   state it will apply to (via [`StoreEngine::check_update`] or a
+    ///   batch-aware equivalent) — a committed record that the engine
+    ///   then rejects is unrecoverable divergence;
+    /// * the engine must not mutate between this call and the matching
+    ///   `apply_committed`, and batches must be applied in commit
+    ///   order;
+    /// * [`Update::Compact`] must be committed **alone** (its remap is
+    ///   planned against the current engine and recorded in the WAL, so
+    ///   nothing may precede it in its own batch).
+    pub fn commit_batch(&self, updates: Vec<Update>) -> Result<CommittedBatch, StorageError> {
+        if updates.is_empty() {
+            return Err(StorageError::BadState("empty commit batch".into()));
+        }
+        if updates.len() > 1 && updates.iter().any(|u| matches!(u, Update::Compact)) {
+            return Err(StorageError::BadState(
+                "Update::Compact must be committed in a batch of its own".into(),
+            ));
+        }
+        let mut entries = Vec::with_capacity(updates.len());
+        let mut payloads = Vec::with_capacity(updates.len());
+        for update in updates {
+            let planned_remap = match update {
+                Update::Compact => self.engine.planned_remap(),
+                _ => None,
+            };
+            let mut payload = Vec::new();
+            encode_update(&update, planned_remap.as_deref(), &mut payload);
+            payloads.push(payload);
+            entries.push(CommittedEntry {
+                update,
+                planned_remap,
+            });
+        }
+        let records = entries.len() as u64;
+        let mut state = self.commit_state();
+        let timing = match state.wal.append_many(&payloads, self.cfg.sync) {
+            Ok(timing) => timing,
+            Err(e) => {
+                state.last_fsync_ok = false;
+                return Err(e);
+            }
         };
+        state.last_fsync_ok = true;
+        state.wal_records += records;
+        state.update_seq += records;
+        let last_seq = state.update_seq;
+        self.emit(StoreEvent::CommitBatch {
+            records,
+            write: timing.write,
+            sync: timing.sync,
+        });
+        if let Some(hook) = &self.commit_hook {
+            (hook.0)(last_seq);
+        }
+        if self.cfg.policy.should_seal(state.wal.committed_len()) {
+            self.seal_active_segment(&mut state);
+        }
+        drop(state);
+        Ok(CommittedBatch {
+            entries,
+            first_seq: last_seq - records + 1,
+        })
+    }
+
+    /// Seals the active segment by opening its successor; the old file
+    /// is simply no longer written to. Sealing is advisory (the batch
+    /// that triggered it is already committed), but a half-created
+    /// successor would make the current segment look sealed to
+    /// recovery — which then treats any torn tail in it as hard
+    /// corruption — so a failed seal must not leave the new file
+    /// behind.
+    fn seal_active_segment(&self, state: &mut CommitState) {
+        let next = state.segment_index + 1;
+        let path = wal_segment_path(&self.dir, state.seq, next);
+        let created = WalWriter::create(&path, state.seq, next, state.update_seq)
+            .and_then(|w| sync_dir(&self.dir).map(|()| w));
+        match created {
+            Ok(w) => {
+                state.wal = w;
+                state.segment_index = next;
+                self.retire_stale_files(state.seq);
+            }
+            Err(why) => {
+                if fs::remove_file(&path).is_err() && path.exists() {
+                    state
+                        .wal
+                        .poison(format!("segment seal left a partial successor: {why}"));
+                    state.last_fsync_ok = false;
+                }
+            }
+        }
+    }
+
+    /// Mutates the engine with a batch committed by
+    /// [`commit_batch`](Self::commit_batch), in WAL order, returning
+    /// one outcome per update. An engine rejection or remap divergence
+    /// here is unrecoverable — the WAL already holds the record — so
+    /// the store poisons its commit path (no further update can be
+    /// acknowledged into a history recovery cannot reproduce) and
+    /// returns a hard error.
+    pub fn apply_committed(
+        &mut self,
+        batch: CommittedBatch,
+    ) -> Result<Vec<UpdateOutcome>, StorageError> {
+        let first_seq = batch.first_seq;
+        let mut outcomes = Vec::with_capacity(batch.entries.len());
+        for (i, entry) in batch.entries.into_iter().enumerate() {
+            let record = first_seq + i as u64;
+            let outcome = match self.engine.apply_update(entry.update) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    self.poison_commits(format!("committed record {record} rejected: {e}"));
+                    return Err(StorageError::ReplayDivergence {
+                        record,
+                        detail: format!("engine rejected committed update: {e}"),
+                    });
+                }
+            };
+            if entry.planned_remap.is_some() && outcome.remap != entry.planned_remap {
+                // The engine renumbered differently than it predicted —
+                // a bug, and the WAL now holds the prediction.
+                self.poison_commits(format!("record {record} remap diverged from prediction"));
+                return Err(StorageError::ReplayDivergence {
+                    record,
+                    detail: "compaction remap differs from the logged prediction".into(),
+                });
+            }
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
+    }
+
+    fn poison_commits(&mut self, why: String) {
+        let state = self
+            .commit
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.wal.poison(why);
+        state.last_fsync_ok = false;
+    }
+
+    /// Runs the configured policy's post-commit maintenance: an
+    /// automatic [`Update::Compact`] when the tombstone ratio is over
+    /// threshold, then an automatic snapshot when the WAL is long
+    /// enough. Failures are captured in the report, never returned as
+    /// an `Err` — maintenance runs after updates the caller already
+    /// acknowledged, so its failure must not look like theirs.
+    pub fn maintain(&mut self) -> MaintenanceReport {
+        let mut report = MaintenanceReport::default();
         if self
             .cfg
             .policy
             .should_compact(self.engine.live_len(), self.engine.slot_len())
         {
-            self.log_and_apply(Update::Compact)?;
-            self.auto_compactions += 1;
-            self.emit(StoreEvent::AutoCompaction);
-            receipt.auto_compacted = true;
-        }
-        if self.cfg.policy.should_snapshot(self.wal_records) {
-            let seq = self.snapshot()?;
-            self.auto_snapshots += 1;
-            self.emit(StoreEvent::AutoSnapshot);
-            receipt.auto_snapshot = Some(seq);
-        }
-        Ok(receipt)
-    }
-
-    /// The WAL-then-mutate core of [`apply`](Self::apply).
-    fn log_and_apply(&mut self, update: Update) -> Result<UpdateOutcome, StorageError> {
-        self.engine
-            .check_update(&update)
-            .map_err(StorageError::Update)?;
-        let planned_remap = match update {
-            Update::Compact => self.engine.planned_remap(),
-            _ => None,
-        };
-        let mut payload = Vec::new();
-        encode_update(&update, planned_remap.as_deref(), &mut payload);
-        let timing = match self.wal.append(&payload, self.cfg.sync) {
-            Ok(timing) => timing,
-            Err(e) => {
-                self.last_fsync_ok = false;
-                return Err(e);
+            let compacted = self
+                .engine
+                .check_update(&Update::Compact)
+                .map_err(StorageError::Update)
+                .and_then(|()| self.commit_batch(vec![Update::Compact]))
+                .and_then(|batch| self.apply_committed(batch));
+            match compacted {
+                Ok(_) => {
+                    self.auto_compactions += 1;
+                    self.emit(StoreEvent::AutoCompaction);
+                    report.auto_compacted = true;
+                }
+                Err(e) => {
+                    report.error = Some(format!("auto-compaction failed: {e}"));
+                    return report;
+                }
             }
-        };
-        self.emit(StoreEvent::WalAppend {
-            write: timing.write,
-            sync: timing.sync,
-        });
-        self.last_fsync_ok = true;
-        self.wal_records += 1;
-        self.update_seq += 1;
-        if let Some(hook) = &self.commit_hook {
-            (hook.0)(self.update_seq);
         }
-        let outcome = self
-            .engine
-            .apply_update(update)
-            .expect("update passed check_update");
-        if planned_remap.is_some() && outcome.remap != planned_remap {
-            // The engine renumbered differently than it predicted — a
-            // bug, and the WAL now holds the prediction. Refuse to
-            // continue on a state recovery cannot reproduce.
-            return Err(StorageError::ReplayDivergence {
-                record: self.wal_records - 1,
-                detail: "compaction remap differs from the logged prediction".into(),
-            });
+        let wal_records = self
+            .commit
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .wal_records;
+        if self.cfg.policy.should_snapshot(wal_records) {
+            match self.snapshot() {
+                Ok(seq) => {
+                    self.auto_snapshots += 1;
+                    self.emit(StoreEvent::AutoSnapshot);
+                    report.auto_snapshot = Some(seq);
+                }
+                Err(e) => {
+                    report.error = Some(format!("auto-snapshot failed: {e}"));
+                }
+            }
         }
-        Ok(outcome)
+        report
     }
 
     /// Writes a new snapshot generation and rotates the WAL: fresh WAL
-    /// first, then the snapshot via tempfile + fsync + atomic rename
-    /// (the commit point — recovery prefers the new generation from
-    /// that instant, and its WAL already exists), directory fsync, and
-    /// finally the old generation is retired. Returns the new
+    /// (segment 0 of the new generation) first, then the snapshot via
+    /// tempfile + fsync + atomic rename (the commit point — recovery
+    /// prefers the new generation from that instant, and its WAL
+    /// already exists), directory fsync, and finally stale files are
+    /// retired (old snapshots unconditionally; old WAL segments only
+    /// past the replication retention floor). Returns the new
     /// generation number.
     ///
     /// On an error *before* the rename, the store keeps running on the
@@ -526,25 +974,32 @@ impl<E: StoreEngine> Store<E> {
     /// WAL**: no further update can be acknowledged into a generation
     /// that might not survive, and the old one is left on disk.
     pub fn snapshot(&mut self) -> Result<u64, StorageError> {
-        let new_seq = self.seq + 1;
+        let state = self
+            .commit
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        let new_seq = state.seq + 1;
         let meta = SnapshotMeta {
             seq: new_seq,
-            update_seq: self.update_seq,
+            update_seq: state.update_seq,
             epoch: self.epoch,
         };
         let mut new_wal = write_generation(&self.dir, meta, &self.engine)?;
-        self.seq = new_seq;
-        self.wal_records = 0;
+        state.seq = new_seq;
+        state.segment_index = 0;
+        state.wal_records = 0;
         let committed = sync_dir(&self.dir);
         if let Err(e) = &committed {
             new_wal.poison(format!(
                 "generation {new_seq} rename not durably synced: {e}"
             ));
-            self.wal = new_wal;
-            self.last_fsync_ok = false;
+            state.wal = new_wal;
+            state.last_fsync_ok = false;
         } else {
-            self.wal = new_wal;
-            self.retire_generations_before(new_seq);
+            state.wal = new_wal;
+        }
+        if committed.is_ok() {
+            self.retire_stale_files(new_seq);
         }
         self.emit(StoreEvent::Snapshot);
         committed.map(|()| new_seq)
@@ -570,11 +1025,59 @@ impl<E: StoreEngine> Store<E> {
         }
     }
 
-    /// Best-effort removal of every generation older than `keep` (plus
-    /// stray tempfiles). Failures are ignored: stale files are retried
-    /// on the next rotation and are harmless to recovery, which always
-    /// prefers the newest valid generation.
-    fn retire_generations_before(&self, keep: u64) {
+    /// Best-effort renaming of every file belonging to a skipped
+    /// (corrupt) generation to `<name>.corrupt`, so the damage is kept
+    /// for inspection but never re-probed — without this, a corrupt
+    /// newer generation would be silently re-skipped on every open
+    /// until a rotation happened to pass its number.
+    fn quarantine_generations(&self, gens: &[u64]) {
+        if gens.is_empty() {
+            return;
+        }
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if file_generation(name).is_some_and(|g| gens.contains(&g)) {
+                let _ = fs::rename(entry.path(), self.dir.join(format!("{name}.corrupt")));
+            }
+        }
+        let _ = sync_dir(&self.dir);
+    }
+
+    /// Best-effort removal of stale files: snapshots and legacy
+    /// single-file WALs of generations older than `keep` (plus stray
+    /// tempfiles) unconditionally, and older-generation WAL **segments**
+    /// only once no replication cursor still needs their records (a
+    /// segment's records end where the next one begins; see
+    /// [`RetentionHook`]). Current-generation segments are never
+    /// retired — recovery needs them. Failures are ignored: stale files
+    /// are retried on the next rotation and are harmless to recovery,
+    /// which always prefers the newest valid generation.
+    fn retire_stale_files(&self, keep: u64) {
+        let floor = self.retention_floor();
+        if let Ok(segments) = list_wal_segments(&self.dir) {
+            for (i, seg) in segments.iter().enumerate() {
+                if seg.generation >= keep {
+                    continue;
+                }
+                let needed = match seg.base_seq {
+                    // An unreadable header serves no cursor.
+                    None => false,
+                    Some(_) => match segments.get(i + 1).and_then(|next| next.base_seq) {
+                        Some(end) => end > floor,
+                        // The segment's extent is unbounded from here:
+                        // keep it while any cursor is outstanding.
+                        None => floor != u64::MAX,
+                    },
+                };
+                if !needed {
+                    let _ = fs::remove_file(&seg.path);
+                }
+            }
+        }
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return;
         };
@@ -586,12 +1089,15 @@ impl<E: StoreEngine> Store<E> {
                 .and_then(|s| s.strip_suffix(".smc"))
                 .and_then(|s| s.parse::<u64>().ok())
                 .is_some_and(|seq| seq < keep);
-            let stale_wal = name
+            // Only the legacy single-file form parses here — segment
+            // names ("<gen>-<n>") fail the u64 parse and are handled
+            // above with retention.
+            let stale_legacy_wal = name
                 .strip_prefix("wal-")
                 .and_then(|s| s.strip_suffix(".log"))
                 .and_then(|s| s.parse::<u64>().ok())
                 .is_some_and(|seq| seq < keep);
-            if stale_snapshot || stale_wal || name.ends_with(".tmp") {
+            if stale_snapshot || stale_legacy_wal || name.ends_with(".tmp") {
                 let _ = fs::remove_file(entry.path());
             }
         }
@@ -600,7 +1106,8 @@ impl<E: StoreEngine> Store<E> {
 
 /// Prepares and commits generation `seq` for `engine` into `dir`:
 ///
-/// 1. a fresh WAL (header written + fsync'd) — created **before** the
+/// 1. a fresh WAL segment 0 (header written + fsync'd, base = the
+///    generation's starting update sequence) — created **before** the
 ///    snapshot so there is no instant where recovery prefers a
 ///    generation whose log does not exist while acknowledged records
 ///    still flow into the previous one;
@@ -619,7 +1126,7 @@ fn write_generation<E: StoreEngine>(
     engine: &E,
 ) -> Result<WalWriter, StorageError> {
     let seq = meta.seq;
-    let wal = WalWriter::create(&wal_path(dir, seq), seq)?;
+    let wal = WalWriter::create(&wal_segment_path(dir, seq, 0), seq, 0, meta.update_seq)?;
     sync_dir(dir)?;
     let state = engine.capture();
     let bytes = snapshot_bytes(meta, &state);

@@ -1,18 +1,36 @@
-//! The write-ahead log: one file per snapshot generation, holding the
-//! updates committed since that snapshot.
+//! The write-ahead log: bounded **segments** per snapshot generation,
+//! holding the updates committed since that snapshot.
 //!
 //! Layout (all integers little-endian):
 //!
 //! ```text
 //! magic    "SMWL"                          4 bytes
-//! version  u32 (currently 1)               4 bytes
+//! version  u32 (currently 2)               4 bytes
 //! seq      u64 — the base snapshot's seq   8 bytes
+//! segment  u32 — index within the          4 bytes
+//!                generation, from 0
+//! base     u64 — global update sequence    8 bytes
+//!                before this segment's
+//!                first record
 //! records…
 //!
 //! record := payload_len u32 | crc32(payload) u32 | payload
 //! payload: one encoded Update (silkmoth_core::wire), with the
 //!          compaction remap piggybacked for Compact records
 //! ```
+//!
+//! A generation's log is the concatenation of its segments
+//! `wal-<seq>-0.log, wal-<seq>-1.log, …` in index order; the store
+//! seals the active segment at a policy-set byte threshold and opens
+//! the next. Record `i` (zero-based) of a segment has global sequence
+//! `base + i + 1`, so each segment is independently addressable — the
+//! basis for parallel recovery and for retaining sealed segments past
+//! snapshot rotation while a replication cursor still needs them.
+//!
+//! Version 1 (the pre-segment format, one `wal-<seq>.log` per
+//! generation with a 16-byte header and no `segment`/`base` fields) is
+//! still read for recovery and replication; writers only produce
+//! version 2. Unknown versions are rejected by name, never guessed at.
 //!
 //! A record is **committed** once its bytes are on disk (the store
 //! `fsync`s before acknowledging), so recovery treats a structurally
@@ -22,7 +40,11 @@
 //! prefix before new records are appended. The writer maintains the
 //! same invariant on its side: a failed append (partial write, fsync
 //! error) rolls the file back to the last committed offset, so torn
-//! bytes can never sit *between* committed records.
+//! bytes can never sit *between* committed records. Only the **final**
+//! segment of a generation can legitimately end torn — new segments
+//! are created only after a fully committed append — so the store
+//! treats a torn tail in a sealed (non-final) segment as hard
+//! corruption.
 //!
 //! Damage that cannot be a torn tail is a hard error, never a silent
 //! discard: an unknown format version, a corrupt magic/seq on a file
@@ -31,7 +53,7 @@
 //! or a CRC-valid record that fails to decode. Only a header-only file
 //! with a bad header — the torn-creation window — is discarded whole.
 
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -43,25 +65,163 @@ use crate::store::WalDiscard;
 use crate::StorageError;
 
 pub(crate) const WAL_MAGIC: &[u8; 4] = b"SMWL";
-pub(crate) const WAL_VERSION: u32 = 1;
-pub(crate) const WAL_HEADER_LEN: u64 = 16;
+pub(crate) const WAL_VERSION: u32 = 2;
+/// Header length of the legacy (version 1) single-file format.
+pub(crate) const WAL_HEADER_V1_LEN: u64 = 16;
+/// Header length of the segmented (version 2) format.
+pub(crate) const WAL_HEADER_LEN: u64 = 28;
 
-/// How long one committed [`WalWriter::append`] spent in the buffered
-/// write vs. the fsync (`sync` is zero when fsync-less).
+/// How long one committed [`WalWriter::append_many`] spent in the
+/// buffered write vs. the fsync (`sync` is zero when fsync-less).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct AppendTiming {
     pub write: Duration,
     pub sync: Duration,
 }
 
-/// The WAL file of generation `seq` inside a store directory — the
-/// path contract replication readers share with the store itself.
+/// The legacy (version 1) WAL file of generation `seq` inside a store
+/// directory — kept for reading stores written before segmentation.
 pub fn wal_file_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("wal-{seq}.log"))
 }
 
-/// What reading a WAL produced: the committed records, how far the
-/// valid prefix reaches, and why reading stopped early (if it did).
+/// Segment `segment` of generation `seq`'s WAL — the path contract
+/// replication readers share with the store itself.
+pub fn wal_segment_path(dir: &Path, seq: u64, segment: u32) -> PathBuf {
+    dir.join(format!("wal-{seq}-{segment}.log"))
+}
+
+/// One WAL segment file found in a store directory: its name-derived
+/// identity plus the base sequence read from its header (`None` when
+/// the header is unreadable or disagrees with the file name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalSegmentInfo {
+    /// The segment file.
+    pub path: PathBuf,
+    /// The snapshot generation the segment belongs to.
+    pub generation: u64,
+    /// Index within the generation, from 0.
+    pub segment: u32,
+    /// Global update sequence before the segment's first record, from
+    /// the header; record `i` has sequence `base_seq + i + 1`.
+    pub base_seq: Option<u64>,
+}
+
+/// Every version-2 WAL segment present in `dir`, sorted by
+/// `(generation, segment)` — which is also ascending base-sequence
+/// order for intact headers. Legacy version-1 files are not listed
+/// (they carry no base sequence and are never retained past rotation).
+pub fn list_wal_segments(dir: &Path) -> Result<Vec<WalSegmentInfo>, StorageError> {
+    let mut segments = Vec::new();
+    let entries =
+        fs::read_dir(dir).map_err(StorageError::io(format!("listing {}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(StorageError::io(format!("listing {}", dir.display())))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(body) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+        else {
+            continue;
+        };
+        let Some((gen, seg)) = body.split_once('-') else {
+            continue; // legacy single-file name
+        };
+        let (Ok(generation), Ok(segment)) = (gen.parse::<u64>(), seg.parse::<u32>()) else {
+            continue;
+        };
+        let path = entry.path();
+        let base_seq = read_segment_base(&path, generation, segment);
+        segments.push(WalSegmentInfo {
+            path,
+            generation,
+            segment,
+            base_seq,
+        });
+    }
+    segments.sort_unstable_by_key(|s| (s.generation, s.segment));
+    Ok(segments)
+}
+
+/// Reads just the header of a segment file and returns its base
+/// sequence when the header is intact and matches the name-derived
+/// generation and index.
+fn read_segment_base(path: &Path, generation: u64, segment: u32) -> Option<u64> {
+    let mut header = [0u8; WAL_HEADER_LEN as usize];
+    let mut f = File::open(path).ok()?;
+    f.read_exact(&mut header).ok()?;
+    let parsed = parse_header(&header).ok()?;
+    (parsed.generation == generation && parsed.segment == segment)
+        .then_some(parsed.base_seq)
+        .flatten()
+}
+
+/// A structurally valid WAL header, either version.
+struct ParsedHeader {
+    generation: u64,
+    segment: u32,
+    /// `None` for version 1 (the legacy format has no base field).
+    base_seq: Option<u64>,
+    header_len: u64,
+}
+
+enum HeaderIssue {
+    /// Too short to hold its version's header — the torn-creation
+    /// window when the file holds nothing else.
+    Short,
+    /// Wrong magic bytes.
+    BadMagic,
+    /// A version this build does not know — always a hard error.
+    UnknownVersion(u32),
+}
+
+fn parse_header(bytes: &[u8]) -> Result<ParsedHeader, HeaderIssue> {
+    if bytes.len() < WAL_HEADER_V1_LEN as usize {
+        return Err(HeaderIssue::Short);
+    }
+    if &bytes[..4] != WAL_MAGIC {
+        return Err(HeaderIssue::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let generation = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    match version {
+        1 => Ok(ParsedHeader {
+            generation,
+            segment: 0,
+            base_seq: None,
+            header_len: WAL_HEADER_V1_LEN,
+        }),
+        2 => {
+            if bytes.len() < WAL_HEADER_LEN as usize {
+                return Err(HeaderIssue::Short);
+            }
+            Ok(ParsedHeader {
+                generation,
+                segment: u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")),
+                base_seq: Some(u64::from_le_bytes(
+                    bytes[20..28].try_into().expect("8 bytes"),
+                )),
+                header_len: WAL_HEADER_LEN,
+            })
+        }
+        v => Err(HeaderIssue::UnknownVersion(v)),
+    }
+}
+
+fn encode_header(seq: u64, segment: u32, base_seq: u64) -> Vec<u8> {
+    let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    header.extend_from_slice(WAL_MAGIC);
+    header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    header.extend_from_slice(&seq.to_le_bytes());
+    header.extend_from_slice(&segment.to_le_bytes());
+    header.extend_from_slice(&base_seq.to_le_bytes());
+    header
+}
+
+/// What reading a WAL file produced: the committed records, how far
+/// the valid prefix reaches, and why reading stopped early (if it
+/// did).
 #[derive(Debug)]
 pub struct WalReplay {
     /// Every committed record, in append order.
@@ -70,22 +230,25 @@ pub struct WalReplay {
     pub valid_len: u64,
     /// The discarded torn tail, when the file did not end cleanly.
     pub discarded: Option<WalDiscard>,
+    /// The header's base sequence (`None` for a legacy version-1 file).
+    pub base_seq: Option<u64>,
+    /// The header's segment index (`None` for a legacy version-1 file).
+    pub segment: Option<u32>,
 }
 
-/// Reads and validates a WAL file against its expected base snapshot
-/// `seq`. See the module docs for the tail-handling policy: a short or
-/// corrupt header on a file with **no** records is the torn-creation
-/// crash window and is discarded whole (empty replay, `valid_len ==
-/// 0`); a corrupt header on a file that holds record bytes is a hard
-/// [`StorageError::Corrupt`], because discarding it would silently
-/// drop committed records.
+/// Reads and validates one WAL file (either format version) against
+/// its expected generation `seq`. See the module docs for the
+/// tail-handling policy: a short or corrupt header on a file with
+/// **no** records is the torn-creation crash window and is discarded
+/// whole (empty replay, `valid_len == 0`); a corrupt header on a file
+/// that holds record bytes is a hard [`StorageError::Corrupt`],
+/// because discarding it would silently drop committed records.
 pub fn read_wal(path: &Path, seq: u64) -> Result<WalReplay, StorageError> {
     let mut bytes = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
         .map_err(StorageError::io(format!("reading {}", path.display())))?;
 
-    let has_records = bytes.len() > WAL_HEADER_LEN as usize;
     let discard_all = |reason: String| WalReplay {
         entries: Vec::new(),
         valid_len: 0,
@@ -94,32 +257,45 @@ pub fn read_wal(path: &Path, seq: u64) -> Result<WalReplay, StorageError> {
             bytes: bytes.len() as u64,
             reason,
         }),
+        base_seq: None,
+        segment: None,
     };
     let corrupt_header = |detail: String| StorageError::Corrupt {
         file: path.display().to_string(),
         detail: format!("{detail} on a WAL holding records"),
     };
-    if bytes.len() < WAL_HEADER_LEN as usize {
-        return Ok(discard_all("short header".into()));
-    }
-    if &bytes[..4] != WAL_MAGIC {
-        if has_records {
-            return Err(corrupt_header("bad magic".into()));
+    let header = match parse_header(&bytes) {
+        Ok(header) => header,
+        // A file too short for its header cannot hold records: the
+        // torn-creation window, discarded whole. (A version-2 header
+        // torn between 16 and 28 bytes lands here too — records are
+        // only ever appended after the full header is fsync'd.)
+        Err(HeaderIssue::Short) => return Ok(discard_all("short header".into())),
+        Err(HeaderIssue::BadMagic) => {
+            // Anything longer than the larger header must hold records
+            // (or the tail of some other format's records) — never a
+            // torn creation of either version.
+            if bytes.len() > WAL_HEADER_LEN as usize {
+                return Err(corrupt_header("bad magic".into()));
+            }
+            return Ok(discard_all("bad magic".into()));
         }
-        return Ok(discard_all("bad magic".into()));
-    }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != WAL_VERSION {
-        // Unknown versions are a hard error, not a discard: silently
-        // dropping a future format's committed records would lose data.
-        return Err(StorageError::Corrupt {
-            file: path.display().to_string(),
-            detail: format!("unknown WAL format version {version}"),
-        });
-    }
-    let file_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    if file_seq != seq {
-        let detail = format!("header seq {file_seq} does not match snapshot seq {seq}");
+        Err(HeaderIssue::UnknownVersion(v)) => {
+            // Unknown versions are a hard error, not a discard: silently
+            // dropping a future format's committed records would lose
+            // data.
+            return Err(StorageError::Corrupt {
+                file: path.display().to_string(),
+                detail: format!("unknown WAL format version {v}"),
+            });
+        }
+    };
+    let has_records = bytes.len() > header.header_len as usize;
+    if header.generation != seq {
+        let detail = format!(
+            "header seq {} does not match snapshot seq {seq}",
+            header.generation
+        );
         if has_records {
             return Err(corrupt_header(detail));
         }
@@ -127,7 +303,7 @@ pub fn read_wal(path: &Path, seq: u64) -> Result<WalReplay, StorageError> {
     }
 
     let mut entries = Vec::new();
-    let mut pos = WAL_HEADER_LEN as usize;
+    let mut pos = header.header_len as usize;
     let mut discarded = None;
     while pos < bytes.len() {
         let tail = |reason: String| WalDiscard {
@@ -161,14 +337,16 @@ pub fn read_wal(path: &Path, seq: u64) -> Result<WalReplay, StorageError> {
         entries,
         valid_len: pos as u64,
         discarded,
+        base_seq: header.base_seq,
+        segment: (header.header_len == WAL_HEADER_LEN).then_some(header.segment),
     })
 }
 
-/// Reads raw committed record payloads from a WAL for replication
-/// shipping: skips the first `skip` records, then returns up to
-/// `limit` payloads (each one encoded `Update`, exactly the bytes the
-/// store framed), validating the header and every record CRC on the
-/// way.
+/// Reads raw committed record payloads from one WAL file (either
+/// format version) for replication shipping: skips the first `skip`
+/// records, then returns up to `limit` payloads (each one encoded
+/// `Update`, exactly the bytes the store framed), validating the
+/// header and every record CRC on the way.
 ///
 /// The reader stops silently at a torn tail — the caller bounds
 /// `limit` by the store's *committed* record count, so a torn suffix
@@ -193,22 +371,24 @@ pub fn read_wal_payloads(
         file: path.display().to_string(),
         detail,
     };
-    if bytes.len() < WAL_HEADER_LEN as usize || &bytes[..4] != WAL_MAGIC {
-        return Err(corrupt("bad or short WAL header".into()));
-    }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != WAL_VERSION {
-        return Err(corrupt(format!("unknown WAL format version {version}")));
-    }
-    let file_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    if file_seq != seq {
+    let header = match parse_header(&bytes) {
+        Ok(header) => header,
+        Err(HeaderIssue::Short | HeaderIssue::BadMagic) => {
+            return Err(corrupt("bad or short WAL header".into()))
+        }
+        Err(HeaderIssue::UnknownVersion(v)) => {
+            return Err(corrupt(format!("unknown WAL format version {v}")))
+        }
+    };
+    if header.generation != seq {
         return Err(corrupt(format!(
-            "header seq {file_seq} does not match generation {seq}"
+            "header seq {} does not match generation {seq}",
+            header.generation
         )));
     }
     let mut out = Vec::new();
     let mut index = 0u64;
-    let mut pos = WAL_HEADER_LEN as usize;
+    let mut pos = header.header_len as usize;
     while out.len() < limit && pos < bytes.len() {
         if bytes.len() - pos < 8 {
             break; // torn frame prefix — beyond the committed range
@@ -231,8 +411,8 @@ pub fn read_wal_payloads(
     Ok(out)
 }
 
-/// An open WAL being appended to. The file is held in **append mode**,
-/// so every write — including the first one after a rollback
+/// An open WAL segment being appended to. The file is held in **append
+/// mode**, so every write — including the first one after a rollback
 /// truncation — lands exactly at end-of-file.
 #[derive(Debug)]
 pub(crate) struct WalWriter {
@@ -250,8 +430,14 @@ pub(crate) struct WalWriter {
 }
 
 impl WalWriter {
-    /// Creates a fresh WAL containing only the header, synced to disk.
-    pub(crate) fn create(path: &Path, seq: u64) -> Result<Self, StorageError> {
+    /// Creates a fresh version-2 WAL segment containing only the
+    /// header, synced to disk.
+    pub(crate) fn create(
+        path: &Path,
+        seq: u64,
+        segment: u32,
+        base_seq: u64,
+    ) -> Result<Self, StorageError> {
         let err = || StorageError::io(format!("creating {}", path.display()));
         {
             let mut file = OpenOptions::new()
@@ -260,11 +446,8 @@ impl WalWriter {
                 .truncate(true)
                 .open(path)
                 .map_err(err())?;
-            let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
-            header.extend_from_slice(WAL_MAGIC);
-            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
-            header.extend_from_slice(&seq.to_le_bytes());
-            file.write_all(&header).map_err(err())?;
+            file.write_all(&encode_header(seq, segment, base_seq))
+                .map_err(err())?;
             file.sync_all().map_err(err())?;
         }
         let file = OpenOptions::new().append(true).open(path).map_err(err())?;
@@ -276,12 +459,19 @@ impl WalWriter {
         })
     }
 
-    /// Reopens an existing WAL for appending, first truncating it to
-    /// `valid_len` (or recreating the header when the whole file was
-    /// discarded) so a torn tail can never precede new records.
-    pub(crate) fn reopen(path: &Path, seq: u64, valid_len: u64) -> Result<Self, StorageError> {
+    /// Reopens an existing version-2 segment for appending, first
+    /// truncating it to `valid_len` (or recreating the header when the
+    /// whole file was discarded) so a torn tail can never precede new
+    /// records.
+    pub(crate) fn reopen(
+        path: &Path,
+        seq: u64,
+        segment: u32,
+        base_seq: u64,
+        valid_len: u64,
+    ) -> Result<Self, StorageError> {
         if valid_len < WAL_HEADER_LEN {
-            return Self::create(path, seq);
+            return Self::create(path, seq, segment, base_seq);
         }
         let err = || StorageError::io(format!("reopening {}", path.display()));
         let file = OpenOptions::new().append(true).open(path).map_err(err())?;
@@ -295,19 +485,27 @@ impl WalWriter {
         })
     }
 
-    /// Appends one record (frame + payload in a single write) and, when
-    /// `sync`, fsyncs it — the commit point the store acknowledges. On
-    /// failure the file is rolled back to the last committed offset, so
-    /// a partially written (or written-but-unsynced, hence
-    /// unacknowledged) record can never precede a later acknowledged
-    /// one; if even the rollback fails, the writer poisons itself.
+    /// Bytes known committed (header + records) — what the store's
+    /// seal policy compares against its segment-size threshold.
+    pub(crate) fn committed_len(&self) -> u64 {
+        self.committed_len
+    }
+
+    /// Appends a batch of records (every frame + payload buffered into
+    /// a **single** write) and, when `sync`, fsyncs once — the
+    /// amortized group-commit point the store acknowledges. All or
+    /// nothing: on failure the file is rolled back to the last
+    /// committed offset, so a partially written (or
+    /// written-but-unsynced, hence unacknowledged) batch can never
+    /// precede a later acknowledged one; if even the rollback fails,
+    /// the writer poisons itself.
     ///
     /// Returns how long the buffered write and the fsync each took
-    /// (the fsync duration is zero when `sync` is off) for the store's
-    /// telemetry hook.
-    pub(crate) fn append(
+    /// (the fsync duration is **exactly zero** when `sync` is off) for
+    /// the store's telemetry hook.
+    pub(crate) fn append_many(
         &mut self,
-        payload: &[u8],
+        payloads: &[Vec<u8>],
         sync: bool,
     ) -> Result<AppendTiming, StorageError> {
         if let Some(why) = &self.poisoned {
@@ -316,14 +514,17 @@ impl WalWriter {
                 source: std::io::Error::other(why.clone()),
             });
         }
-        let mut record = Vec::with_capacity(8 + payload.len());
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(&crc32(payload).to_le_bytes());
-        record.extend_from_slice(payload);
+        let total: usize = payloads.iter().map(|p| 8 + p.len()).sum();
+        let mut batch = Vec::with_capacity(total);
+        for payload in payloads {
+            batch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            batch.extend_from_slice(&crc32(payload).to_le_bytes());
+            batch.extend_from_slice(payload);
+        }
         let context = format!("appending to {}", self.path.display());
         let started = Instant::now();
         let mut written_at = started;
-        let result = self.file.write_all(&record).and_then(|()| {
+        let result = self.file.write_all(&batch).and_then(|()| {
             written_at = Instant::now();
             if sync {
                 self.file.sync_data()
@@ -333,10 +534,17 @@ impl WalWriter {
         });
         match result {
             Ok(()) => {
-                self.committed_len += record.len() as u64;
+                self.committed_len += batch.len() as u64;
                 Ok(AppendTiming {
                     write: written_at - started,
-                    sync: written_at.elapsed(),
+                    sync: if sync {
+                        written_at.elapsed()
+                    } else {
+                        // The contract the fsync histogram depends on:
+                        // fsync-less appends report exactly zero, not
+                        // the (tiny, nonzero) time since the write.
+                        Duration::ZERO
+                    },
                 })
             }
             Err(e) => {
@@ -350,8 +558,9 @@ impl WalWriter {
         }
     }
 
-    /// Marks the writer unusable; every later [`append`](Self::append)
-    /// fails until the store is reopened.
+    /// Marks the writer unusable; every later
+    /// [`append_many`](Self::append_many) fails until the store is
+    /// reopened.
     pub(crate) fn poison(&mut self, why: String) {
         self.poisoned = Some(why);
     }

@@ -139,9 +139,9 @@ fn snapshot_rotates_generations_atomically() {
     assert_eq!(store.status().wal_records, 0, "WAL rotated");
     // The old generation is retired, the new one is on disk.
     assert!(!dir.join("snapshot-0.smc").exists());
-    assert!(!dir.join("wal-0.log").exists());
+    assert!(!dir.join("wal-0-0.log").exists());
     assert!(dir.join("snapshot-1.smc").exists());
-    assert!(dir.join("wal-1.log").exists());
+    assert!(dir.join("wal-1-0.log").exists());
 
     // More updates on the new generation, then crash + recover.
     store
@@ -347,6 +347,169 @@ fn update_seq_and_epoch_survive_rotation_and_recovery() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The lost-ack regression: when an update has durably committed and
+/// applied but the *post-commit* auto-snapshot fails, `apply` must
+/// return `Ok` with the failure in `maintenance_error` — an `Err` here
+/// historically made callers retry an update that already happened,
+/// duplicating it.
+#[test]
+fn committed_update_acks_despite_failed_maintenance() {
+    let dir = temp_dir("lost-ack");
+    let raw = base_sets();
+    let store_cfg = StoreConfig {
+        sync: true,
+        policy: CompactionPolicy::default().snapshot_at_wal_records(1),
+    };
+    let mut store = Store::create(&dir, fresh_engine(&raw), store_cfg).unwrap();
+    // Sabotage the auto-snapshot: rotation starts by creating the new
+    // generation's WAL segment, and a directory squatting on that path
+    // makes it fail — after the caller's update is already durable.
+    std::fs::create_dir_all(dir.join("wal-1-0.log")).unwrap();
+    let receipt = store
+        .apply(Update::Append(vec![vec![
+            "survives the failed snapshot".into()
+        ]]))
+        .unwrap();
+    assert_eq!(
+        receipt.outcome.appended,
+        vec![8],
+        "the update itself succeeded"
+    );
+    assert_eq!(receipt.auto_snapshot, None);
+    let why = receipt
+        .maintenance_error
+        .expect("auto-snapshot must have failed");
+    assert!(why.contains("auto-snapshot failed"), "{why}");
+    // The ack was honest: the update is on disk. Nothing was
+    // double-applied by the failed maintenance, and because the caller
+    // got an Ok there is no reason for it to retry.
+    assert_eq!(store.status().update_seq, 1);
+    assert_eq!(store.engine().live_len(), 9);
+    drop(store); // crash
+    std::fs::remove_dir_all(dir.join("wal-1-0.log")).unwrap();
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), store_cfg).unwrap();
+    assert_eq!(report.wal_replayed, 1);
+    assert_eq!(store.engine().live_len(), 9, "exactly one copy recovered");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt newer generations are skipped once, quarantined (renamed
+/// `*.corrupt`), and therefore invisible to the next open — which
+/// reports `snapshots_skipped: 0` again instead of re-parsing garbage
+/// forever.
+#[test]
+fn corrupt_newer_generation_is_quarantined_once() {
+    let dir = temp_dir("quarantine");
+    let raw = base_sets();
+    let mut store = Store::create(&dir, fresh_engine(&raw), StoreConfig::default()).unwrap();
+    store
+        .apply(Update::Append(vec![vec!["kept".into()]]))
+        .unwrap();
+    drop(store);
+    // A half-written future generation: garbage snapshot, torn WAL.
+    std::fs::write(dir.join("snapshot-3.smc"), b"not a snapshot at all").unwrap();
+    std::fs::write(dir.join("wal-3-0.log"), b"torn").unwrap();
+
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), StoreConfig::default()).unwrap();
+    assert_eq!(report.snapshot_seq, 0, "fell back to the good generation");
+    assert_eq!(report.snapshots_skipped, 1);
+    assert_eq!(store.engine().live_len(), 9);
+    assert!(!dir.join("snapshot-3.smc").exists(), "quarantined");
+    assert!(dir.join("snapshot-3.smc.corrupt").exists());
+    assert!(dir.join("wal-3-0.log.corrupt").exists());
+    drop(store);
+
+    let (_store, report) = Store::<Engine>::open(&dir, &cfg(), StoreConfig::default()).unwrap();
+    assert_eq!(
+        report.snapshots_skipped, 0,
+        "the quarantine made the second open clean"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The telemetry contract for fsync-less stores: `CommitBatch.sync`
+/// is **exactly** `Duration::ZERO` when sync is off, so the fsync
+/// histogram never records phantom time.
+#[test]
+fn no_sync_commit_reports_zero_sync_duration() {
+    let dir = temp_dir("zero-sync");
+    let raw = base_sets();
+    let store_cfg = StoreConfig {
+        sync: false,
+        policy: CompactionPolicy::DISABLED,
+    };
+    let mut store = Store::create(&dir, fresh_engine(&raw), store_cfg).unwrap();
+    let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = events.clone();
+    store.set_telemetry_hook(silkmoth_storage::TelemetryHook::new(move |event| {
+        sink.lock().unwrap().push(event)
+    }));
+    store
+        .apply(Update::Append(vec![vec!["unsynced".into()]]))
+        .unwrap();
+    let seen = events.lock().unwrap();
+    match seen.as_slice() {
+        [silkmoth_storage::StoreEvent::CommitBatch {
+            records,
+            write,
+            sync,
+        }] => {
+            assert_eq!(*records, 1);
+            assert!(*write > std::time::Duration::ZERO);
+            assert_eq!(
+                *sync,
+                std::time::Duration::ZERO,
+                "no fsync ran, so no fsync time may be reported"
+            );
+        }
+        other => panic!("expected exactly one CommitBatch event, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Segmented WAL end to end: a byte threshold seals segments as the
+/// log grows, status reports the segment count, and recovery replays
+/// across all of them into the same state as an in-memory mirror.
+#[test]
+fn sealed_segments_recover_identically() {
+    let dir = temp_dir("segments");
+    let raw = base_sets();
+    let store_cfg = StoreConfig {
+        sync: true,
+        // Tiny threshold: every append seals the active segment.
+        policy: CompactionPolicy::default().segment_at_wal_bytes(64),
+    };
+    let mut store = Store::create(&dir, fresh_engine(&raw), store_cfg).unwrap();
+    let mut mirror = fresh_engine(&raw);
+    let updates = vec![
+        Update::Append(vec![vec!["segment one lives here".into()]]),
+        Update::Append(vec![vec!["segment two lives here".into()]]),
+        Update::Remove(vec![1, 8]),
+        Update::Append(vec![vec!["segment three lives here".into()]]),
+        Update::Remove(vec![8]), // idempotent re-remove crosses a seal
+    ];
+    for u in &updates {
+        store.apply(u.clone()).unwrap();
+        mirror.apply(u.clone()).unwrap();
+    }
+    let status = store.status();
+    assert!(
+        status.wal_segments > 1,
+        "the 64-byte threshold must have sealed at least once (got {})",
+        status.wal_segments
+    );
+    assert_eq!(status.wal_records, updates.len() as u64);
+    assert!(dir.join("wal-0-0.log").exists());
+    assert!(dir.join("wal-0-1.log").exists());
+    drop(store); // crash with records spread over several segments
+
+    let (store, report) = Store::<Engine>::open(&dir, &cfg(), store_cfg).unwrap();
+    assert_eq!(report.wal_replayed, updates.len() as u64);
+    assert_eq!(report.wal_discarded, None);
+    assert_engines_identical(store.engine(), &mirror, "multi-segment recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn wal_payloads_read_back_raw_and_bounded() {
     let dir = temp_dir("payloads");
@@ -358,7 +521,7 @@ fn wal_payloads_read_back_raw_and_bounded() {
             .unwrap();
     }
     let gen = store.status().snapshot_seq;
-    let path = silkmoth_storage::wal_file_path(&dir, gen);
+    let path = silkmoth_storage::wal_segment_path(&dir, gen, 0);
     let all = silkmoth_storage::read_wal_payloads(&path, gen, 0, 100).unwrap();
     assert_eq!(all.len(), 5);
     // Skip + limit slice the same stream, and payloads decode to the

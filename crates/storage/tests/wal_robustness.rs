@@ -18,7 +18,7 @@ use std::path::{Path, PathBuf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use silkmoth_collection::Collection;
-use silkmoth_core::{Engine, EngineConfig, RelatednessMetric, Update};
+use silkmoth_core::{CompactionPolicy, Engine, EngineConfig, RelatednessMetric, Update};
 use silkmoth_storage::{EngineState, StorageError, Store, StoreConfig, StoreEngine};
 use silkmoth_text::SimilarityFunction;
 
@@ -79,7 +79,34 @@ fn record_wal(dir: &Path) -> Vec<u8> {
         store.apply(u).unwrap();
     }
     drop(store);
-    std::fs::read(dir.join("wal-0.log")).unwrap()
+    std::fs::read(dir.join("wal-0-0.log")).unwrap()
+}
+
+/// Records the same scripted run with a tiny segment threshold, so the
+/// records land spread over several sealed segments plus one active
+/// tail. Returns every segment as `(file name, bytes)` in order.
+fn record_segmented(dir: &Path, threshold: u64, min_segments: usize) -> Vec<(String, Vec<u8>)> {
+    let store_cfg = StoreConfig {
+        sync: true,
+        policy: CompactionPolicy::default().segment_at_wal_bytes(threshold),
+    };
+    let mut store = Store::create(dir, fresh_engine(&base_sets()), store_cfg).unwrap();
+    for u in updates() {
+        store.apply(u).unwrap();
+    }
+    drop(store);
+    let segs: Vec<(String, Vec<u8>)> = (0..)
+        .map_while(|n| {
+            let name = format!("wal-0-{n}.log");
+            std::fs::read(dir.join(&name)).ok().map(|b| (name, b))
+        })
+        .collect();
+    assert!(
+        segs.len() >= min_segments,
+        "the {threshold}-byte threshold should seal into >= {min_segments} segments, got {}",
+        segs.len()
+    );
+    segs
 }
 
 /// Replaces the replica's WAL with `wal` and opens the store,
@@ -93,7 +120,7 @@ fn open_damaged(master: &Path, replica: &Path, wal: &[u8], what: &str) -> Option
         replica.join("snapshot-0.smc"),
     )
     .unwrap();
-    std::fs::write(replica.join("wal-0.log"), wal).unwrap();
+    std::fs::write(replica.join("wal-0-0.log"), wal).unwrap();
     match Store::<Engine>::open(replica, &cfg(), StoreConfig::default()) {
         Ok((store, report)) => {
             let mirrors = prefix_mirrors(&base_sets(), &updates());
@@ -180,7 +207,7 @@ fn a_flip_in_the_last_record_is_caught_by_the_crc() {
     let n = updates().len() as u64;
 
     // Find the last record's frame by walking the records.
-    let mut pos = 16; // header
+    let mut pos = 28; // version-2 segment header
     let mut last_start = pos;
     while pos < wal.len() {
         let len = u32::from_le_bytes(wal[pos..pos + 4].try_into().unwrap()) as usize;
@@ -213,7 +240,7 @@ fn corrupt_header_on_a_wal_with_records_is_a_hard_error_not_a_silent_discard() {
     let master = temp_dir("hdrcorrupt-master");
     let wal = record_wal(&master);
     let replica = temp_dir("hdrcorrupt-replica");
-    for (pos, what) in [(0usize, "magic"), (8, "seq")] {
+    for (pos, what) in [(0usize, "magic"), (8, "generation")] {
         let mut damaged = wal.clone();
         damaged[pos] ^= 0x01;
         let _ = std::fs::remove_dir_all(&replica);
@@ -223,7 +250,7 @@ fn corrupt_header_on_a_wal_with_records_is_a_hard_error_not_a_silent_discard() {
             replica.join("snapshot-0.smc"),
         )
         .unwrap();
-        std::fs::write(replica.join("wal-0.log"), &damaged).unwrap();
+        std::fs::write(replica.join("wal-0-0.log"), &damaged).unwrap();
         let err = Store::<Engine>::open(&replica, &cfg(), StoreConfig::default()).unwrap_err();
         assert!(
             matches!(err, StorageError::Corrupt { .. }),
@@ -233,10 +260,209 @@ fn corrupt_header_on_a_wal_with_records_is_a_hard_error_not_a_silent_discard() {
         // The same damage on a header-ONLY file (no records to lose)
         // is the torn-creation crash window: recovery proceeds with an
         // empty log.
-        let replayed = open_damaged(&master, &replica, &damaged[..16], &format!("bare {what}"))
+        let replayed = open_damaged(&master, &replica, &damaged[..28], &format!("bare {what}"))
             .expect("header-only damage must recover");
         assert_eq!(replayed, 0);
     }
+    let _ = std::fs::remove_dir_all(&master);
+    let _ = std::fs::remove_dir_all(&replica);
+}
+
+/// Installs the given segment files in a fresh replica and opens it,
+/// holding recovery to the same contract as [`open_damaged`].
+fn open_segmented(
+    master: &Path,
+    replica: &Path,
+    segs: &[(String, Vec<u8>)],
+    what: &str,
+) -> Option<u64> {
+    let _ = std::fs::remove_dir_all(replica);
+    std::fs::create_dir_all(replica).unwrap();
+    std::fs::copy(
+        master.join("snapshot-0.smc"),
+        replica.join("snapshot-0.smc"),
+    )
+    .unwrap();
+    for (name, bytes) in segs {
+        std::fs::write(replica.join(name), bytes).unwrap();
+    }
+    match Store::<Engine>::open(replica, &cfg(), StoreConfig::default()) {
+        Ok((store, report)) => {
+            let mirrors = prefix_mirrors(&base_sets(), &updates());
+            let k = report.wal_replayed as usize;
+            assert!(k < mirrors.len(), "{what}: replayed more than written");
+            assert_eq!(
+                store.engine().capture(),
+                mirrors[k],
+                "{what}: recovered state is not the {k}-update prefix state"
+            );
+            Some(report.wal_replayed)
+        }
+        Err(e) => {
+            let _: &StorageError = &e;
+            assert!(!e.to_string().is_empty(), "{what}");
+            None
+        }
+    }
+}
+
+#[test]
+fn final_segment_truncation_recovers_but_sealed_truncation_is_corruption() {
+    let master = temp_dir("seg-trunc-master");
+    let segs = record_segmented(&master, 48, 3);
+    let replica = temp_dir("seg-trunc-replica");
+    let n = updates().len() as u64;
+
+    assert_eq!(
+        open_segmented(&master, &replica, &segs, "intact"),
+        Some(n),
+        "the undamaged multi-segment log replays fully"
+    );
+
+    // The seal creates the successor file only after the crossing
+    // append committed, so a crash in that window leaves the full
+    // just-sealed segment as the last file — and a crash mid-append
+    // additionally tears its tail. Simulate both: drop the trailing
+    // empty segment, then cut every prefix of the new final segment.
+    // That is pure crash damage and must always recover a consistent
+    // prefix.
+    assert_eq!(segs.last().unwrap().1.len(), 28, "active segment is empty");
+    let trimmed = &segs[..segs.len() - 1];
+    let (last_name, last_bytes) = trimmed.last().unwrap().clone();
+    let mut seen_partial = false;
+    for cut in 0..=last_bytes.len() {
+        let mut damaged = trimmed[..trimmed.len() - 1].to_vec();
+        damaged.push((last_name.clone(), last_bytes[..cut].to_vec()));
+        let what = format!("final-segment cut at {cut}");
+        let replayed = open_segmented(&master, &replica, &damaged, &what)
+            .unwrap_or_else(|| panic!("{what} must recover"));
+        seen_partial |= replayed < n;
+    }
+    assert!(seen_partial, "mid-segment cuts replay proper prefixes");
+
+    // A torn tail in a SEALED segment can never come from a crash —
+    // its successor only exists because the segment was complete when
+    // sealed — so it must be a hard error, not a silent prefix.
+    for (i, (name, bytes)) in segs.iter().enumerate().take(segs.len() - 1) {
+        let mut damaged = segs.to_vec();
+        damaged[i] = (name.clone(), bytes[..bytes.len() - 1].to_vec());
+        assert_eq!(
+            open_segmented(&master, &replica, &damaged, &format!("{name} torn")),
+            None,
+            "torn tail in sealed segment {name} must be a hard error"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&master);
+    let _ = std::fs::remove_dir_all(&replica);
+}
+
+#[test]
+fn segment_byte_flip_fuzz_respects_the_seal() {
+    let master = temp_dir("seg-flip-master");
+    let segs = record_segmented(&master, 48, 3);
+    let replica = temp_dir("seg-flip-replica");
+    let rng = &mut StdRng::seed_from_u64(0x5e6_f1e5);
+    let (mut recovered, mut errored) = (0usize, 0usize);
+    for round in 0..150 {
+        let si = rng.random_range(0..segs.len());
+        let mut damaged = segs.to_vec();
+        let pos = rng.random_range(0..damaged[si].1.len());
+        damaged[si].1[pos] ^= 1 << rng.random_range(0..8u32);
+        let what = format!("round {round}: flip byte {pos} of {}", segs[si].0);
+        match open_segmented(&master, &replica, &damaged, &what) {
+            // The oracle inside open_segmented already proved any Ok is
+            // a consistent prefix; flips in a sealed segment must land
+            // in the Err arm (the seal makes damage there unambiguous).
+            Some(_) => {
+                assert_eq!(si, segs.len() - 1, "{what}: sealed-segment flip recovered");
+                recovered += 1;
+            }
+            None => errored += 1,
+        }
+    }
+    assert!(
+        recovered > 0 && errored > 0,
+        "both outcomes exercised: {recovered} recovered, {errored} errored"
+    );
+    let _ = std::fs::remove_dir_all(&master);
+    let _ = std::fs::remove_dir_all(&replica);
+}
+
+#[test]
+fn sealed_segment_header_corruption_is_a_named_error() {
+    let master = temp_dir("seg-hdr-master");
+    let segs = record_segmented(&master, 48, 3);
+    let replica = temp_dir("seg-hdr-replica");
+    // One flipped byte in each field of a sealed segment's header:
+    // magic, version, generation, segment index, base sequence. Every
+    // one breaks an invariant recovery checks by name.
+    for (pos, what) in [
+        (0usize, "magic"),
+        (4, "version"),
+        (8, "generation"),
+        (16, "segment index"),
+        (20, "base sequence"),
+    ] {
+        let mut damaged = segs.to_vec();
+        damaged[1].1[pos] ^= 0x01;
+        assert_eq!(
+            open_segmented(&master, &replica, &damaged, what),
+            None,
+            "flipped {what} byte of a sealed segment must be a hard error"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&master);
+    let _ = std::fs::remove_dir_all(&replica);
+}
+
+#[test]
+fn legacy_v1_single_file_wal_still_recovers() {
+    // A store written before segmentation: one `wal-<gen>.log` with the
+    // 16-byte version-1 header. Recovery must replay it fully, and new
+    // records after the open must land in a version-2 segment that a
+    // second recovery stitches onto the legacy log.
+    let master = temp_dir("v1-master");
+    let wal = record_wal(&master);
+    let replica = temp_dir("v1-replica");
+    std::fs::create_dir_all(&replica).unwrap();
+    std::fs::copy(
+        master.join("snapshot-0.smc"),
+        replica.join("snapshot-0.smc"),
+    )
+    .unwrap();
+    // Re-head the recorded records with a version-1 header.
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(b"SMWL");
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    v1.extend_from_slice(&0u64.to_le_bytes());
+    v1.extend_from_slice(&wal[28..]);
+    std::fs::write(replica.join("wal-0.log"), &v1).unwrap();
+
+    let n = updates().len() as u64;
+    let (mut store, report) =
+        Store::<Engine>::open(&replica, &cfg(), StoreConfig::default()).unwrap();
+    assert_eq!(report.wal_replayed, n, "every v1 record replays");
+    let mirrors = prefix_mirrors(&base_sets(), &updates());
+    assert_eq!(store.engine().capture(), mirrors[n as usize]);
+
+    store
+        .apply(Update::Append(vec![vec!["post-upgrade".into()]]))
+        .unwrap();
+    drop(store);
+    let (store, report) = Store::<Engine>::open(&replica, &cfg(), StoreConfig::default()).unwrap();
+    assert_eq!(
+        report.wal_replayed,
+        n + 1,
+        "the v1 log and its v2 continuation stitch into one history"
+    );
+    let mut mirror = fresh_engine(&base_sets());
+    for u in updates() {
+        mirror.apply(u).unwrap();
+    }
+    mirror
+        .apply(Update::Append(vec![vec!["post-upgrade".into()]]))
+        .unwrap();
+    assert_eq!(store.engine().capture(), mirror.capture());
     let _ = std::fs::remove_dir_all(&master);
     let _ = std::fs::remove_dir_all(&replica);
 }

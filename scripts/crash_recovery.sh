@@ -2,9 +2,15 @@
 # Crash-recovery soak test for `silkmoth serve --data-dir`.
 #
 # Loops for a fixed number of rounds with a fixed seed:
-#   1. start the durable server (first round initializes the store),
+#   1. start the durable server (first round initializes the store)
+#      with a tiny --wal-segment-bytes so every round spans many
+#      sealed segments and recovery exercises the parallel,
+#      multi-segment replay path,
 #   2. issue random acknowledged updates (appends / removes / compacts /
-#      forced snapshots) over HTTP, recording each acked one,
+#      forced snapshots) over HTTP, recording each acked one, then a
+#      burst of CONCURRENT writers whose appends contend for the
+#      group-commit queue — gid order in the acks is commit order, so
+#      the interleaving is stitched back into the replay log,
 #   3. `kill -9` the server (no graceful shutdown — the WAL tail must
 #      carry everything),
 #   4. restart from --data-dir alone and check /stats matches the
@@ -23,6 +29,9 @@ set -euo pipefail
 
 ROUNDS="${1:-5}"
 UPDATES="${2:-12}"
+WRITERS=4           # concurrent writers per round
+PER_WRITER=5        # appends each concurrent writer issues
+SEGMENT_BYTES=512   # tiny WAL segments: every round seals several
 SEED=20170711 # fixed: the soak is reproducible run-to-run
 SILKMOTH="${SILKMOTH:-target/release/silkmoth}"
 PORT=7741
@@ -111,6 +120,39 @@ issue_updates() {
     done
 }
 
+# A burst of WRITERS concurrent processes, each issuing PER_WRITER
+# single-set appends. Every ack carries the assigned gid; gid order IS
+# commit order (the group-commit leader assigns gids as records hit
+# the WAL), so sorting the acks by gid reconstructs the exact update
+# sequence for the reference replay.
+concurrent_appends() {
+    local port="$1" w pid pids=()
+    rm -f "$WORK"/concurrent.*
+    for w in $(seq 1 "$WRITERS"); do
+        (
+            for i in $(seq 1 "$PER_WRITER"); do
+                body="{\"sets\": [[\"cw$w u$i shared$(((w + i) % 4))\"]]}"
+                resp=$(curl -sf -X POST "localhost:$port/sets" -d "$body") || exit 1
+                gid=$(echo "$resp" | jq '.appended[0]')
+                echo "$gid POST /sets $body" >>"$WORK/concurrent.$w"
+            done
+        ) &
+        pids+=($!)
+    done
+    for pid in "${pids[@]}"; do
+        wait "$pid" || die "a concurrent writer's append was not acknowledged"
+    done
+    sort -n "$WORK"/concurrent.* | sed 's/^[0-9]* //' >>"$OPS"
+    local n
+    n=$(cat "$WORK"/concurrent.* | wc -l)
+    [ "$n" -eq $((WRITERS * PER_WRITER)) ] || die "expected $((WRITERS * PER_WRITER)) concurrent acks, saw $n"
+    rm -f "$WORK"/concurrent.*
+    for _ in $(seq 1 "$n"); do
+        LIVE[$NEXT_GID]=1
+        NEXT_GID=$((NEXT_GID + 1))
+    done
+}
+
 check_sets() {
     local port="$1" want got
     want="$(live_count)"
@@ -122,15 +164,16 @@ check_sets() {
 for round in $(seq 1 "$ROUNDS"); do
     if [ "$round" -eq 1 ]; then
         "$SILKMOTH" serve --input "$INPUT" --data-dir "$STORE" --port "$PORT" \
-            --shards 3 --threads 2 --delta 0.4 &
+            --shards 3 --threads 2 --delta 0.4 --wal-segment-bytes "$SEGMENT_BYTES" &
     else
         "$SILKMOTH" serve --data-dir "$STORE" --port "$PORT" \
-            --shards 3 --threads 2 --delta 0.4 &
+            --shards 3 --threads 2 --delta 0.4 --wal-segment-bytes "$SEGMENT_BYTES" &
     fi
     SERVER_PID=$!
     wait_healthy "$PORT"
     check_sets "$PORT" # recovery restored the previous round's state
     issue_updates "$PORT" "$UPDATES"
+    concurrent_appends "$PORT"
     check_sets "$PORT"
     kill -9 "$SERVER_PID"
     wait "$SERVER_PID" 2>/dev/null || true
@@ -139,7 +182,8 @@ for round in $(seq 1 "$ROUNDS"); do
 done
 
 # --- final recovery + differential check vs a reference rebuild -------------
-"$SILKMOTH" serve --data-dir "$STORE" --port "$PORT" --shards 3 --threads 2 --delta 0.4 &
+"$SILKMOTH" serve --data-dir "$STORE" --port "$PORT" --shards 3 --threads 2 --delta 0.4 \
+    --wal-segment-bytes "$SEGMENT_BYTES" &
 SERVER_PID=$!
 "$SILKMOTH" serve --input "$INPUT" --port "$REF_PORT" --shards 1 --threads 2 --delta 0.4 &
 REF_PID=$!
@@ -183,4 +227,4 @@ done
 # counter monotonicity.
 "$(dirname "$0")/metrics_check.sh" "$PORT"
 
-echo "PASS: $ROUNDS rounds × $UPDATES updates, kill -9 each round, recovery byte-identical on the probe panel"
+echo "PASS: $ROUNDS rounds × ($UPDATES random + $((WRITERS * PER_WRITER)) concurrent) updates, ${SEGMENT_BYTES}-byte WAL segments, kill -9 each round, recovery identical on the probe panel"

@@ -68,6 +68,7 @@ struct Cli {
     data_dir: Option<String>,
     compact_ratio: Option<f64>,
     snapshot_every: Option<u64>,
+    wal_segment_bytes: Option<u64>,
     max_inflight_updates: Option<usize>,
     no_fsync: bool,
     replicate_addr: Option<String>,
@@ -118,6 +119,11 @@ options:
                       (works with and without --data-dir)
   --snapshot-every N  durable: auto-snapshot once the WAL holds N
                       records (default: 4096; requires --data-dir)
+  --wal-segment-bytes N
+                      durable: seal the active WAL segment once it
+                      reaches N bytes (default: 64 MiB; 0 keeps one
+                      unbounded segment per generation; requires
+                      --data-dir)
   --max-inflight-updates N
                       serve: reject updates beyond N in flight with
                       503 + Retry-After instead of queuing unboundedly
@@ -194,6 +200,7 @@ fn parse_cli() -> Cli {
         data_dir: None,
         compact_ratio: None,
         snapshot_every: None,
+        wal_segment_bytes: None,
         max_inflight_updates: None,
         no_fsync: false,
         replicate_addr: None,
@@ -283,6 +290,13 @@ fn parse_cli() -> Cli {
                     val()
                         .parse()
                         .unwrap_or_else(|_| fail("bad --snapshot-every")),
+                )
+            }
+            "--wal-segment-bytes" => {
+                cli.wal_segment_bytes = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --wal-segment-bytes")),
                 )
             }
             "--max-inflight-updates" => {
@@ -414,6 +428,9 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     if cli.snapshot_every.is_some() && cli.data_dir.is_none() {
         fail("--snapshot-every requires --data-dir");
     }
+    if cli.wal_segment_bytes.is_some() && cli.data_dir.is_none() {
+        fail("--wal-segment-bytes requires --data-dir");
+    }
     if cli.no_fsync && cli.data_dir.is_none() {
         fail("--no-fsync requires --data-dir");
     }
@@ -434,8 +451,14 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     let service = match &cli.data_dir {
         Some(dir) => {
             // Snapshots are what bound WAL growth, so durable serving
-            // defaults to a checkpoint every 4096 records.
+            // defaults to a checkpoint every 4096 records; segments
+            // bound the size of any single WAL file in between (0
+            // keeps one unbounded segment per generation).
             policy = policy.snapshot_at_wal_records(cli.snapshot_every.unwrap_or(4096));
+            match cli.wal_segment_bytes.unwrap_or(64 * 1024 * 1024) {
+                0 => {}
+                bytes => policy = policy.segment_at_wal_bytes(bytes),
+            }
             let mut store_cfg = StoreConfig {
                 sync: !cli.no_fsync,
                 policy,
@@ -543,6 +566,12 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
         let log = serve_log(source, addr.as_str(), StreamerConfig::default())
             .unwrap_or_else(|e| fail(&format!("binding replication log {addr}: {e}")));
         service.set_follower_gauge(log.follower_gauge());
+        // Sealed WAL segments a connected follower still needs are
+        // retained past snapshot rotation until its cursor moves on.
+        let cursors = log.cursor_tracker();
+        service.set_wal_retention(silkmoth::storage::RetentionHook::new(move || {
+            cursors.floor()
+        }));
         eprintln!("# replication log listening on {}", log.local_addr());
         log
     });
