@@ -39,6 +39,7 @@ struct Opts {
     label: Option<String>,
     dump_sets: Option<String>,
     scrape_metrics_ms: Option<u64>,
+    trace_sample: Option<u64>,
 }
 
 /// Version of the `--json-out` report schema.
@@ -67,6 +68,11 @@ options:
                  separate connection, validate every page with the
                  exposition linter, and report scrape count + latency —
                  measures what monitoring costs under load
+  --trace-sample N
+                 record that the target serves with --trace-sample N and
+                 probe GET /debug/traces after the run, reporting how
+                 many traces the ring retained — pairs of runs with and
+                 without this measure tracing overhead
 ";
 
 fn fail(msg: &str) -> ! {
@@ -88,6 +94,7 @@ fn parse_opts() -> Opts {
         label: None,
         dump_sets: None,
         scrape_metrics_ms: None,
+        trace_sample: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -114,6 +121,10 @@ fn parse_opts() -> Opts {
                         .parse()
                         .unwrap_or_else(|_| fail("bad --scrape-metrics")),
                 )
+            }
+            "--trace-sample" => {
+                opts.trace_sample =
+                    Some(val().parse().unwrap_or_else(|_| fail("bad --trace-sample")))
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -233,6 +244,48 @@ fn scrape_metrics(
         std::thread::sleep(interval);
     }
     (latencies, problems)
+}
+
+/// One-shot `GET /debug/traces` probe: the page must be valid JSON with
+/// a root `http`/`apply` span on every trace; returns the retained
+/// count.
+fn probe_traces(addr: &str) -> Result<usize, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET /debug/traces HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let (status, body) = read_simple_response(&mut reader).map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("/debug/traces returned {status}"));
+    }
+    let doc = Json::parse(std::str::from_utf8(&body).map_err(|e| e.to_string())?)
+        .map_err(|e| format!("/debug/traces is not valid JSON: {e}"))?;
+    if doc.get("version").and_then(Json::as_usize) != Some(1) {
+        return Err("/debug/traces version is not 1".into());
+    }
+    let traces = doc
+        .get("traces")
+        .and_then(Json::as_array)
+        .ok_or("/debug/traces has no traces array")?;
+    for t in traces {
+        let spans = t
+            .get("spans")
+            .and_then(Json::as_array)
+            .ok_or("trace has no spans array")?;
+        let root_ok = spans
+            .first()
+            .is_some_and(|sp| sp.get("parent") == Some(&Json::Null));
+        if !root_ok {
+            return Err(format!(
+                "trace {} has no root span",
+                t.get("id").and_then(Json::as_usize).unwrap_or(0)
+            ));
+        }
+    }
+    Ok(traces.len())
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -435,6 +488,16 @@ fn main() {
             eprintln!("# metrics lint: {p}");
         }
     }
+    let traces_captured = opts.trace_sample.map(|n| match probe_traces(&opts.addr) {
+        Ok(count) => {
+            println!("traces captured {count}  (server --trace-sample {n})");
+            count
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    });
     if opts.batch > 1 {
         // The amortized cost of one query inside a batch — the number to
         // compare against the per-request line of a --batch 1 run.
@@ -497,6 +560,20 @@ fn main() {
                 Json::Num((ok * opts.batch) as f64 / elapsed.as_secs_f64()),
             ),
             ("result_rows", Json::Num(total_results as f64)),
+            (
+                "trace_sample",
+                match opts.trace_sample {
+                    Some(n) => Json::Num(n as f64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "traces_captured",
+                match traces_captured {
+                    Some(n) => Json::Num(n as f64),
+                    None => Json::Null,
+                },
+            ),
             ("per_request_latency_ms", latency(1.0)),
         ];
         if opts.batch > 1 {

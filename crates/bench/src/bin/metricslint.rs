@@ -15,16 +15,138 @@
 //! families or labelled series disappearing, a family changing kind.
 //! Any problem prints one line to stderr and the exit code is 1 —
 //! which is how the CI soaks fail when a scrape goes bad.
+//!
+//! With `--traces FILE` the tool instead validates one saved
+//! `GET /debug/traces` page: valid version-1 JSON, every trace carries
+//! a root span (index 0, no parent) and in-range parent links.
+//! `--require-route R` additionally demands at least one trace for
+//! route `R`, and `--require-slow` one slow-query-captured trace — how
+//! the CI soaks prove the adversarial query actually landed in the
+//! ring.
 
+use silkmoth_server::json::Json;
 use silkmoth_telemetry::expo;
 use std::process::exit;
 
+const USAGE: &str = "\
+usage: metricslint FILE [FILE...]   (FILEs are scrapes of one target, oldest first)
+       metricslint --traces FILE [--require-route R] [--require-slow]";
+
+/// Validates one `/debug/traces` page; returns the problems found.
+fn lint_traces(text: &str, require_route: Option<&str>, require_slow: bool) -> Vec<String> {
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    let mut problems = Vec::new();
+    if doc.get("version").and_then(Json::as_usize) != Some(1) {
+        problems.push("page version is not 1".into());
+    }
+    let Some(traces) = doc.get("traces").and_then(Json::as_array) else {
+        problems.push("page has no traces array".into());
+        return problems;
+    };
+    let mut saw_route = false;
+    let mut saw_slow = false;
+    for t in traces {
+        let id = t.get("id").and_then(Json::as_usize).unwrap_or(0);
+        let Some(spans) = t.get("spans").and_then(Json::as_array) else {
+            problems.push(format!("trace {id}: no spans array"));
+            continue;
+        };
+        match spans.first() {
+            Some(root) if root.get("parent") == Some(&Json::Null) => {}
+            Some(_) => problems.push(format!("trace {id}: span 0 is not a root span")),
+            None => problems.push(format!("trace {id}: empty span tree")),
+        }
+        for (i, span) in spans.iter().enumerate() {
+            if span
+                .get("kind")
+                .and_then(Json::as_str)
+                .is_none_or(str::is_empty)
+            {
+                problems.push(format!("trace {id}: span {i} has no kind"));
+            }
+            if let Some(parent) = span.get("parent").and_then(Json::as_usize) {
+                if parent >= spans.len() {
+                    problems.push(format!("trace {id}: span {i} parent {parent} out of range"));
+                }
+            }
+        }
+        if let Some(route) = require_route {
+            saw_route |= t.get("route").and_then(Json::as_str) == Some(route);
+        }
+        saw_slow |= t.get("slow") == Some(&Json::Bool(true));
+    }
+    if let Some(route) = require_route {
+        if !saw_route {
+            problems.push(format!(
+                "no trace for required route {route} among {} trace(s)",
+                traces.len()
+            ));
+        }
+    }
+    if require_slow && !saw_slow {
+        problems.push(format!(
+            "no slow-query-captured trace among {} trace(s)",
+            traces.len()
+        ));
+    }
+    problems
+}
+
+fn run_traces_mode(args: &[String]) -> ! {
+    let mut file: Option<&str> = None;
+    let mut require_route: Option<&str> = None;
+    let mut require_slow = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require-route" => match it.next() {
+                Some(r) => require_route = Some(r),
+                None => {
+                    eprintln!("{USAGE}");
+                    exit(2);
+                }
+            },
+            "--require-slow" => require_slow = true,
+            f if file.is_none() && !f.starts_with("--") => file = Some(f),
+            _ => {
+                eprintln!("{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            exit(2);
+        }
+    };
+    let problems = lint_traces(&text, require_route, require_slow);
+    for p in &problems {
+        eprintln!("{file}: {p}");
+    }
+    if problems.is_empty() {
+        println!("metricslint: traces page clean");
+        exit(0);
+    }
+    eprintln!("metricslint: {} problem(s)", problems.len());
+    exit(1);
+}
+
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.first().map(String::as_str) == Some("--traces") {
+        run_traces_mode(&files[1..]);
+    }
     if files.is_empty() || files.iter().any(|f| f == "--help" || f == "-h") {
-        eprintln!(
-            "usage: metricslint FILE [FILE...]   (FILEs are scrapes of one target, oldest first)"
-        );
+        eprintln!("{USAGE}");
         exit(2);
     }
     let mut problems = 0usize;

@@ -9,10 +9,11 @@ use crate::proto::{read_frame, write_handshake, Frame, Handshake};
 use crate::ReplicaError;
 use silkmoth_core::wire::decode_update;
 use silkmoth_storage::{parse_snapshot, Store, StoreConfig, StoreEngine};
+use silkmoth_telemetry::trace::{self, TraceCollector, Tracer};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a follower obtains its transport. Abstracted so the chaos
 /// harness can substitute a deterministic in-process pipe for TCP.
@@ -273,6 +274,7 @@ pub struct FollowerShared {
     flags: Mutex<Flags>,
     cond: Condvar,
     breaker: Mutex<Option<Box<dyn Fn() + Send>>>,
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 #[derive(Debug, Default)]
@@ -305,6 +307,7 @@ impl Default for FollowerShared {
             flags: Mutex::new(Flags::default()),
             cond: Condvar::new(),
             breaker: Mutex::new(None),
+            tracer: Mutex::new(None),
         }
     }
 }
@@ -364,6 +367,26 @@ impl FollowerShared {
     fn mark_exited(&self) {
         self.flags.lock().expect("follower flags poisoned").exited = true;
         self.cond.notify_all();
+    }
+
+    /// Installs the trace ring follower applies are sampled into —
+    /// normally the serving service's own [`Tracer`], so
+    /// `/debug/traces` on a follower shows its replication applies next
+    /// to its read traffic. The tracer's 1-in-N sampling applies;
+    /// without a tracer installed applies are never traced.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.lock().expect("follower tracer poisoned") = Some(tracer);
+    }
+
+    /// The tracer, when one is installed *and* its sampler elects this
+    /// apply.
+    fn sampled_tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer
+            .lock()
+            .expect("follower tracer poisoned")
+            .as_ref()
+            .filter(|t| t.should_sample())
+            .cloned()
     }
 
     fn set_breaker(&self, f: impl Fn() + Send + 'static) {
@@ -498,7 +521,21 @@ fn stream_session<Io: Read + Write, K: ReplicaSink>(
                         "record sequence gap: applied {applied}, next frame is {seq}"
                     )));
                 }
+                // Sampled applies land in the service's trace ring as
+                // one-span traces keyed by the update seq, so a
+                // follower's `/debug/traces` answers "what is apply
+                // latency here" the way `/search` traces answer it for
+                // queries.
+                let capture = shared.sampled_tracer();
+                let applied_at = Instant::now();
                 sink.apply_record(seq, &payload)?;
+                if let Some(tracer) = capture {
+                    let mut t = TraceCollector::begin(seq, "replica/apply");
+                    let span = t.add_span(trace::ROOT, "apply", 0, applied_at.elapsed());
+                    t.attr_u64(span, "seq", seq);
+                    t.attr_u64(span, "bytes", payload.len() as u64);
+                    tracer.record(t.finish(0, false));
+                }
                 shared.update(|s| s.applied_seq = seq);
             }
             Frame::Snapshot {

@@ -22,7 +22,7 @@
 //! through [`canonical_route`] (unknown paths collapse to `"other"`),
 //! and statuses are the handful the service actually emits.
 
-use silkmoth_core::PhaseTiming;
+use silkmoth_core::{PassStats, PhaseTiming};
 use silkmoth_replica::{FollowerMetrics, FollowerStatus};
 use silkmoth_storage::{StoreEvent, TelemetryHook};
 use silkmoth_telemetry::{Counter, Gauge, Histogram, MetricKind, Registry, LATENCY_BUCKETS};
@@ -33,6 +33,11 @@ use std::time::Duration;
 /// duration, so powers of two up to well past the practical number of
 /// concurrent writers.
 const BATCH_SIZE_BUCKETS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Buckets for per-query signature cost (the paper's token-level
+/// signature work, a unitless count): decades, because the cost spans
+/// a handful of tokens on toy sets to ~10⁸ on adversarial corpora.
+const SIGNATURE_COST_BUCKETS: [f64; 9] = [1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
 
 const HTTP_REQUESTS: &str = "silkmoth_http_requests_total";
 const HTTP_REQUESTS_HELP: &str = "HTTP requests served, by route and status";
@@ -48,6 +53,7 @@ pub fn canonical_route(path: &str) -> &'static str {
         "/healthz" => "/healthz",
         "/stats" => "/stats",
         "/metrics" => "/metrics",
+        "/debug/traces" => "/debug/traces",
         "/search" => "/search",
         "/search/batch" => "/search/batch",
         "/discover" => "/discover",
@@ -65,10 +71,16 @@ pub fn canonical_route(path: &str) -> &'static str {
 #[derive(Debug, Clone)]
 pub struct ServiceMetrics {
     registry: Arc<Registry>,
+    uptime: Gauge,
     inflight: Gauge,
     phase_stage: Histogram,
     phase_verify: Histogram,
     phase_explain: Histogram,
+    /// The paper's filter funnel, one survivor counter per stage:
+    /// candidates → after_check → after_nn → verified → results.
+    funnel: [Counter; 5],
+    sim_evals: Counter,
+    signature_cost: Histogram,
     wal_append: Histogram,
     wal_fsync: Histogram,
     batch_records: Histogram,
@@ -100,6 +112,21 @@ impl ServiceMetrics {
             MetricKind::Histogram,
             Some(&LATENCY_BUCKETS),
         );
+        // Constant 1 with the version as a label — the Prometheus
+        // build-info convention, so dashboards can join any series
+        // against the running version.
+        registry
+            .gauge(
+                "silkmoth_build_info",
+                "Build metadata; constant 1, the version rides the label",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1);
+        let uptime = registry.gauge(
+            "silkmoth_uptime_seconds",
+            "Seconds since the service started (what /healthz reports)",
+            &[],
+        );
         let inflight = registry.gauge(
             "silkmoth_http_inflight_requests",
             "Requests currently being handled",
@@ -116,6 +143,31 @@ impl ServiceMetrics {
         let phase_stage = phase("stage");
         let phase_verify = phase("verify");
         let phase_explain = phase("explain");
+        let survivors = |stage: &'static str| {
+            registry.counter(
+                "silkmoth_query_filter_survivors_total",
+                "Sets surviving each SilkMoth filter stage, summed over queries",
+                &[("stage", stage)],
+            )
+        };
+        let funnel = [
+            survivors("candidates"),
+            survivors("after_check"),
+            survivors("after_nn"),
+            survivors("verified"),
+            survivors("results"),
+        ];
+        let sim_evals = registry.counter(
+            "silkmoth_query_sim_evals_total",
+            "Element-pair similarity evaluations across all queries",
+            &[],
+        );
+        let signature_cost = registry.histogram(
+            "silkmoth_query_signature_cost",
+            "Per-query signature cost (token-level signature work, unitless)",
+            &[],
+            &SIGNATURE_COST_BUCKETS,
+        );
         let wal_append = registry.histogram(
             "silkmoth_wal_append_duration_seconds",
             "Time writing one record into the WAL file (before fsync)",
@@ -163,10 +215,14 @@ impl ServiceMetrics {
         );
         Self {
             registry,
+            uptime,
             inflight,
             phase_stage,
             phase_verify,
             phase_explain,
+            funnel,
+            sim_evals,
+            signature_cost,
             wal_append,
             wal_fsync,
             batch_records,
@@ -212,6 +268,32 @@ impl ServiceMetrics {
         self.phase_stage.observe(timing.stage);
         self.phase_verify.observe(timing.verify);
         self.phase_explain.observe(timing.explain);
+    }
+
+    /// Records one query's filter funnel from its merged [`PassStats`]:
+    /// how many sets survived each stage of the signature → check → NN
+    /// → verification pipeline, plus the similarity-evaluation count
+    /// and the signature cost distribution.
+    pub fn observe_funnel(&self, stats: &PassStats) {
+        let stages = [
+            stats.candidates as u64,
+            stats.after_check as u64,
+            stats.after_nn as u64,
+            stats.verified as u64,
+            stats.results as u64,
+        ];
+        for (counter, survivors) in self.funnel.iter().zip(stages) {
+            counter.add(survivors);
+        }
+        self.sim_evals.add(stats.sim_evals);
+        self.signature_cost
+            .observe_secs(stats.signature_cost as f64);
+    }
+
+    /// Refreshes the uptime gauge (called at scrape time so the page
+    /// matches what `/healthz` reports).
+    pub fn set_uptime_secs(&self, secs: u64) {
+        self.uptime.set(secs as i64);
     }
 
     /// A [`TelemetryHook`] to install on the durable store: each commit
@@ -280,8 +362,13 @@ mod tests {
         for family in [
             "silkmoth_http_requests_total",
             "silkmoth_http_request_duration_seconds",
+            "silkmoth_build_info",
+            "silkmoth_uptime_seconds",
             "silkmoth_http_inflight_requests",
             "silkmoth_query_phase_duration_seconds",
+            "silkmoth_query_filter_survivors_total",
+            "silkmoth_query_sim_evals_total",
+            "silkmoth_query_signature_cost",
             "silkmoth_wal_append_duration_seconds",
             "silkmoth_wal_fsync_duration_seconds",
             "silkmoth_wal_commit_batch_records",
@@ -351,6 +438,70 @@ mod tests {
             page.contains("silkmoth_storage_auto_snapshots_total 1"),
             "{page}"
         );
+    }
+
+    #[test]
+    fn funnel_observation_sums_survivors_per_stage() {
+        let m = ServiceMetrics::new();
+        let stats = PassStats {
+            candidates: 100,
+            after_check: 40,
+            after_nn: 12,
+            verified: 12,
+            results: 5,
+            sim_evals: 310,
+            signature_cost: 720,
+            ..Default::default()
+        };
+        m.observe_funnel(&stats);
+        m.observe_funnel(&stats);
+        let page = m.render();
+        for (stage, want) in [
+            ("candidates", 200),
+            ("after_check", 80),
+            ("after_nn", 24),
+            ("verified", 24),
+            ("results", 10),
+        ] {
+            assert!(
+                page.contains(&format!(
+                    "silkmoth_query_filter_survivors_total{{stage=\"{stage}\"}} {want}"
+                )),
+                "{stage}:\n{page}"
+            );
+        }
+        assert!(
+            page.contains("silkmoth_query_sim_evals_total 620"),
+            "{page}"
+        );
+        // 720 lands in the le="1000" decade but not le="100".
+        assert!(
+            page.contains("silkmoth_query_signature_cost_bucket{le=\"100\"} 0"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_query_signature_cost_bucket{le=\"1000\"} 2"),
+            "{page}"
+        );
+        assert!(
+            page.contains("silkmoth_query_signature_cost_count 2"),
+            "{page}"
+        );
+    }
+
+    #[test]
+    fn build_info_and_uptime_render() {
+        let m = ServiceMetrics::new();
+        m.set_uptime_secs(42);
+        let page = m.render();
+        assert!(
+            page.contains(&format!(
+                "silkmoth_build_info{{version=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{page}"
+        );
+        assert!(page.contains("silkmoth_uptime_seconds 42"), "{page}");
     }
 
     #[test]

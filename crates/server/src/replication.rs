@@ -222,6 +222,9 @@ pub fn start_follower(
     cfg: FollowerConfig,
 ) -> FollowerRuntime {
     let shared = Arc::new(FollowerShared::new());
+    // Sampled replication applies land in the same trace ring as HTTP
+    // requests, so `/debug/traces` on a follower covers both.
+    shared.set_tracer(Arc::clone(service.tracer()));
     service.set_role_follower(primary_addr.clone(), Arc::clone(&shared));
     let connector = TcpConnector {
         addr: primary_addr,

@@ -16,6 +16,7 @@
 //! | `GET /stats`     | —                                                | request counters, per-shard and merged [`PassStats`], and (durable) the storage generation |
 //! | `GET /healthz`   | —                                                | `{"status": "ok", "durable": b, "role": "primary"\|"follower", "version", "uptime_secs", "update_seq", …}` |
 //! | `GET /metrics`   | —                                                | the [`metrics`](crate::metrics) bundle in the Prometheus text exposition format |
+//! | `GET /debug/traces` | optional `?route=`, `?min_ms=`, `?id=` filters | `{"version": 1, "traces": […]}` — the captured-trace ring, newest-last (see Observability) |
 //!
 //! Set ids in responses are **global** (the line number of the set in
 //! the served input; appended sets continue the numbering), identical
@@ -77,6 +78,16 @@
 //! on one structured log line per request (text or JSON), and
 //! [`with_slow_query_ms`](SearchService::with_slow_query_ms) logs the
 //! full spec of any search slower than the threshold.
+//!
+//! Per-request **traces** ride the same wrapper: every response carries
+//! its request id in an `X-Request-Id` header and the log line's
+//! `trace` field, and a sampled request
+//! ([`with_trace_sample`](SearchService::with_trace_sample), 1-in-N) or
+//! any request at/over the slow-query threshold records a hierarchical
+//! span tree — http → query → shard → stage/verify, plus WAL
+//! write/fsync and group-commit spans in durable mode — with the
+//! paper's filter-funnel survivor counts as span attributes, into a
+//! bounded in-memory ring served at `GET /debug/traces`.
 
 use std::io;
 use std::net::ToSocketAddrs;
@@ -88,7 +99,8 @@ use std::time::{Duration, Instant};
 use silkmoth_collection::{SetIdx, UpdateError};
 use silkmoth_core::{CompactionPolicy, PassStats, QuerySpec, Update, UpdateOutcome};
 use silkmoth_replica::{CommitSignal, FollowerShared};
-use silkmoth_storage::{StorageError, Store};
+use silkmoth_storage::{StorageError, Store, StoreEvent, TelemetryHook};
+use silkmoth_telemetry::trace::{self, AttrValue, SpanId, TraceCollector, Tracer};
 
 use crate::http::{self, HttpServer, Request, Response};
 use crate::json::{obj, Json};
@@ -304,7 +316,16 @@ struct RequestInfo {
     timed_out: bool,
     /// Specs rendered for slow-query logging (empty unless armed).
     specs: Vec<Json>,
+    /// The request's span collector, present only when this request
+    /// can end up in the trace ring (sampled, or slow-query capture is
+    /// armed); handlers hang query/shard/phase spans off it.
+    trace: Option<TraceCollector>,
 }
+
+/// Completed traces the ring retains (`GET /debug/traces`). At the
+/// typical few-KB per trace this bounds the ring's memory near a
+/// megabyte regardless of traffic.
+const TRACE_RING_CAPACITY: usize = 256;
 
 /// The service's place in a replication topology. Everything starts as
 /// a standalone primary; `serve --replicate-from` flips to the
@@ -373,6 +394,9 @@ pub struct SearchService {
     /// `Some(ms)`: searches slower than this log their full specs.
     slow_query_ms: Option<u64>,
     log_sink: LogSink,
+    /// The request-trace ring (`GET /debug/traces`): slow queries are
+    /// always captured, `--trace-sample` captures 1-in-N of the rest.
+    tracer: Arc<Tracer>,
 }
 
 impl SearchService {
@@ -398,7 +422,7 @@ impl SearchService {
         if let Backend::Durable(store) = &mut backend {
             commit_signal.seed(store.status().update_seq);
             store.set_commit_hook(commit_signal.hook());
-            store.set_telemetry_hook(metrics.storage_hook());
+            store.set_telemetry_hook(store_telemetry_hook(&metrics));
         }
         Self {
             backend: RwLock::new(backend),
@@ -422,6 +446,7 @@ impl SearchService {
             log_format: None,
             slow_query_ms: None,
             log_sink: LogSink::default(),
+            tracer: Arc::new(Tracer::new(TRACE_RING_CAPACITY)),
         }
     }
 
@@ -478,9 +503,24 @@ impl SearchService {
         self
     }
 
+    /// Samples 1-in-`n` requests into the trace ring served on
+    /// `GET /debug/traces` (`serve --trace-sample`). `0` — the default
+    /// — turns sampling off; requests at or over the
+    /// [`with_slow_query_ms`](Self::with_slow_query_ms) threshold are
+    /// captured regardless.
+    pub fn with_trace_sample(self, n: u64) -> Self {
+        self.tracer.set_sample(n);
+        self
+    }
+
     /// The service's metric bundle (what `GET /metrics` renders).
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
+    }
+
+    /// The request-trace ring (what `GET /debug/traces` serves).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Read access to the engine being served (shared with in-flight
@@ -524,7 +564,7 @@ impl SearchService {
         // a *lower* seq than a diverged local history did).
         self.commit_signal.reset(store.status().update_seq);
         store.set_commit_hook(self.commit_signal.hook());
-        store.set_telemetry_hook(self.metrics.storage_hook());
+        store.set_telemetry_hook(store_telemetry_hook(&self.metrics));
         if let Some(hook) = &*self
             .retention_hook
             .lock()
@@ -545,9 +585,8 @@ impl SearchService {
     /// Installs the WAL segment retention floor on the durable store —
     /// sealed segments a replication cursor still needs are kept until
     /// the cursor moves past them. The hook survives a bootstrap store
-    /// replacement (it is re-installed by
-    /// [`replace_durable_store`](Self::replace_durable_store)). No-op
-    /// on an ephemeral service.
+    /// replacement (it is re-installed by `replace_durable_store`).
+    /// No-op on an ephemeral service.
     pub fn set_wal_retention(&self, hook: silkmoth_storage::RetentionHook) {
         let mut backend = self.backend.write().expect("engine lock poisoned");
         if let Backend::Durable(store) = &mut *backend {
@@ -606,14 +645,41 @@ impl SearchService {
         let path = req.path.split('?').next().unwrap_or("");
         let route = canonical_route(path);
         let mut info = RequestInfo::default();
+        // Capture decision up front: requests that can't end up in the
+        // ring (not sampled, slow-query capture unarmed) never build a
+        // collector — the whole cost of tracing for them is the one
+        // fetch-add inside should_sample.
+        let sampled = self.tracer.should_sample();
+        let sink = if sampled || self.slow_query_ms.is_some() {
+            info.trace = Some(TraceCollector::begin(id, route));
+            Some(trace::install_sink())
+        } else {
+            None
+        };
         let start = Instant::now();
         self.metrics.inflight().add(1);
         let resp = self.dispatch(req, path, &mut info);
         self.metrics.inflight().sub(1);
         let elapsed = start.elapsed();
         self.metrics.observe_request(route, resp.status, elapsed);
+        let slow = self
+            .slow_query_ms
+            .is_some_and(|limit| elapsed.as_secs_f64() * 1e3 >= limit as f64);
+        if let Some(mut collector) = info.trace.take() {
+            if sampled || slow {
+                if let Some(sink) = &sink {
+                    // Storage/group-commit spans emitted on this thread
+                    // during dispatch hang off the root.
+                    for span in sink.drain() {
+                        collector.add_pending(trace::ROOT, span);
+                    }
+                }
+                self.tracer.record(collector.finish(resp.status, slow));
+            }
+        }
+        drop(sink);
         self.log_request(id, route, resp.status, elapsed, &info);
-        resp
+        resp.with_header("X-Request-Id", id.to_string())
     }
 
     fn dispatch(&self, req: &Request, path: &str, info: &mut RequestInfo) -> Response {
@@ -621,6 +687,7 @@ impl SearchService {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
             ("GET", "/metrics") => self.metrics_page(),
+            ("GET", "/debug/traces") => self.debug_traces(req),
             ("POST", "/search") => self.search(&req.body, info),
             ("POST", "/search/batch") => self.search_batch(&req.body, info),
             ("POST", "/discover") => self.discover(&req.body, info),
@@ -631,8 +698,8 @@ impl SearchService {
             ("POST", "/promote") => self.promote(),
             (
                 _,
-                "/healthz" | "/stats" | "/metrics" | "/search" | "/search/batch" | "/discover"
-                | "/sets" | "/compact" | "/snapshot" | "/promote",
+                "/healthz" | "/stats" | "/metrics" | "/debug/traces" | "/search" | "/search/batch"
+                | "/discover" | "/sets" | "/compact" | "/snapshot" | "/promote",
             ) => error_response(405, "method not allowed for this route"),
             _ => error_response(404, "no such route"),
         }
@@ -651,16 +718,21 @@ impl SearchService {
     ) {
         let ms = elapsed.as_secs_f64() * 1e3;
         if let Some(format) = self.log_format {
+            // `trace` repeats the request id on purpose: it is the
+            // correlation key shared with the `X-Request-Id` response
+            // header and the trace ring, so grepping a client-reported
+            // id hits logs and `/debug/traces?id=` alike.
             let line = match format {
                 LogFormat::Text => format!(
-                    "request id={id} route={route} status={status} duration_ms={ms:.3} \
-                     shards={} timed_out={}",
+                    "request id={id} trace={id} route={route} status={status} \
+                     duration_ms={ms:.3} shards={} timed_out={}",
                     info.shards.map_or_else(|| "-".into(), |n| n.to_string()),
                     info.timed_out,
                 ),
                 LogFormat::Json => obj(vec![
                     ("event", Json::Str("request".into())),
                     ("id", Json::Num(id as f64)),
+                    ("trace", Json::Num(id as f64)),
                     ("route", Json::Str(route.into())),
                     ("status", Json::Num(f64::from(status))),
                     ("duration_ms", Json::Num(ms)),
@@ -716,7 +788,50 @@ impl SearchService {
             self.metrics
                 .set_followers(gauge.load(Ordering::Relaxed) as i64);
         }
+        self.metrics
+            .set_uptime_secs(self.started.elapsed().as_secs());
         Response::text(200, silkmoth_telemetry::CONTENT_TYPE, self.metrics.render())
+    }
+
+    /// `GET /debug/traces`: the retained trace ring as JSON, oldest
+    /// first, optionally filtered with `?route=/search`, `?min_ms=N`
+    /// (whole-request duration floor), and `?id=N` (one request id).
+    fn debug_traces(&self, req: &Request) -> Response {
+        let query = req.path.split_once('?').map_or("", |(_, q)| q);
+        let mut route_filter: Option<&str> = None;
+        let mut min_us = 0u64;
+        let mut id_filter: Option<u64> = None;
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            match key {
+                "route" => route_filter = Some(value),
+                "min_ms" => match value.parse::<u64>() {
+                    Ok(ms) => min_us = ms.saturating_mul(1000),
+                    Err(_) => return error_response(400, "min_ms must be whole milliseconds"),
+                },
+                "id" => match value.parse::<u64>() {
+                    Ok(id) => id_filter = Some(id),
+                    Err(_) => return error_response(400, "id must be a request id"),
+                },
+                other => {
+                    return error_response(
+                        400,
+                        &format!("unknown query parameter '{other}' (route, min_ms, id)"),
+                    )
+                }
+            }
+        }
+        let traces: Vec<_> = self
+            .tracer
+            .snapshot()
+            .into_iter()
+            .filter(|t| {
+                route_filter.is_none_or(|r| t.route == r)
+                    && t.dur_us >= min_us
+                    && id_filter.is_none_or(|id| t.id == id)
+            })
+            .collect();
+        Response::json(200, trace::render_traces(&traces))
     }
 
     fn healthz(&self) -> Response {
@@ -909,12 +1024,18 @@ impl SearchService {
             info.specs.push(spec_to_json(&spec));
         }
         let start = Instant::now();
+        let trace_start = info.trace.as_ref().map(TraceCollector::now_us);
         let out = self
             .engine()
             .execute_until(&spec, self.request_deadline(start));
+        let executed = start.elapsed();
         self.searches.fetch_add(1, Ordering::Relaxed);
         self.accumulate(&out.shard_stats);
         self.metrics.observe_phases(&out.merged_timing());
+        self.metrics.observe_funnel(&out.merged_stats());
+        if let (Some(trace), Some(at)) = (info.trace.as_mut(), trace_start) {
+            record_query_spans(trace, &out, at, executed);
+        }
         info.shards = Some(out.shard_timings.len());
         info.timed_out = out.timed_out;
         if self.request_expired(start) {
@@ -948,6 +1069,7 @@ impl SearchService {
             info.specs.extend(specs.iter().map(spec_to_json));
         }
         let start = Instant::now();
+        let trace_start = info.trace.as_ref().map(TraceCollector::now_us);
         let outs = self
             .engine()
             .execute_batch_until(&specs, self.request_deadline(start));
@@ -956,7 +1078,14 @@ impl SearchService {
         for out in &outs {
             self.accumulate(&out.shard_stats);
             self.metrics.observe_phases(&out.merged_timing());
+            self.metrics.observe_funnel(&out.merged_stats());
             info.timed_out |= out.timed_out;
+            // The batch executes as one engine call, so per-query wall
+            // windows are not observable here; each query span borrows
+            // the batch's start and its own worst-shard phase sum.
+            if let (Some(trace), Some(at)) = (info.trace.as_mut(), trace_start) {
+                record_query_spans(trace, out, at, out.merged_timing().total());
+            }
         }
         info.shards = outs.first().map(|out| out.shard_timings.len());
         if self.request_expired(start) {
@@ -996,9 +1125,18 @@ impl SearchService {
                 }
             }
         }
+        let start = Instant::now();
+        let trace_start = info.trace.as_ref().map(TraceCollector::now_us);
         let out = self.engine().discover(&references);
+        let executed = start.elapsed();
         self.discoveries.fetch_add(1, Ordering::Relaxed);
         self.accumulate(&out.shard_stats);
+        self.metrics.observe_funnel(&out.merged_stats());
+        if let (Some(trace), Some(at)) = (info.trace.as_mut(), trace_start) {
+            let stats = out.merged_stats();
+            let span = trace.add_span(trace::ROOT, "discover", at, executed);
+            funnel_attrs(trace, span, &stats);
+        }
         info.shards = Some(out.shard_stats.len());
         let pairs: Vec<Json> = out
             .pairs
@@ -1083,6 +1221,7 @@ impl SearchService {
     /// until a leader (possibly this thread) has made it durable and
     /// applied it.
     fn group_commit(&self, update: Update) -> Result<GroupReceipt, GroupCommitError> {
+        let enqueued = Instant::now();
         let slot = Arc::new(UpdateSlot::default());
         self.commit_queue
             .pending
@@ -1099,7 +1238,10 @@ impl SearchService {
             .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = slot.take() {
-                return result; // a previous leader batched this update in
+                // A previous leader batched this update in: the whole
+                // enqueue→completion window was spent waiting on it.
+                trace::emit("group_commit_wait", enqueued.elapsed(), Vec::new());
+                return result;
             }
             if !*leading {
                 *leading = true;
@@ -1107,7 +1249,9 @@ impl SearchService {
                 let guard = LeaderGuard {
                     queue: &self.commit_queue,
                 };
+                let led = Instant::now();
                 self.lead_commit();
+                trace::emit("group_commit_lead", led.elapsed(), Vec::new());
                 drop(guard); // resign + wake the batch's waiters
                 return slot
                     .take()
@@ -1575,6 +1719,80 @@ fn storage_error_response(e: &StorageError) -> Response {
     error_response(500, &format!("storage: {e}"))
 }
 
+/// The one storage-layer hook, fanning each [`StoreEvent`] into the
+/// metric cells *and* the calling thread's trace sink. The store keeps
+/// exactly one hook, so both consumers must share it; the trace side is
+/// a no-op on threads with no sink installed (unsampled requests,
+/// background maintenance).
+fn store_telemetry_hook(metrics: &ServiceMetrics) -> TelemetryHook {
+    let cells = metrics.storage_hook();
+    TelemetryHook::new(move |event| {
+        cells.fire(event);
+        match event {
+            StoreEvent::CommitBatch {
+                records,
+                write,
+                sync,
+            } => {
+                trace::emit(
+                    "wal_write",
+                    write,
+                    vec![("records", AttrValue::U64(records))],
+                );
+                trace::emit("wal_fsync", sync, Vec::new());
+            }
+            StoreEvent::Snapshot | StoreEvent::AutoSnapshot => {
+                trace::emit("snapshot", Duration::ZERO, Vec::new());
+            }
+            StoreEvent::AutoCompaction => trace::emit("compaction", Duration::ZERO, Vec::new()),
+        }
+    })
+}
+
+/// Attaches the paper's filter-funnel counters as span attributes —
+/// the per-request twin of the `silkmoth_query_filter_survivors_total`
+/// metric family.
+fn funnel_attrs(trace: &mut TraceCollector, span: SpanId, stats: &PassStats) {
+    trace.attr_u64(span, "candidates", stats.candidates as u64);
+    trace.attr_u64(span, "after_check", stats.after_check as u64);
+    trace.attr_u64(span, "after_nn", stats.after_nn as u64);
+    trace.attr_u64(span, "verified", stats.verified as u64);
+    trace.attr_u64(span, "results", stats.results as u64);
+    trace.attr_u64(span, "sim_evals", stats.sim_evals);
+    trace.attr_u64(span, "signature_cost", stats.signature_cost);
+}
+
+/// Places one executed query on the request's trace: a `query` span
+/// carrying the merged filter-funnel attributes, a `shard` child per
+/// shard, and `stage`/`verify`(/`explain`) grandchildren from that
+/// shard's [`PhaseTiming`]. Phase starts are reconstructed
+/// sequentially — stage → verify → explain is the engine's actual
+/// execution order inside one shard.
+fn record_query_spans(
+    trace: &mut TraceCollector,
+    out: &ShardedQueryOutput,
+    start_us: u64,
+    dur: Duration,
+) {
+    let stats = out.merged_stats();
+    let query = trace.add_span(trace::ROOT, "query", start_us, dur);
+    funnel_attrs(trace, query, &stats);
+    trace.attr(query, "timed_out", AttrValue::Bool(out.timed_out));
+    for (id, (timing, stats)) in out.shard_timings.iter().zip(&out.shard_stats).enumerate() {
+        let shard = trace.add_span(query, "shard", start_us, timing.total());
+        trace.attr_u64(shard, "shard", id as u64);
+        trace.attr_u64(shard, "candidates", stats.candidates as u64);
+        trace.attr_u64(shard, "verified", stats.verified as u64);
+        let verify_at = start_us + timing.stage.as_micros() as u64;
+        trace.add_span(shard, "stage", start_us, timing.stage);
+        trace.add_span(shard, "verify", verify_at, timing.verify);
+        if !timing.explain.is_zero() {
+            let explain_at = verify_at + timing.verify.as_micros() as u64;
+            trace.add_span(shard, "explain", explain_at, timing.explain);
+        }
+    }
+}
+
 /// [`PassStats`] as ordered JSON object fields.
 fn stats_json_pairs(stats: &PassStats) -> Vec<(String, Json)> {
     let num = |v: f64| Json::Num(v);
@@ -1779,6 +1997,7 @@ mod tests {
         let request = Json::parse(&lines[0]).expect("request line is JSON");
         assert_eq!(request.get("event").and_then(Json::as_str), Some("request"));
         assert_eq!(request.get("id").and_then(Json::as_usize), Some(1));
+        assert_eq!(request.get("trace").and_then(Json::as_usize), Some(1));
         assert_eq!(request.get("route").and_then(Json::as_str), Some("/search"));
         assert_eq!(request.get("status").and_then(Json::as_usize), Some(200));
         assert_eq!(request.get("shards").and_then(Json::as_usize), Some(3));
@@ -1803,7 +2022,7 @@ mod tests {
         let lines = lines.lock().unwrap();
         assert_eq!(lines.len(), 2, "{lines:?}");
         assert!(
-            lines[0].starts_with("request id=1 route=/search status=200 duration_ms="),
+            lines[0].starts_with("request id=1 trace=1 route=/search status=200 duration_ms="),
             "{}",
             lines[0]
         );
@@ -2304,5 +2523,273 @@ mod tests {
         assert_eq!(status, 409, "{doc}");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn header<'a>(resp: &'a Response, name: &str) -> Option<&'a str> {
+        resp.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn every_response_carries_a_request_id_header() {
+        let s = service();
+        let cases = [
+            Request::new("POST", "/search", br#"{"reference": ["w0"]}"#.to_vec()),
+            Request::new("GET", "/no/such/route", Vec::new()),
+            Request::new("GET", "/search", Vec::new()), // 405
+            Request::new("POST", "/search", b"not json".to_vec()), // 400
+        ];
+        for (i, req) in cases.into_iter().enumerate() {
+            let resp = s.handle(&req);
+            assert_eq!(
+                header(&resp, "X-Request-Id"),
+                Some((i + 1).to_string().as_str()),
+                "request {} (status {})",
+                i + 1,
+                resp.status
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_504_header_matches_its_log_line() {
+        let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&lines);
+        let s = SearchService::new(ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap())
+            .with_search_timeout(Duration::ZERO)
+            .with_log_format(LogFormat::Text)
+            .with_log_sink(move |line| sink.lock().unwrap().push(line.to_owned()));
+        let req = Request::new("POST", "/search", br#"{"reference": ["w0"]}"#.to_vec());
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 504);
+        let id = header(&resp, "X-Request-Id").expect("504 carries the id");
+        let lines = lines.lock().unwrap();
+        let line = lines
+            .iter()
+            .find(|l| l.contains("status=504"))
+            .expect("the 504 was logged");
+        assert!(
+            line.contains(&format!("id={id} ")) && line.contains(&format!("trace={id} ")),
+            "header id {id} missing from log line: {line}"
+        );
+    }
+
+    /// The acceptance-criteria pin: a slow-query-captured `/search`
+    /// trace shows ≥ 5 distinct span kinds and its funnel attributes
+    /// equal that query's `PassStats` from the response; a durable
+    /// update's trace carries the WAL write/fsync and group-commit
+    /// spans.
+    #[test]
+    fn slow_query_trace_pins_span_kinds_and_funnel() {
+        let dir =
+            std::env::temp_dir().join(format!("silkmoth-service-traces-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = ShardedEngine::build(&corpus(), engine_cfg(), 3).unwrap();
+        let store = Store::create(&dir, engine, StoreConfig::default()).unwrap();
+        let s = SearchService::durable(store).with_slow_query_ms(0); // every request is "slow"
+
+        let sets_req = Request::new("POST", "/sets", br#"{"sets": [["w0 w1 traced"]]}"#.to_vec());
+        let sets_resp = s.handle(&sets_req);
+        assert_eq!(sets_resp.status, 200);
+        let sets_id: u64 = header(&sets_resp, "X-Request-Id").unwrap().parse().unwrap();
+
+        let search_req = Request::new(
+            "POST",
+            "/search",
+            br#"{"reference": ["w0 w1 shared0", "w3 w4 shared0"], "floor": 0.2}"#.to_vec(),
+        );
+        let search_resp = s.handle(&search_req);
+        assert_eq!(search_resp.status, 200);
+        let search_id: u64 = header(&search_resp, "X-Request-Id")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let search_doc = Json::parse(std::str::from_utf8(&search_resp.body).unwrap()).unwrap();
+        let stats = search_doc.get("stats").expect("stats in the response");
+
+        let (status, page) = get(&s, "/debug/traces");
+        assert_eq!(status, 200);
+        assert_eq!(page.get("version").and_then(Json::as_usize), Some(1));
+        let traces = page.get("traces").and_then(Json::as_array).unwrap();
+        let by_id = |id: u64| {
+            traces
+                .iter()
+                .find(|t| t.get("id").and_then(Json::as_usize) == Some(id as usize))
+                .unwrap_or_else(|| panic!("trace {id} captured"))
+        };
+
+        // The search trace: root "http" span + ≥ 5 distinct kinds.
+        let trace = by_id(search_id);
+        assert_eq!(trace.get("route").and_then(Json::as_str), Some("/search"));
+        assert_eq!(trace.get("slow"), Some(&Json::Bool(true)));
+        let spans = trace.get("spans").and_then(Json::as_array).unwrap();
+        assert_eq!(spans[0].get("kind").and_then(Json::as_str), Some("http"));
+        assert_eq!(spans[0].get("parent"), Some(&Json::Null));
+        let kinds: std::collections::BTreeSet<&str> = spans
+            .iter()
+            .filter_map(|sp| sp.get("kind").and_then(Json::as_str))
+            .collect();
+        for kind in ["http", "query", "shard", "stage", "verify"] {
+            assert!(kinds.contains(kind), "missing span kind {kind}: {kinds:?}");
+        }
+        assert!(kinds.len() >= 5, "{kinds:?}");
+
+        // The query span's funnel attributes equal the response stats.
+        let query = spans
+            .iter()
+            .find(|sp| sp.get("kind").and_then(Json::as_str) == Some("query"))
+            .unwrap();
+        let attrs = query.get("attrs").unwrap();
+        for field in [
+            "candidates",
+            "after_check",
+            "after_nn",
+            "verified",
+            "results",
+            "sim_evals",
+            "signature_cost",
+        ] {
+            assert_eq!(
+                attrs.get(field).and_then(Json::as_usize),
+                stats.get(field).and_then(Json::as_usize),
+                "funnel attr {field} diverges from PassStats"
+            );
+        }
+
+        // The durable update's trace shows the storage side channel.
+        let spans = by_id(sets_id)
+            .get("spans")
+            .and_then(Json::as_array)
+            .unwrap();
+        let kinds: std::collections::BTreeSet<&str> = spans
+            .iter()
+            .filter_map(|sp| sp.get("kind").and_then(Json::as_str))
+            .collect();
+        for kind in ["wal_write", "wal_fsync", "group_commit_lead"] {
+            assert!(kinds.contains(kind), "missing span kind {kind}: {kinds:?}");
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn debug_traces_filters_by_route_duration_and_id() {
+        let s = service().with_trace_sample(1); // capture everything
+        post(&s, "/search", r#"{"reference": ["w0 w1 shared0"]}"#);
+        get(&s, "/healthz");
+        post(&s, "/search", r#"{"reference": ["w3 w4 shared0"]}"#);
+
+        let routes = |doc: &Json| -> Vec<String> {
+            doc.get("traces")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|t| t.get("route").and_then(Json::as_str).unwrap().to_owned())
+                .collect()
+        };
+        let (status, doc) = get(&s, "/debug/traces");
+        assert_eq!(status, 200);
+        assert_eq!(routes(&doc).len(), 3); // the listing itself isn't in yet
+        let (_, doc) = get(&s, "/debug/traces?route=/search");
+        assert_eq!(routes(&doc), ["/search", "/search"]);
+        let (_, doc) = get(&s, "/debug/traces?id=2");
+        let traces = doc.get("traces").and_then(Json::as_array).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].get("route").and_then(Json::as_str),
+            Some("/healthz")
+        );
+        // An hour-long floor filters everything out but stays valid JSON.
+        let (_, doc) = get(&s, "/debug/traces?min_ms=3600000");
+        assert_eq!(routes(&doc).len(), 0);
+
+        assert_eq!(get(&s, "/debug/traces?min_ms=abc").0, 400);
+        assert_eq!(get(&s, "/debug/traces?id=x").0, 400);
+        assert_eq!(get(&s, "/debug/traces?bogus=1").0, 400);
+        assert_eq!(post(&s, "/debug/traces", "").0, 405);
+    }
+
+    /// The differential guarantee: tracing captures observations, it
+    /// never changes results. Same corpus + same requests with tracing
+    /// at sample=1 vs fully disabled must produce byte-identical
+    /// bodies.
+    #[test]
+    fn tracing_on_vs_off_is_byte_identical() {
+        let traced = service().with_trace_sample(1);
+        let plain = service();
+        let requests = [
+            (
+                "POST",
+                "/search",
+                r#"{"reference": ["w0 w1 shared0", "w3 w4 shared0"], "k": 5, "floor": 0.2}"#,
+            ),
+            (
+                "POST",
+                "/search/batch",
+                r#"{"queries": [{"reference": ["w0 w1 shared0"]}, {"reference": ["w2 w3 shared1"], "k": 3}]}"#,
+            ),
+            (
+                "POST",
+                "/discover",
+                r#"{"references": [["w0 w1 shared0"], ["w3 w4 shared0"]]}"#,
+            ),
+            ("GET", "/stats", ""),
+        ];
+        for (method, path, body) in requests {
+            let req = Request::new(method, path, body.as_bytes().to_vec());
+            let a = traced.handle(&req);
+            let b = plain.handle(&req);
+            assert_eq!(a.status, b.status, "{path}");
+            assert_eq!(a.body, b.body, "{path}: tracing changed the response body");
+        }
+        assert!(traced.tracer().recorded() >= 4);
+        assert_eq!(plain.tracer().recorded(), 0);
+    }
+
+    /// `/debug/traces` JSON survives a hostile reader: the full page
+    /// round-trips through the parser, and no truncation or injected
+    /// garbage can make parsing panic.
+    #[test]
+    fn trace_json_roundtrips_and_survives_truncation_fuzz() {
+        let mut collector = TraceCollector::begin(7, "/search");
+        let query = collector.add_span(trace::ROOT, "query", 5, Duration::from_micros(90));
+        collector.attr_u64(query, "candidates", 12);
+        collector.attr(query, "note", AttrValue::Str("quote\" slash\\ nl\n".into()));
+        collector.attr(query, "ratio", AttrValue::F64(f64::NAN));
+        collector.attr(query, "timed_out", AttrValue::Bool(false));
+        let trace = Arc::new(collector.finish(200, true));
+        let page = trace::render_traces(&[trace]);
+
+        let doc = Json::parse(&page).expect("the page is valid JSON");
+        let traces = doc.get("traces").and_then(Json::as_array).unwrap();
+        assert_eq!(traces[0].get("id").and_then(Json::as_usize), Some(7));
+        let spans = traces[0].get("spans").and_then(Json::as_array).unwrap();
+        let attrs = spans[1].get("attrs").unwrap();
+        assert_eq!(
+            attrs.get("note").and_then(Json::as_str),
+            Some("quote\" slash\\ nl\n")
+        );
+        assert_eq!(attrs.get("ratio"), Some(&Json::Null)); // NaN → null
+        assert_eq!(attrs.get("candidates").and_then(Json::as_usize), Some(12));
+
+        // Truncation at every char boundary: Err is fine, panic is not.
+        for cut in 0..=page.len() {
+            if page.is_char_boundary(cut) {
+                let _ = Json::parse(&page[..cut]);
+            }
+        }
+        // Injected garbage at a few positions, same rule.
+        for (pos, junk) in [
+            (0, "\u{0}"),
+            (1, "}}]]"),
+            (page.len() / 2, "\\u12"),
+            (page.len(), "garbage"),
+        ] {
+            let mut broken = page.clone();
+            broken.insert_str(pos, junk);
+            let _ = Json::parse(&broken);
+        }
     }
 }

@@ -55,6 +55,11 @@
 //! the lint used by CI (`scripts/metrics_check.sh`) — duplicate
 //! families, type mismatches, and counters that move backwards between
 //! two scrapes all fail by name.
+//!
+//! The [`trace`] module is the per-request twin of the aggregate
+//! registry: request-scoped span trees ([`TraceCollector`] →
+//! [`Trace`]) retained in a bounded ring ([`Tracer`]) and served as
+//! JSON on `/debug/traces`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -62,6 +67,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 pub mod expo;
+pub mod trace;
+
+pub use trace::{AttrValue, SpanRecord, Trace, TraceCollector, Tracer};
 
 /// The Prometheus text exposition format version this crate emits; the
 /// `/metrics` route advertises it in its `Content-Type`.

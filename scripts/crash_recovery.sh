@@ -182,8 +182,10 @@ for round in $(seq 1 "$ROUNDS"); do
 done
 
 # --- final recovery + differential check vs a reference rebuild -------------
+# --slow-query-ms 0 arms slow-query trace capture so metrics_check.sh
+# can verify /debug/traces caught its adversarial query.
 "$SILKMOTH" serve --data-dir "$STORE" --port "$PORT" --shards 3 --threads 2 --delta 0.4 \
-    --wal-segment-bytes "$SEGMENT_BYTES" &
+    --wal-segment-bytes "$SEGMENT_BYTES" --slow-query-ms 0 &
 SERVER_PID=$!
 "$SILKMOTH" serve --input "$INPUT" --port "$REF_PORT" --shards 1 --threads 2 --delta 0.4 &
 REF_PID=$!

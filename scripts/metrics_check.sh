@@ -44,4 +44,23 @@ for port in "$@"; do
         exit 1
     }
     echo "# metrics on port $port: two scrapes, lint clean"
+
+    # Trace check: the soaks serve with --slow-query-ms 0, so this
+    # adversarial query must land in the trace ring marked slow; the
+    # traces page must be valid JSON with a root span on every trace.
+    t="$WORK/$port.traces.json"
+    curl -sf -X POST "localhost:$port/search" \
+        -d '{"reference": ["adversarial trace probe"], "floor": 0.0}' >/dev/null || {
+        echo "FAIL: adversarial /search on localhost:$port" >&2
+        exit 1
+    }
+    curl -sf "localhost:$port/debug/traces" >"$t" || {
+        echo "FAIL: fetching localhost:$port/debug/traces" >&2
+        exit 1
+    }
+    "$METRICSLINT" --traces "$t" --require-route /search --require-slow || {
+        echo "FAIL: trace lint on localhost:$port" >&2
+        exit 1
+    }
+    echo "# traces on port $port: slow-query capture verified, page clean"
 done

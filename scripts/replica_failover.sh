@@ -144,14 +144,18 @@ wait_caught_up() {
 }
 
 # --- primary + follower ----------------------------------------------------
+# --slow-query-ms 0 arms slow-query trace capture on both roles so
+# metrics_check.sh can verify /debug/traces caught its adversarial query.
 "$SILKMOTH" serve --input "$INPUT" --data-dir "$P_STORE" --port "$PORT" \
-    --shards 3 --threads 2 --delta 0.4 --replicate-addr "127.0.0.1:$REPL" &
+    --shards 3 --threads 2 --delta 0.4 --replicate-addr "127.0.0.1:$REPL" \
+    --slow-query-ms 0 &
 PRIMARY_PID=$!
 wait_healthy "$PORT"
 # The follower's data dir does not exist: everything it serves must
 # arrive through the replication stream.
 "$SILKMOTH" serve --data-dir "$F_STORE" --port "$F_PORT" \
-    --shards 3 --threads 2 --delta 0.4 --replicate-from "127.0.0.1:$REPL" &
+    --shards 3 --threads 2 --delta 0.4 --replicate-from "127.0.0.1:$REPL" \
+    --slow-query-ms 0 &
 FOLLOWER_PID=$!
 wait_healthy "$F_PORT"
 

@@ -75,6 +75,7 @@ struct Cli {
     replicate_from: Option<String>,
     log_format: Option<LogFormat>,
     slow_query_ms: Option<u64>,
+    trace_sample: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -135,7 +136,11 @@ options:
   --log-format F      serve: structured request logging to stderr, one
                       line per request — text | json (off by default)
   --slow-query-ms N   serve: log the full spec of any search slower
-                      than N ms (independent of --log-format)
+                      than N ms (independent of --log-format); such
+                      requests are also always captured as traces on
+                      GET /debug/traces
+  --trace-sample N    serve: additionally capture 1 in N requests as a
+                      trace (0 = slow queries only, the default)
   --replicate-addr A:P
                       durable: also listen on A:P and ship the WAL to
                       followers (snapshot bootstrap + live tail)
@@ -207,6 +212,7 @@ fn parse_cli() -> Cli {
         replicate_from: None,
         log_format: None,
         slow_query_ms: None,
+        trace_sample: None,
     };
     while let Some(a) = args.next() {
         let mut val = || opt_value(&mut args, &a);
@@ -322,6 +328,10 @@ fn parse_cli() -> Cli {
                         .parse()
                         .unwrap_or_else(|_| fail("bad --slow-query-ms")),
                 )
+            }
+            "--trace-sample" => {
+                cli.trace_sample =
+                    Some(val().parse().unwrap_or_else(|_| fail("bad --trace-sample")))
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -539,6 +549,10 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     };
     let service = match cli.slow_query_ms {
         Some(ms) => service.with_slow_query_ms(ms),
+        None => service,
+    };
+    let service = match cli.trace_sample {
+        Some(n) => service.with_trace_sample(n),
         None => service,
     };
     let service = Arc::new(service);
