@@ -35,6 +35,7 @@ struct Opts {
     floor: f64,
     sets: usize,
     batch: usize,
+    tenants: usize,
     json_out: Option<String>,
     label: Option<String>,
     dump_sets: Option<String>,
@@ -57,6 +58,11 @@ options:
   --sets N       datagen corpus size to draw references from (default: 200)
   --batch N      queries per request: 1 posts /search, >1 posts
                  /search/batch with N specs per body    (default: 1)
+  --tenants N    multi-tenant mode: create catalog collections
+                 loadgen-t0..loadgen-t{N-1} (seeding each with the
+                 --sets corpus), round-robin the search traffic across
+                 their scoped routes, and report per-tenant latency
+                 percentiles alongside the aggregate
   --json-out F   also write the report as one versioned JSON object
                  to F ('-' for stdout)
   --label L      scenario name recorded in the JSON report
@@ -90,6 +96,7 @@ fn parse_opts() -> Opts {
         floor: 0.3,
         sets: 200,
         batch: 1,
+        tenants: 0,
         json_out: None,
         label: None,
         dump_sets: None,
@@ -112,6 +119,7 @@ fn parse_opts() -> Opts {
             "--floor" => opts.floor = val().parse().unwrap_or_else(|_| fail("bad --floor")),
             "--sets" => opts.sets = val().parse().unwrap_or_else(|_| fail("bad --sets")),
             "--batch" => opts.batch = val().parse().unwrap_or_else(|_| fail("bad --batch")),
+            "--tenants" => opts.tenants = val().parse().unwrap_or_else(|_| fail("bad --tenants")),
             "--json-out" => opts.json_out = Some(val()),
             "--label" => opts.label = Some(val()),
             "--dump-sets" => opts.dump_sets = Some(val()),
@@ -142,17 +150,18 @@ fn parse_opts() -> Opts {
     opts
 }
 
-fn post(
+fn send(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     addr: &str,
+    method: &str,
     path: &str,
     body: &str,
 ) -> Result<(u16, Vec<u8>), String> {
     // One write_all for the whole request: write! would issue a syscall
     // (and a TCP segment) per format fragment.
     let request = format!(
-        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\n\r\n{body}",
         body.len(),
     );
@@ -160,6 +169,69 @@ fn post(
         .write_all(request.as_bytes())
         .map_err(|e| format!("sending request: {e}"))?;
     read_simple_response(reader).map_err(|e| format!("reading response: {e}"))
+}
+
+/// Multi-tenant setup: create `loadgen-t0..` catalog collections and
+/// seed each with the deterministic corpus, so every tenant answers the
+/// reference pool with the same scores. A collection left over from an
+/// earlier run (409 on create) is reused as-is.
+fn setup_tenants(
+    addr: &str,
+    tenants: usize,
+    corpus: &[Vec<String>],
+) -> Result<Vec<String>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let seed_body = obj(vec![(
+        "sets",
+        Json::Arr(
+            corpus
+                .iter()
+                .map(|s| Json::Arr(s.iter().map(|e| Json::Str(e.clone())).collect()))
+                .collect(),
+        ),
+    )])
+    .to_string();
+    let mut names = Vec::with_capacity(tenants);
+    for i in 0..tenants {
+        let name = format!("loadgen-t{i}");
+        let (status, body) = send(
+            &mut stream,
+            &mut reader,
+            addr,
+            "PUT",
+            &format!("/collections/{name}"),
+            "",
+        )?;
+        match status {
+            200 => {
+                let (status, body) = send(
+                    &mut stream,
+                    &mut reader,
+                    addr,
+                    "POST",
+                    &format!("/collections/{name}/sets"),
+                    &seed_body,
+                )?;
+                if status != 200 {
+                    return Err(format!(
+                        "seeding {name}: HTTP {status}: {}",
+                        String::from_utf8_lossy(&body)
+                    ));
+                }
+            }
+            409 => eprintln!("# tenant {name} already exists, reusing it"),
+            _ => {
+                return Err(format!(
+                    "creating {name}: HTTP {status}: {}",
+                    String::from_utf8_lossy(&body)
+                ))
+            }
+        }
+        names.push(name);
+    }
+    eprintln!("# {tenants} tenants ready ({} sets each)", corpus.len());
+    Ok(names)
 }
 
 fn healthcheck(addr: &str) -> Result<(), String> {
@@ -339,6 +411,11 @@ fn main() {
     if let Err(e) = healthcheck(&opts.addr) {
         fail(&e);
     }
+    let tenant_names = if opts.tenants > 0 {
+        setup_tenants(&opts.addr, opts.tenants, &corpus).unwrap_or_else(|e| fail(&e))
+    } else {
+        Vec::new()
+    };
     let specs: Vec<Json> = corpus
         .iter()
         .map(|set| {
@@ -373,11 +450,25 @@ fn main() {
     };
 
     eprintln!(
-        "# {} threads x {} requests x {} queries/request against {}{} (k={}, floor={})",
-        opts.threads, opts.requests, opts.batch, opts.addr, path, opts.k, opts.floor
+        "# {} threads x {} requests x {} queries/request against {}{}{} (k={}, floor={})",
+        opts.threads,
+        opts.requests,
+        opts.batch,
+        opts.addr,
+        path,
+        if opts.tenants > 0 {
+            format!(" round-robin over {} tenants", opts.tenants)
+        } else {
+            String::new()
+        },
+        opts.k,
+        opts.floor
     );
     let t0 = Instant::now();
-    let mut all_latencies: Vec<Duration> = Vec::new();
+    // Latencies keep the tenant index they were measured against
+    // (always 0 in single-tenant mode) so the report can slice
+    // per-tenant percentiles out of one pass.
+    let mut tenant_latencies: Vec<Vec<Duration>> = vec![Vec::new(); opts.tenants.max(1)];
     let mut total_results = 0usize;
     let mut errors = 0usize;
     let done = AtomicBool::new(false);
@@ -392,8 +483,9 @@ fn main() {
             .map(|tid| {
                 let bodies = &bodies;
                 let opts = &opts;
+                let tenant_names = &tenant_names;
                 scope.spawn(move || {
-                    let mut latencies = Vec::with_capacity(opts.requests);
+                    let mut latencies: Vec<(usize, Duration)> = Vec::with_capacity(opts.requests);
                     let mut results = 0usize;
                     let mut errors = 0usize;
                     let Ok(mut stream) = TcpStream::connect(&opts.addr) else {
@@ -408,10 +500,23 @@ fn main() {
                     let mut reader = BufReader::new(clone);
                     for i in 0..opts.requests {
                         let body = &bodies[(tid * opts.requests + i) % bodies.len()];
+                        let (tenant, request_path) = if opts.tenants > 0 {
+                            let t = (tid * opts.requests + i) % opts.tenants;
+                            (t, format!("/collections/{}{path}", tenant_names[t]))
+                        } else {
+                            (0, path.to_owned())
+                        };
                         let start = Instant::now();
-                        match post(&mut stream, &mut reader, &opts.addr, path, body) {
+                        match send(
+                            &mut stream,
+                            &mut reader,
+                            &opts.addr,
+                            "POST",
+                            &request_path,
+                            body,
+                        ) {
                             Ok((200, resp)) => {
-                                latencies.push(start.elapsed());
+                                latencies.push((tenant, start.elapsed()));
                                 results += count_results(&resp);
                             }
                             Ok((status, _)) => {
@@ -433,7 +538,9 @@ fn main() {
             .collect();
         for h in handles {
             let (latencies, results, errs) = h.join().expect("client thread panicked");
-            all_latencies.extend(latencies);
+            for (tenant, latency) in latencies {
+                tenant_latencies[tenant].push(latency);
+            }
             total_results += results;
             errors += errs;
         }
@@ -444,6 +551,7 @@ fn main() {
     });
     let elapsed = t0.elapsed();
 
+    let mut all_latencies: Vec<Duration> = tenant_latencies.iter().flatten().copied().collect();
     all_latencies.sort_unstable();
     let ok = all_latencies.len();
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
@@ -470,6 +578,20 @@ fn main() {
         ms(percentile(&all_latencies, 0.99)),
         ms(percentile(&all_latencies, 1.0)),
     );
+    if opts.tenants > 0 {
+        for (t, name) in tenant_names.iter().enumerate() {
+            let mut sorted = tenant_latencies[t].clone();
+            sorted.sort_unstable();
+            println!(
+                "tenant {name}  ok {}  latency ms  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+                sorted.len(),
+                ms(percentile(&sorted, 0.50)),
+                ms(percentile(&sorted, 0.90)),
+                ms(percentile(&sorted, 0.99)),
+                ms(percentile(&sorted, 1.0)),
+            );
+        }
+    }
     if let Some((scrapes, problems)) = &scrape_outcome {
         let scrape_mean = if scrapes.is_empty() {
             Duration::ZERO
@@ -578,6 +700,25 @@ fn main() {
         ];
         if opts.batch > 1 {
             fields.push(("per_query_latency_ms", latency(opts.batch as f64)));
+        }
+        if opts.tenants > 0 {
+            let per_tenant: Vec<Json> = tenant_names
+                .iter()
+                .enumerate()
+                .map(|(t, name)| {
+                    let mut sorted = tenant_latencies[t].clone();
+                    sorted.sort_unstable();
+                    obj(vec![
+                        ("name", Json::Str(name.clone())),
+                        ("ok", Json::Num(sorted.len() as f64)),
+                        ("p50", Json::Num(ms(percentile(&sorted, 0.50)))),
+                        ("p90", Json::Num(ms(percentile(&sorted, 0.90)))),
+                        ("p99", Json::Num(ms(percentile(&sorted, 0.99)))),
+                        ("max", Json::Num(ms(percentile(&sorted, 1.0)))),
+                    ])
+                })
+                .collect();
+            fields.push(("tenants", Json::Arr(per_tenant)));
         }
         if let Some((scrapes, problems)) = &scrape_outcome {
             let scrape_mean = if scrapes.is_empty() {

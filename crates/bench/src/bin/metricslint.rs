@@ -95,6 +95,45 @@ fn lint_traces(text: &str, require_route: Option<&str>, require_slow: bool) -> V
     problems
 }
 
+/// Bounded-cardinality check for the catalog's per-tenant label: a
+/// page that declares `silkmoth_catalog_collections_max` (every
+/// catalog-fronted server does) must not carry more distinct
+/// `collection` label values than that bound across all families —
+/// that gauge IS the declared cardinality contract, so a page
+/// violating it means tenant names leaked past the registry bound.
+fn lint_collection_cardinality(families: &[expo::ParsedFamily]) -> Vec<String> {
+    let Some(max) = families
+        .iter()
+        .find(|f| f.name == "silkmoth_catalog_collections_max")
+        .and_then(|f| f.samples.first())
+        .map(|s| s.value)
+    else {
+        return Vec::new(); // not a catalog server page
+    };
+    let mut values: Vec<&str> = families
+        .iter()
+        .flat_map(|f| &f.samples)
+        .flat_map(|s| &s.labels)
+        .filter(|(k, _)| k == "collection")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    values.sort_unstable();
+    values.dedup();
+    // The default collection's series carry no label, so the bound on
+    // labelled values is max - 1.
+    let bound = (max as usize).saturating_sub(1);
+    if values.len() > bound {
+        return vec![format!(
+            "collection label has {} distinct values, past the declared \
+             silkmoth_catalog_collections_max bound of {max} ({} labelled): {}",
+            values.len(),
+            bound,
+            values.join(", ")
+        )];
+    }
+    Vec::new()
+}
+
 fn run_traces_mode(args: &[String]) -> ! {
     let mut file: Option<&str> = None;
     let mut require_route: Option<&str> = None;
@@ -162,6 +201,10 @@ fn main() {
         match expo::parse_text(&text) {
             Ok(cur) => {
                 for p in expo::lint(prev.as_deref(), &cur) {
+                    eprintln!("{file}: {p}");
+                    problems += 1;
+                }
+                for p in lint_collection_cardinality(&cur) {
                     eprintln!("{file}: {p}");
                     problems += 1;
                 }

@@ -1,0 +1,1168 @@
+//! The multi-tenant front: a [`CatalogService`] routes requests across
+//! named collections, each served by its own [`SearchService`] (own
+//! [`ShardedEngine`], own durable store directory, own quota bounds,
+//! own `collection`-labelled metric series on the shared registry).
+//!
+//! ## Routes
+//!
+//! * `GET /collections` — list every collection;
+//! * `PUT /collections/<name>` — create (optional JSON body:
+//!   `{"shards": n, "quotas": {...}}`);
+//! * `GET /collections/<name>` — one collection's spec + summary;
+//! * `DELETE /collections/<name>` — drop (the `default` collection
+//!   cannot be dropped);
+//! * `/collections/<name>/<route>` — any service route, scoped: the
+//!   prefix is stripped and the request dispatched to that collection's
+//!   service, so `/collections/a/search` behaves exactly like `/search`
+//!   against collection `a`;
+//! * everything else — the `default` collection, byte-for-byte the
+//!   single-tenant server's behaviour (`GET /stats` and `GET /healthz`
+//!   additionally gain a `collections` section).
+//!
+//! ## Isolation
+//!
+//! Per-tenant quotas ride machinery that already exists per service:
+//! `max_inflight_updates` bounds **that collection's own** in-flight
+//! counter (503 + `Retry-After` beyond it), so one tenant saturating
+//! its write path cannot make the admission check reject another
+//! tenant's requests; `deadline_cap_ms` caps that collection's search
+//! deadline (504 on exhaustion); `max_sets`/`max_bytes` answer a named
+//! 403 at append time.
+//!
+//! ## Durability
+//!
+//! With a data directory, the registry itself is durable: a versioned
+//! [`Manifest`] (`catalog.manifest`, atomic tempfile+rename updates)
+//! lists every collection, and each non-default collection's store
+//! lives under `collections/<name>/`. The default collection's store
+//! stays at the directory root — the exact legacy layout, so a
+//! pre-catalog data directory opens unchanged and a catalog directory
+//! still opens under a pre-catalog binary (which simply ignores the
+//! manifest and the subdirectory). [`CatalogService::open`] recovers
+//! every collection after `kill -9`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::ToSocketAddrs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use silkmoth_catalog::{
+    validate_name, CollectionSpec, Manifest, ManifestError, Quotas, DEFAULT_COLLECTION,
+    MANIFEST_FILE,
+};
+use silkmoth_core::{CompactionPolicy, ConfigError, EngineConfig};
+use silkmoth_storage::{StorageError, Store, StoreConfig};
+use silkmoth_telemetry::{Gauge, Registry};
+
+use crate::durable::ShardSpec;
+use crate::http::{self, HttpServer, Request, Response};
+use crate::json::{obj, Json};
+use crate::metrics::ServiceMetrics;
+use crate::service::{error_response, parse_body, SearchService};
+use crate::shard::ShardedEngine;
+
+/// How the catalog builds collection services: the shared engine
+/// configuration, where stores live, and the server-wide defaults a
+/// collection's own quotas refine.
+#[derive(Debug, Clone)]
+pub struct CatalogConfig {
+    /// `Some`: durable mode — the manifest and every collection store
+    /// live here (`None`: everything is in-memory).
+    pub data_dir: Option<PathBuf>,
+    /// Engine configuration shared by every collection (metric,
+    /// thresholds, tokenization — a snapshot doesn't store it, so one
+    /// process serves one configuration).
+    pub engine_cfg: EngineConfig,
+    /// Store configuration (sync, compaction policy) for durable
+    /// collection stores.
+    pub store_cfg: StoreConfig,
+    /// Compaction policy for ephemeral collections.
+    pub ephemeral_policy: CompactionPolicy,
+    /// Shard count for new collections that don't ask for their own.
+    pub default_shards: usize,
+    /// Upper bound on registered collections (including `default`) —
+    /// also the declared cardinality bound for the `collection` metric
+    /// label, published as `silkmoth_catalog_collections_max`.
+    pub max_collections: usize,
+    /// Server-wide in-flight update bound, applied to each collection
+    /// (its own counter) unless the collection's quota overrides it.
+    pub max_inflight_updates: Option<usize>,
+    /// Server-wide search deadline; a collection's `deadline_cap_ms`
+    /// quota can only tighten it.
+    pub search_timeout: Option<Duration>,
+}
+
+/// Why the catalog failed to open or mutate durable state.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// The catalog manifest failed to load/save.
+    Manifest(ManifestError),
+    /// A collection store failed to open/create.
+    Storage(StorageError),
+    /// The engine configuration rejected a collection's state.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Manifest(e) => write!(f, "catalog: {e}"),
+            Self::Storage(e) => write!(f, "catalog storage: {e}"),
+            Self::Config(e) => write!(f, "catalog config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<ManifestError> for CatalogError {
+    fn from(e: ManifestError) -> Self {
+        Self::Manifest(e)
+    }
+}
+
+impl From<StorageError> for CatalogError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+impl From<ConfigError> for CatalogError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+/// The multi-tenant collection registry fronting one HTTP listener.
+/// See the module docs for routing and isolation semantics.
+#[derive(Debug)]
+pub struct CatalogService {
+    /// The collection unscoped routes serve. Built by the caller
+    /// exactly like the single-tenant service (including replication
+    /// wiring, which covers the default collection only).
+    default: Arc<SearchService>,
+    /// Every non-default collection, by name.
+    extras: RwLock<BTreeMap<String, Arc<SearchService>>>,
+    /// The durable registry the `extras` map mirrors.
+    manifest: Mutex<Manifest>,
+    config: CatalogConfig,
+    /// The shared metric registry (the default service's), where each
+    /// collection's labelled families and the catalog gauges live.
+    registry: Arc<Registry>,
+    /// `silkmoth_catalog_collections`: registered collections,
+    /// including `default`.
+    collections_gauge: Gauge,
+}
+
+/// Where a non-default collection's store lives.
+fn collection_dir(data_dir: &Path, name: &str) -> PathBuf {
+    data_dir.join("collections").join(name)
+}
+
+/// An empty sharded engine (what a freshly created collection serves).
+fn empty_engine(cfg: EngineConfig, shards: usize) -> Result<ShardedEngine, ConfigError> {
+    ShardedEngine::restore(Vec::new(), &[], 0, cfg, shards)
+}
+
+/// Applies a collection's quotas (over the server-wide defaults) and
+/// its labelled metric bundle to a freshly built service.
+fn configure_service(
+    service: SearchService,
+    name: &str,
+    quotas: &Quotas,
+    config: &CatalogConfig,
+    registry: &Arc<Registry>,
+) -> Arc<SearchService> {
+    let mut service = service.with_metrics(ServiceMetrics::for_collection(registry, name));
+    let inflight = quotas
+        .max_inflight_updates
+        .map(|n| n as usize)
+        .or(config.max_inflight_updates);
+    if let Some(n) = inflight {
+        service = service.with_max_inflight_updates(n);
+    }
+    if let Some(n) = quotas.max_sets {
+        service = service.with_max_sets(n as usize);
+    }
+    if let Some(n) = quotas.max_bytes {
+        service = service.with_max_bytes(n);
+    }
+    let cap = quotas.deadline_cap_ms.map(Duration::from_millis);
+    let timeout = match (cap, config.search_timeout) {
+        (Some(cap), Some(server)) => Some(server.min(cap)),
+        (Some(cap), None) => Some(cap),
+        (None, server) => server,
+    };
+    if let Some(t) = timeout {
+        service = service.with_search_timeout(t);
+    }
+    Arc::new(service)
+}
+
+impl CatalogService {
+    /// Wraps an already-built default service and recovers every
+    /// manifest-registered collection. A data directory without a
+    /// manifest (legacy single-collection layout, or brand new) gets a
+    /// default-only manifest written; an unknown manifest version is a
+    /// hard error (never guess at another format's layout).
+    pub fn open(default: Arc<SearchService>, config: CatalogConfig) -> Result<Self, CatalogError> {
+        let registry = Arc::clone(default.metrics().registry());
+        let collections_gauge = registry.gauge(
+            "silkmoth_catalog_collections",
+            "Collections currently registered in the catalog (including default)",
+            &[],
+        );
+        registry
+            .gauge(
+                "silkmoth_catalog_collections_max",
+                "Upper bound on catalog collections — the declared cardinality bound \
+                 for the 'collection' metric label",
+                &[],
+            )
+            .set(config.max_collections as i64);
+        let manifest_path = config.data_dir.as_ref().map(|d| d.join(MANIFEST_FILE));
+        let mut manifest = match &manifest_path {
+            Some(path) => Manifest::load(path)?.unwrap_or_default(),
+            None => Manifest::default(),
+        };
+        if manifest.get(DEFAULT_COLLECTION).is_none() {
+            manifest
+                .upsert(CollectionSpec {
+                    name: DEFAULT_COLLECTION.to_owned(),
+                    shards: default.engine().shard_count() as u32,
+                    quotas: Quotas::default(),
+                })
+                .expect("the default collection name is valid");
+            if let Some(path) = &manifest_path {
+                manifest.save(path)?;
+            }
+        }
+        let mut extras = BTreeMap::new();
+        for spec in manifest.collections() {
+            if spec.name == DEFAULT_COLLECTION {
+                continue;
+            }
+            let shards = (spec.shards as usize).max(1);
+            let service = match &config.data_dir {
+                Some(data_dir) => {
+                    let dir = collection_dir(data_dir, &spec.name);
+                    let shard_spec = ShardSpec {
+                        cfg: config.engine_cfg,
+                        shards,
+                    };
+                    match Store::open(&dir, &shard_spec, config.store_cfg) {
+                        Ok((store, _report)) => SearchService::durable(store),
+                        // Registered but storeless: a crash between the
+                        // manifest write and the store create. Honour
+                        // the registration with an empty store.
+                        Err(StorageError::NotInitialized { .. }) => {
+                            let engine = empty_engine(config.engine_cfg, shards)?;
+                            SearchService::durable(Store::create(&dir, engine, config.store_cfg)?)
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                None => SearchService::new(empty_engine(config.engine_cfg, shards)?)
+                    .with_policy(config.ephemeral_policy),
+            };
+            let service = configure_service(service, &spec.name, &spec.quotas, &config, &registry);
+            extras.insert(spec.name.clone(), service);
+        }
+        collections_gauge.set(1 + extras.len() as i64);
+        Ok(Self {
+            default,
+            extras: RwLock::new(extras),
+            manifest: Mutex::new(manifest),
+            config,
+            registry,
+            collections_gauge,
+        })
+    }
+
+    /// The `default` collection's service (what unscoped routes hit).
+    pub fn default_service(&self) -> &Arc<SearchService> {
+        &self.default
+    }
+
+    /// The service for `name`, if that collection exists.
+    pub fn collection(&self, name: &str) -> Option<Arc<SearchService>> {
+        if name == DEFAULT_COLLECTION {
+            return Some(Arc::clone(&self.default));
+        }
+        self.extras
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Every collection name, `default` first.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names = vec![DEFAULT_COLLECTION.to_owned()];
+        names.extend(
+            self.extras
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .keys()
+                .cloned(),
+        );
+        names
+    }
+
+    /// Routes one request: catalog management and collection-scoped
+    /// paths are handled here, everything else goes to the `default`
+    /// service unchanged (with `GET /stats` / `GET /healthz` gaining
+    /// the per-collection section on the way out).
+    pub fn handle(&self, req: &Request) -> Response {
+        let (path, query) = match req.path.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (req.path.as_str(), None),
+        };
+        if path == "/collections" || path.starts_with("/collections/") {
+            // Scoped dispatch: the inner service owns the request's
+            // observability (its own request id, metrics, logging).
+            if let Some(rest) = path.strip_prefix("/collections/") {
+                if let Some((name, tail)) = rest.split_once('/') {
+                    if validate_name(name).is_ok() {
+                        if let Some(service) = self.collection(name) {
+                            return service.handle(&scoped_request(req, tail, query));
+                        }
+                    }
+                }
+            }
+            // Management (and scoped-lookup failures): observed at the
+            // catalog level under the one "/collections" route label.
+            let start = Instant::now();
+            let resp = self.management(req, path);
+            self.default
+                .metrics()
+                .observe_request("/collections", resp.status, start.elapsed());
+            return resp;
+        }
+        let resp = self.default.handle(req);
+        if req.method == "GET" && (path == "/stats" || path == "/healthz") && resp.status == 200 {
+            return self.with_collections_section(resp);
+        }
+        resp
+    }
+
+    fn management(&self, req: &Request, path: &str) -> Response {
+        if path == "/collections" {
+            return match req.method.as_str() {
+                "GET" => self.list(),
+                _ => error_response(405, "method not allowed for this route"),
+            };
+        }
+        let rest = path.strip_prefix("/collections/").expect("caller checked");
+        let (name, tail) = match rest.split_once('/') {
+            Some((name, tail)) => (name, Some(tail)),
+            None => (rest, None),
+        };
+        if let Err(e) = validate_name(name) {
+            return error_response(400, &format!("invalid collection name: {e}"));
+        }
+        if tail.is_some() {
+            // A valid name with a scoped tail only lands here when the
+            // collection doesn't exist (the dispatch above handled the
+            // live ones).
+            return error_response(404, &format!("no such collection '{name}'"));
+        }
+        match req.method.as_str() {
+            "PUT" => self.create(name, &req.body),
+            "GET" => self.info(name),
+            "DELETE" => self.drop_collection(name),
+            _ => error_response(405, "method not allowed for this route"),
+        }
+    }
+
+    fn list(&self) -> Response {
+        // Clone the specs out before touching the extras map: create()
+        // and drop_collection() take extras before manifest, so holding
+        // the manifest across a collection() lookup would invert the
+        // lock order.
+        let specs: Vec<CollectionSpec> = self
+            .manifest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .collections()
+            .to_vec();
+        let collections: Vec<Json> = specs
+            .iter()
+            .map(|spec| {
+                let mut fields = vec![
+                    ("name".to_owned(), Json::Str(spec.name.clone())),
+                    ("shards".to_owned(), Json::Num(f64::from(spec.shards))),
+                ];
+                if let Some(service) = self.collection(&spec.name) {
+                    fields.push(("sets".to_owned(), Json::Num(service.engine().len() as f64)));
+                }
+                fields.push(("quotas".to_owned(), quotas_json(&spec.quotas)));
+                Json::Obj(fields)
+            })
+            .collect();
+        Response::json(
+            200,
+            obj(vec![("collections", Json::Arr(collections))]).to_string(),
+        )
+    }
+
+    fn info(&self, name: &str) -> Response {
+        let Some(service) = self.collection(name) else {
+            return error_response(404, &format!("no such collection '{name}'"));
+        };
+        let quotas = self
+            .manifest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map(|spec| spec.quotas)
+            .unwrap_or_default();
+        let mut fields = vec![("name".to_owned(), Json::Str(name.to_owned()))];
+        let Json::Obj(summary) = service.collection_summary_json() else {
+            unreachable!("collection summaries are objects");
+        };
+        fields.extend(summary);
+        fields.push(("quotas".to_owned(), quotas_json(&quotas)));
+        Response::json(200, Json::Obj(fields).to_string())
+    }
+
+    fn create(&self, name: &str, body: &[u8]) -> Response {
+        if let Some(resp) = self.default.reject_if_follower() {
+            return resp;
+        }
+        let (shards, quotas) = match parse_create_body(body, self.config.default_shards) {
+            Ok(parsed) => parsed,
+            Err(resp) => return resp,
+        };
+        // The extras write lock serializes every create/drop, so the
+        // map, the manifest, and the gauge stay consistent.
+        let mut extras = self.extras.write().unwrap_or_else(PoisonError::into_inner);
+        if name == DEFAULT_COLLECTION || extras.contains_key(name) {
+            return error_response(409, &format!("collection '{name}' already exists"));
+        }
+        if 1 + extras.len() >= self.config.max_collections {
+            return error_response(
+                403,
+                &format!(
+                    "collection limit reached ({} of --max-collections {})",
+                    1 + extras.len(),
+                    self.config.max_collections
+                ),
+            );
+        }
+        let engine = match empty_engine(self.config.engine_cfg, shards) {
+            Ok(engine) => engine,
+            Err(e) => return error_response(400, &format!("engine config: {e}")),
+        };
+        // Store first, manifest second: a crash in between leaves an
+        // orphan directory (harmless), never a registered collection
+        // without its store.
+        let service = match &self.config.data_dir {
+            Some(data_dir) => {
+                let dir = collection_dir(data_dir, name);
+                match Store::create(&dir, engine, self.config.store_cfg) {
+                    Ok(store) => SearchService::durable(store),
+                    Err(e) => return error_response(500, &format!("storage: {e}")),
+                }
+            }
+            None => SearchService::new(engine).with_policy(self.config.ephemeral_policy),
+        };
+        let service = configure_service(service, name, &quotas, &self.config, &self.registry);
+        let mut manifest = self.manifest.lock().unwrap_or_else(PoisonError::into_inner);
+        manifest
+            .upsert(CollectionSpec {
+                name: name.to_owned(),
+                shards: shards as u32,
+                quotas,
+            })
+            .expect("name validated by the route");
+        if let Some(data_dir) = &self.config.data_dir {
+            if let Err(e) = manifest.save(&data_dir.join(MANIFEST_FILE)) {
+                // Roll the registration back: an unregistered store
+                // directory is recoverable garbage, a collection the
+                // next restart forgets is acked data loss.
+                manifest.remove(name);
+                return error_response(500, &format!("saving catalog manifest: {e}"));
+            }
+        }
+        extras.insert(name.to_owned(), service);
+        self.collections_gauge.set(1 + extras.len() as i64);
+        Response::json(
+            200,
+            obj(vec![
+                ("created", Json::Str(name.to_owned())),
+                ("shards", Json::Num(shards as f64)),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn drop_collection(&self, name: &str) -> Response {
+        if let Some(resp) = self.default.reject_if_follower() {
+            return resp;
+        }
+        if name == DEFAULT_COLLECTION {
+            return error_response(409, "the default collection cannot be dropped");
+        }
+        let mut extras = self.extras.write().unwrap_or_else(PoisonError::into_inner);
+        if !extras.contains_key(name) {
+            return error_response(404, &format!("no such collection '{name}'"));
+        }
+        let mut manifest = self.manifest.lock().unwrap_or_else(PoisonError::into_inner);
+        let removed_spec = manifest.get(name).cloned();
+        manifest.remove(name);
+        if let Some(data_dir) = &self.config.data_dir {
+            if let Err(e) = manifest.save(&data_dir.join(MANIFEST_FILE)) {
+                if let Some(spec) = removed_spec {
+                    manifest.upsert(spec).expect("spec came from the manifest");
+                }
+                return error_response(500, &format!("saving catalog manifest: {e}"));
+            }
+        }
+        extras.remove(name);
+        self.collections_gauge.set(1 + extras.len() as i64);
+        // Unregistered first, purged second: if the purge fails the
+        // orphan directory is inert (the manifest no longer points at
+        // it, and a same-name create would fail loudly on the existing
+        // store rather than resurrect old data — so report it).
+        let mut fields = vec![("dropped", Json::Str(name.to_owned()))];
+        if let Some(data_dir) = &self.config.data_dir {
+            if let Err(e) = std::fs::remove_dir_all(collection_dir(data_dir, name)) {
+                fields.push(("purge_error", Json::Str(e.to_string())));
+            }
+        }
+        Response::json(200, obj(fields).to_string())
+    }
+
+    /// Appends the per-collection `collections` section to a `/stats`
+    /// or `/healthz` body. Lock poison is recovered throughout
+    /// (`into_inner` + each summary's own recovery): one tenant's
+    /// panicked writer must not take the whole page down.
+    fn with_collections_section(&self, resp: Response) -> Response {
+        let Ok(text) = std::str::from_utf8(&resp.body) else {
+            return resp;
+        };
+        let Ok(Json::Obj(mut fields)) = Json::parse(text) else {
+            return resp;
+        };
+        let mut sections = vec![(
+            DEFAULT_COLLECTION.to_owned(),
+            self.default.collection_summary_json(),
+        )];
+        let extras = self.extras.read().unwrap_or_else(PoisonError::into_inner);
+        for (name, service) in extras.iter() {
+            sections.push((name.clone(), service.collection_summary_json()));
+        }
+        drop(extras);
+        fields.push(("collections".to_owned(), Json::Obj(sections)));
+        Response::json(resp.status, Json::Obj(fields).to_string())
+    }
+}
+
+/// Rebuilds a scoped request against the inner service: the
+/// `/collections/<name>` prefix stripped, the query string kept.
+fn scoped_request(req: &Request, tail: &str, query: Option<&str>) -> Request {
+    let path = match query {
+        Some(q) => format!("/{tail}?{q}"),
+        None => format!("/{tail}"),
+    };
+    let mut inner = Request::new(&req.method, &path, req.body.clone());
+    inner.headers = req.headers.clone();
+    inner
+}
+
+/// Parses the optional `PUT /collections/<name>` body:
+/// `{"shards": n, "quotas": {"max_inflight_updates"|"max_sets"|
+/// "max_bytes"|"deadline_cap_ms": n, ...}}`. An empty body means
+/// server defaults.
+fn parse_create_body(body: &[u8], default_shards: usize) -> Result<(usize, Quotas), Response> {
+    if body.is_empty() {
+        return Ok((default_shards, Quotas::default()));
+    }
+    let doc = parse_body(body)?;
+    let shards = match doc.get("shards") {
+        None => default_shards,
+        Some(v) => match v.as_usize() {
+            Some(n) if n >= 1 => n,
+            _ => return Err(error_response(400, "'shards' must be a positive integer")),
+        },
+    };
+    let mut quotas = Quotas::default();
+    if let Some(q) = doc.get("quotas") {
+        let Json::Obj(pairs) = q else {
+            return Err(error_response(400, "'quotas' must be an object"));
+        };
+        for (key, value) in pairs {
+            let Some(n) = value.as_usize() else {
+                return Err(error_response(
+                    400,
+                    &format!("quota '{key}' must be a non-negative integer"),
+                ));
+            };
+            let n = n as u64;
+            match key.as_str() {
+                "max_inflight_updates" => quotas.max_inflight_updates = Some(n),
+                "max_sets" => quotas.max_sets = Some(n),
+                "max_bytes" => quotas.max_bytes = Some(n),
+                "deadline_cap_ms" => quotas.deadline_cap_ms = Some(n),
+                other => {
+                    return Err(error_response(
+                        400,
+                        &format!(
+                            "unknown quota '{other}' (max_inflight_updates, max_sets, \
+                             max_bytes, deadline_cap_ms)"
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+    Ok((shards, quotas))
+}
+
+/// A [`Quotas`] as a JSON object (only the set bounds appear).
+fn quotas_json(quotas: &Quotas) -> Json {
+    let mut fields = Vec::new();
+    let mut push = |name: &str, v: Option<u64>| {
+        if let Some(n) = v {
+            fields.push((name.to_owned(), Json::Num(n as f64)));
+        }
+    };
+    push("max_inflight_updates", quotas.max_inflight_updates);
+    push("max_sets", quotas.max_sets);
+    push("max_bytes", quotas.max_bytes);
+    push("deadline_cap_ms", quotas.deadline_cap_ms);
+    Json::Obj(fields)
+}
+
+/// Binds `addr` and serves the catalog on `threads` HTTP workers.
+pub fn serve_catalog<A: ToSocketAddrs>(
+    catalog: Arc<CatalogService>,
+    addr: A,
+    threads: usize,
+) -> io::Result<HttpServer> {
+    http::serve(addr, threads, move |req: &Request| catalog.handle(req))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silkmoth_core::RelatednessMetric;
+    use silkmoth_text::SimilarityFunction;
+    use std::sync::mpsc;
+
+    fn engine_cfg() -> EngineConfig {
+        EngineConfig::full(
+            RelatednessMetric::Similarity,
+            SimilarityFunction::Jaccard,
+            0.5,
+            0.0,
+        )
+    }
+
+    fn ephemeral_config() -> CatalogConfig {
+        CatalogConfig {
+            data_dir: None,
+            engine_cfg: engine_cfg(),
+            store_cfg: StoreConfig::default(),
+            ephemeral_policy: CompactionPolicy::DISABLED,
+            default_shards: 2,
+            max_collections: 8,
+            max_inflight_updates: None,
+            search_timeout: None,
+        }
+    }
+
+    fn corpus() -> Vec<Vec<String>> {
+        (0..12)
+            .map(|i| vec![format!("w{} shared{}", i % 5, i % 3)])
+            .collect()
+    }
+
+    fn catalog_with(config: CatalogConfig) -> CatalogService {
+        let default = Arc::new(SearchService::new(
+            ShardedEngine::build(&corpus(), engine_cfg(), 2).unwrap(),
+        ));
+        CatalogService::open(default, config).unwrap()
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request::new(method, path, body.as_bytes().to_vec())
+    }
+
+    fn send(catalog: &CatalogService, method: &str, path: &str, body: &str) -> (u16, Json) {
+        let resp = catalog.handle(&request(method, path, body));
+        let text = String::from_utf8(resp.body).unwrap();
+        (resp.status, Json::parse(&text).unwrap())
+    }
+
+    #[test]
+    fn create_scope_list_and_drop_roundtrip() {
+        let catalog = catalog_with(ephemeral_config());
+        let (status, body) = send(&catalog, "PUT", "/collections/tenant-a", "{\"shards\": 3}");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("created").and_then(Json::as_str), Some("tenant-a"));
+
+        // Scoped append + search hit only the new collection.
+        let (status, body) = send(
+            &catalog,
+            "POST",
+            "/collections/tenant-a/sets",
+            r#"{"sets": [["alpha beta"], ["alpha gamma"]]}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = send(
+            &catalog,
+            "POST",
+            "/collections/tenant-a/search",
+            r#"{"reference": ["alpha beta"]}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            !body
+                .get("results")
+                .and_then(Json::as_array)
+                .unwrap()
+                .is_empty(),
+            "{body}"
+        );
+        // The default collection (12 seed sets) is untouched.
+        assert_eq!(catalog.default_service().engine().len(), 12);
+        assert_eq!(catalog.collection("tenant-a").unwrap().engine().len(), 2);
+
+        let (status, body) = send(&catalog, "GET", "/collections", "");
+        assert_eq!(status, 200);
+        let listed: Vec<&str> = body
+            .get("collections")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|c| c.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(listed, ["default", "tenant-a"]);
+
+        let (status, body) = send(&catalog, "GET", "/collections/tenant-a", "");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("sets").and_then(Json::as_usize), Some(2));
+        assert_eq!(body.get("shards").and_then(Json::as_usize), Some(3));
+
+        let (status, _) = send(&catalog, "DELETE", "/collections/tenant-a", "");
+        assert_eq!(status, 200);
+        assert!(catalog.collection("tenant-a").is_none());
+        let (status, _) = send(&catalog, "DELETE", "/collections/tenant-a", "");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn name_validation_rejects_traversal_empty_and_overlong() {
+        let catalog = catalog_with(ephemeral_config());
+        // `../../etc`: the slashes make it parse as a scoped path whose
+        // collection name is `..` — rejected by the same charset rule.
+        let (status, body) = send(&catalog, "PUT", "/collections/../../etc", "");
+        assert_eq!(status, 400, "{body}");
+        assert!(
+            body.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("'.'"),
+            "{body}"
+        );
+        let (status, _) = send(&catalog, "PUT", "/collections/.", "");
+        assert_eq!(status, 400);
+        let long = format!("/collections/{}", "x".repeat(65));
+        let (status, body) = send(&catalog, "PUT", &long, "");
+        assert_eq!(status, 400);
+        assert!(
+            body.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("65"),
+            "{body}"
+        );
+        let (status, _) = send(&catalog, "PUT", "/collections/UPPER", "");
+        assert_eq!(status, 400);
+        // Nothing leaked into the registry.
+        assert_eq!(catalog.collection_names(), ["default"]);
+    }
+
+    #[test]
+    fn management_guards_duplicates_default_and_limits() {
+        let mut config = ephemeral_config();
+        config.max_collections = 2; // default + one
+        let catalog = catalog_with(config);
+        let (status, _) = send(&catalog, "PUT", "/collections/default", "");
+        assert_eq!(status, 409);
+        let (status, _) = send(&catalog, "PUT", "/collections/only", "");
+        assert_eq!(status, 200);
+        let (status, _) = send(&catalog, "PUT", "/collections/only", "");
+        assert_eq!(status, 409);
+        let (status, body) = send(&catalog, "PUT", "/collections/more", "");
+        assert_eq!(status, 403, "{body}");
+        assert!(
+            body.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("max-collections"),
+            "{body}"
+        );
+        let (status, _) = send(&catalog, "DELETE", "/collections/default", "");
+        assert_eq!(status, 409);
+        let (status, _) = send(&catalog, "POST", "/collections/only", "");
+        assert_eq!(status, 405);
+        let (status, _) = send(&catalog, "POST", "/collections", "");
+        assert_eq!(status, 405);
+        let (status, _) = send(&catalog, "POST", "/collections/ghost/search", "{}");
+        assert_eq!(status, 404);
+        // Bad create bodies are named 400s.
+        let (status, _) = send(&catalog, "DELETE", "/collections/only", "");
+        assert_eq!(status, 200);
+        let (status, _) = send(&catalog, "PUT", "/collections/only", "{\"shards\": 0}");
+        assert_eq!(status, 400);
+        let (status, body) = send(
+            &catalog,
+            "PUT",
+            "/collections/only",
+            "{\"quotas\": {\"max_speed\": 1}}",
+        );
+        assert_eq!(status, 400);
+        assert!(
+            body.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("max_speed"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn stats_and_healthz_carry_per_collection_sections() {
+        let catalog = catalog_with(ephemeral_config());
+        send(&catalog, "PUT", "/collections/aux", "");
+        send(
+            &catalog,
+            "POST",
+            "/collections/aux/sets",
+            r#"{"sets": [["one two"]]}"#,
+        );
+        for path in ["/stats", "/healthz"] {
+            let (status, body) = send(&catalog, "GET", path, "");
+            assert_eq!(status, 200, "{path}");
+            let sections = body.get("collections").unwrap();
+            let aux = sections.get("aux").unwrap();
+            assert_eq!(aux.get("sets").and_then(Json::as_usize), Some(1), "{body}");
+            assert_eq!(
+                aux.get("update_seq").and_then(Json::as_usize),
+                Some(1),
+                "{body}"
+            );
+            let default = sections.get("default").unwrap();
+            assert_eq!(
+                default.get("sets").and_then(Json::as_usize),
+                Some(12),
+                "{body}"
+            );
+            // The single-tenant fields are still present around the
+            // new section.
+            assert!(body
+                .get(if path == "/stats" {
+                    "requests"
+                } else {
+                    "status"
+                })
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn set_and_byte_quotas_answer_named_403s() {
+        let catalog = catalog_with(ephemeral_config());
+        send(
+            &catalog,
+            "PUT",
+            "/collections/small",
+            r#"{"quotas": {"max_sets": 2, "max_bytes": 100}}"#,
+        );
+        let (status, _) = send(
+            &catalog,
+            "POST",
+            "/collections/small/sets",
+            r#"{"sets": [["tiny"], ["mini"]]}"#,
+        );
+        assert_eq!(status, 200);
+        let (status, body) = send(
+            &catalog,
+            "POST",
+            "/collections/small/sets",
+            r#"{"sets": [["over"]]}"#,
+        );
+        assert_eq!(status, 403, "{body}");
+        assert!(
+            body.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("max_sets=2"),
+            "{body}"
+        );
+        // Byte quota: a single oversized set trips max_bytes even
+        // under the set bound.
+        send(
+            &catalog,
+            "PUT",
+            "/collections/wide",
+            r#"{"quotas": {"max_bytes": 10}}"#,
+        );
+        let (status, body) = send(
+            &catalog,
+            "POST",
+            "/collections/wide/sets",
+            r#"{"sets": [["this element text is far past ten bytes"]]}"#,
+        );
+        assert_eq!(status, 403, "{body}");
+        assert!(
+            body.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("max_bytes=10"),
+            "{body}"
+        );
+    }
+
+    /// The acceptance criterion: a tenant saturating its own
+    /// `max_inflight_updates` gets 503s while a concurrent tenant's
+    /// search *and* update traffic keeps answering 200 — the bound is
+    /// per-collection, so one tenant's pressure never rejects
+    /// another's requests.
+    #[test]
+    fn quota_isolation_one_tenants_503_never_leaks() {
+        let catalog = Arc::new(catalog_with(ephemeral_config()));
+        send(
+            &catalog,
+            "PUT",
+            "/collections/noisy",
+            r#"{"quotas": {"max_inflight_updates": 1}}"#,
+        );
+        send(&catalog, "PUT", "/collections/quiet", "{}");
+        send(
+            &catalog,
+            "POST",
+            "/collections/quiet/sets",
+            r#"{"sets": [["quiet seed"]]}"#,
+        );
+
+        // A slow reader on `noisy` blocks its writers: the admitted
+        // append parks on the write lock holding the collection's only
+        // in-flight slot, so the other contender must answer 503
+        // immediately. Both contenders run on their own threads — the
+        // guard-holding thread must never issue an append itself, or
+        // the admitted one would deadlock against its own read guard.
+        let noisy = catalog.collection("noisy").unwrap();
+        let reader_guard = noisy.engine();
+        let (tx, rx) = mpsc::channel();
+        let contenders: Vec<_> = (0..2)
+            .map(|i| {
+                let catalog = Arc::clone(&catalog);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let resp = catalog.handle(&request(
+                        "POST",
+                        "/collections/noisy/sets",
+                        &format!("{{\"sets\": [[\"noisy {i}\"]]}}"),
+                    ));
+                    let retry_after = resp
+                        .headers
+                        .iter()
+                        .any(|(k, v)| *k == "Retry-After" && v == "1");
+                    tx.send((resp.status, retry_after))
+                        .expect("collector alive");
+                    resp.status
+                })
+            })
+            .collect();
+        // Exactly one contender fails fast while the reader still
+        // holds the lock (the other is admitted and parked).
+        let (status, retry_after) = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("one append must fail fast while the slot is taken");
+        assert_eq!(status, 503);
+        assert!(retry_after, "the 503 must carry Retry-After: 1");
+
+        // The quiet tenant is untouched: search and update both 200
+        // while noisy is saturated.
+        let (status, _) = send(
+            &catalog,
+            "POST",
+            "/collections/quiet/search",
+            r#"{"reference": ["quiet seed"]}"#,
+        );
+        assert_eq!(
+            status, 200,
+            "a quiet tenant's search must not see noisy's 503"
+        );
+        let (status, _) = send(
+            &catalog,
+            "POST",
+            "/collections/quiet/sets",
+            r#"{"sets": [["quiet more"]]}"#,
+        );
+        assert_eq!(
+            status, 200,
+            "a quiet tenant's update must not see noisy's 503"
+        );
+        // So is the default collection.
+        let (status, _) = send(&catalog, "POST", "/sets", r#"{"sets": [["default more"]]}"#);
+        assert_eq!(status, 200);
+
+        assert!(
+            rx.try_recv().is_err(),
+            "noisy's admitted update must still be blocked by the reader"
+        );
+        drop(reader_guard);
+        let mut statuses: Vec<u16> = contenders.into_iter().map(|h| h.join().unwrap()).collect();
+        statuses.sort_unstable();
+        assert_eq!(
+            statuses,
+            [200, 503],
+            "the admitted append lands once unblocked"
+        );
+    }
+
+    #[test]
+    fn deadline_cap_takes_the_tighter_of_quota_and_server() {
+        let mut config = ephemeral_config();
+        config.search_timeout = Some(Duration::from_secs(5));
+        let catalog = catalog_with(config);
+        // A zero-millisecond cap expires every search instantly: the
+        // scoped route answers the server's 504, proving the cap wins
+        // over the 5-second server budget.
+        send(
+            &catalog,
+            "PUT",
+            "/collections/strict",
+            r#"{"quotas": {"deadline_cap_ms": 0}}"#,
+        );
+        send(
+            &catalog,
+            "POST",
+            "/collections/strict/sets",
+            r#"{"sets": [["needle in here"]]}"#,
+        );
+        let (status, body) = send(
+            &catalog,
+            "POST",
+            "/collections/strict/search",
+            r#"{"reference": ["needle in here"]}"#,
+        );
+        assert_eq!(status, 504, "{body}");
+    }
+
+    #[test]
+    fn durable_catalog_recovers_collections_and_data_after_drop() {
+        let dir = std::env::temp_dir().join(format!(
+            "silkmoth-catalog-svc-{}-recover",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = CatalogConfig {
+            data_dir: Some(dir.clone()),
+            store_cfg: StoreConfig {
+                sync: false, // test speed; recovery path is identical
+                policy: CompactionPolicy::DISABLED,
+            },
+            ..ephemeral_config()
+        };
+        let open = |cfg: &CatalogConfig| {
+            let default = Arc::new(SearchService::durable(
+                match Store::open(
+                    &dir,
+                    &ShardSpec {
+                        cfg: engine_cfg(),
+                        shards: 2,
+                    },
+                    cfg.store_cfg,
+                ) {
+                    Ok((store, _)) => store,
+                    Err(StorageError::NotInitialized { .. }) => Store::create(
+                        &dir,
+                        ShardedEngine::build(&corpus(), engine_cfg(), 2).unwrap(),
+                        cfg.store_cfg,
+                    )
+                    .unwrap(),
+                    Err(e) => panic!("{e}"),
+                },
+            ));
+            CatalogService::open(default, cfg.clone()).unwrap()
+        };
+
+        {
+            let catalog = open(&config);
+            send(&catalog, "PUT", "/collections/t1", "{\"shards\": 3}");
+            send(&catalog, "PUT", "/collections/t2", "");
+            send(
+                &catalog,
+                "POST",
+                "/collections/t1/sets",
+                r#"{"sets": [["t1 alpha"], ["t1 beta"]]}"#,
+            );
+            send(
+                &catalog,
+                "POST",
+                "/collections/t2/sets",
+                r#"{"sets": [["t2 gamma"]]}"#,
+            );
+            send(
+                &catalog,
+                "POST",
+                "/sets",
+                r#"{"sets": [["default delta"]]}"#,
+            );
+            // Simulated kill -9: drop without any clean shutdown.
+        }
+        {
+            let catalog = open(&config);
+            assert_eq!(catalog.collection_names(), ["default", "t1", "t2"]);
+            assert_eq!(catalog.collection("t1").unwrap().engine().len(), 2);
+            assert_eq!(
+                catalog.collection("t1").unwrap().engine().shard_count(),
+                3,
+                "the per-collection shard count survives restart"
+            );
+            assert_eq!(catalog.collection("t2").unwrap().engine().len(), 1);
+            assert_eq!(catalog.default_service().engine().len(), 13);
+            // Dropping t2 persists too.
+            let (status, _) = send(&catalog, "DELETE", "/collections/t2", "");
+            assert_eq!(status, 200);
+            assert!(!collection_dir(&dir, "t2").exists());
+        }
+        {
+            let catalog = open(&config);
+            assert_eq!(catalog.collection_names(), ["default", "t1"]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scoped_routes_preserve_query_strings() {
+        let catalog = catalog_with(ephemeral_config());
+        send(&catalog, "PUT", "/collections/q", "");
+        // /debug/traces?min_ms=abc must reach the inner service's
+        // query-string validation, proving the query survives the
+        // rewrite.
+        let (status, body) = send(
+            &catalog,
+            "GET",
+            "/collections/q/debug/traces?min_ms=abc",
+            "",
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(
+            body.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("min_ms"),
+            "{body}"
+        );
+    }
+}

@@ -50,6 +50,7 @@
 //!
 //! [`PassStats`]: silkmoth_core::PassStats
 
+pub mod catalog;
 pub mod durable;
 pub mod http;
 pub mod json;
@@ -59,6 +60,7 @@ pub mod replication;
 pub mod service;
 pub mod shard;
 
+pub use catalog::{serve_catalog, CatalogConfig, CatalogError, CatalogService};
 pub use durable::ShardSpec;
 pub use http::{read_simple_response, HttpServer, Request, Response};
 pub use json::{Json, JsonError};

@@ -47,8 +47,17 @@ const HTTP_DURATION_HELP: &str = "Wall-clock request latency, by route";
 /// Collapses a request path to a bounded route label. Every route the
 /// service dispatches maps to itself; anything else — typos, probes,
 /// scanners — collapses to `"other"` so label cardinality cannot grow
-/// with traffic.
+/// with traffic. Catalog management paths (`/collections`,
+/// `/collections/<name>`) collapse to one `"/collections"` label — the
+/// name must not leak into the route label because collection identity
+/// rides the dedicated `collection` label. Collection-*scoped* routes
+/// never reach this function with their prefix: the catalog rewrites
+/// `/collections/<name>/search` to `/search` before dispatching to
+/// that collection's service.
 pub fn canonical_route(path: &str) -> &'static str {
+    if path == "/collections" || path.starts_with("/collections/") {
+        return "/collections";
+    }
     match path {
         "/healthz" => "/healthz",
         "/stats" => "/stats",
@@ -71,6 +80,11 @@ pub fn canonical_route(path: &str) -> &'static str {
 #[derive(Debug, Clone)]
 pub struct ServiceMetrics {
     registry: Arc<Registry>,
+    /// `Some(name)` when this bundle records for one named collection:
+    /// the route/query/WAL families carry a `collection` label and this
+    /// is its value. `None` keeps the single-tenant label sets
+    /// byte-identical to what they were before the catalog existed.
+    collection: Option<String>,
     uptime: Gauge,
     inflight: Gauge,
     phase_stage: Histogram,
@@ -104,7 +118,20 @@ impl ServiceMetrics {
     /// (header-only) here because their series only appear as routes
     /// are hit; everything else registers its series immediately.
     pub fn new() -> Self {
-        let registry = Arc::new(Registry::new());
+        Self::build(Arc::new(Registry::new()), None)
+    }
+
+    /// Registers the same families on a **shared** registry with a
+    /// `collection` label on every route/query/WAL family — one bundle
+    /// per catalog collection, all rendering onto one `/metrics` page.
+    /// Process-wide families (build info, uptime, in-flight,
+    /// replication) are get-or-created unlabelled, so every collection
+    /// shares those cells.
+    pub fn for_collection(registry: &Arc<Registry>, collection: &str) -> Self {
+        Self::build(Arc::clone(registry), Some(collection))
+    }
+
+    fn build(registry: Arc<Registry>, collection: Option<&str>) -> Self {
         registry.declare(HTTP_REQUESTS, HTTP_REQUESTS_HELP, MetricKind::Counter, None);
         registry.declare(
             HTTP_DURATION,
@@ -112,6 +139,19 @@ impl ServiceMetrics {
             MetricKind::Histogram,
             Some(&LATENCY_BUCKETS),
         );
+        // The per-tenant label, appended after any per-family label so
+        // the single-tenant series names are a strict prefix of the
+        // multi-tenant ones.
+        fn with_collection<'a>(
+            base: &[(&'a str, &'a str)],
+            collection: Option<&'a str>,
+        ) -> Vec<(&'a str, &'a str)> {
+            let mut labels = base.to_vec();
+            if let Some(name) = collection {
+                labels.push(("collection", name));
+            }
+            labels
+        }
         // Constant 1 with the version as a label — the Prometheus
         // build-info convention, so dashboards can join any series
         // against the running version.
@@ -136,7 +176,7 @@ impl ServiceMetrics {
             registry.histogram(
                 "silkmoth_query_phase_duration_seconds",
                 "Query time per engine phase (worst shard per phase)",
-                &[("phase", name)],
+                &with_collection(&[("phase", name)], collection),
                 &LATENCY_BUCKETS,
             )
         };
@@ -147,7 +187,7 @@ impl ServiceMetrics {
             registry.counter(
                 "silkmoth_query_filter_survivors_total",
                 "Sets surviving each SilkMoth filter stage, summed over queries",
-                &[("stage", stage)],
+                &with_collection(&[("stage", stage)], collection),
             )
         };
         let funnel = [
@@ -160,52 +200,52 @@ impl ServiceMetrics {
         let sim_evals = registry.counter(
             "silkmoth_query_sim_evals_total",
             "Element-pair similarity evaluations across all queries",
-            &[],
+            &with_collection(&[], collection),
         );
         let signature_cost = registry.histogram(
             "silkmoth_query_signature_cost",
             "Per-query signature cost (token-level signature work, unitless)",
-            &[],
+            &with_collection(&[], collection),
             &SIGNATURE_COST_BUCKETS,
         );
         let wal_append = registry.histogram(
             "silkmoth_wal_append_duration_seconds",
             "Time writing one record into the WAL file (before fsync)",
-            &[],
+            &with_collection(&[], collection),
             &LATENCY_BUCKETS,
         );
         let wal_fsync = registry.histogram(
             "silkmoth_wal_fsync_duration_seconds",
             "Time in fsync per commit batch (0 when sync is off)",
-            &[],
+            &with_collection(&[], collection),
             &LATENCY_BUCKETS,
         );
         let batch_records = registry.histogram(
             "silkmoth_wal_commit_batch_records",
             "Updates amortized into one WAL write + fsync by group commit",
-            &[],
+            &with_collection(&[], collection),
             &BATCH_SIZE_BUCKETS,
         );
         let batch_duration = registry.histogram(
             "silkmoth_wal_commit_batch_duration_seconds",
             "Wall-clock time of one commit batch (write + fsync)",
-            &[],
+            &with_collection(&[], collection),
             &LATENCY_BUCKETS,
         );
         let snapshots = registry.counter(
             "silkmoth_storage_snapshots_total",
             "Snapshots written (manual and automatic)",
-            &[],
+            &with_collection(&[], collection),
         );
         let auto_compactions = registry.counter(
             "silkmoth_storage_auto_compactions_total",
             "Auto-compactions triggered by the WAL growth policy",
-            &[],
+            &with_collection(&[], collection),
         );
         let auto_snapshots = registry.counter(
             "silkmoth_storage_auto_snapshots_total",
             "Snapshots taken automatically by the WAL growth policy",
-            &[],
+            &with_collection(&[], collection),
         );
         let follower = FollowerMetrics::register(&registry);
         let followers = registry.gauge(
@@ -215,6 +255,7 @@ impl ServiceMetrics {
         );
         Self {
             registry,
+            collection: collection.map(str::to_owned),
             uptime,
             inflight,
             phase_stage,
@@ -240,23 +281,38 @@ impl ServiceMetrics {
         &self.inflight
     }
 
+    /// The registry every family lives in — shared across collections
+    /// in a catalog deployment, so the catalog can hang its own gauges
+    /// (collection count, cardinality bound) on the same page.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The collection this bundle records for, when it was built with
+    /// [`for_collection`](Self::for_collection).
+    pub fn collection(&self) -> Option<&str> {
+        self.collection.as_deref()
+    }
+
     /// Records one finished request into the per-route counter and
     /// latency histogram. `route` must come from [`canonical_route`] so
     /// the label set stays bounded.
     pub fn observe_request(&self, route: &'static str, status: u16, elapsed: Duration) {
         let status = status.to_string();
+        let mut counter_labels = vec![("route", route), ("status", status.as_str())];
+        let mut histogram_labels = vec![("route", route)];
+        if let Some(name) = self.collection.as_deref() {
+            counter_labels.push(("collection", name));
+            histogram_labels.push(("collection", name));
+        }
         self.registry
-            .counter(
-                HTTP_REQUESTS,
-                HTTP_REQUESTS_HELP,
-                &[("route", route), ("status", &status)],
-            )
+            .counter(HTTP_REQUESTS, HTTP_REQUESTS_HELP, &counter_labels)
             .inc();
         self.registry
             .histogram(
                 HTTP_DURATION,
                 HTTP_DURATION_HELP,
-                &[("route", route)],
+                &histogram_labels,
                 &LATENCY_BUCKETS,
             )
             .observe(elapsed);
@@ -353,6 +409,51 @@ mod tests {
         assert_eq!(canonical_route("/search"), "/search");
         assert_eq!(canonical_route("/search/"), "other");
         assert_eq!(canonical_route("/../etc/passwd"), "other");
+    }
+
+    #[test]
+    fn collection_paths_share_one_route_label() {
+        assert_eq!(canonical_route("/collections"), "/collections");
+        assert_eq!(canonical_route("/collections/tenant-a"), "/collections");
+        assert_eq!(
+            canonical_route("/collections/tenant-a/search"),
+            "/collections"
+        );
+        // No collection name may become its own route label.
+        assert_eq!(canonical_route("/collectionsx"), "other");
+    }
+
+    #[test]
+    fn for_collection_labels_tenant_families_and_shares_globals() {
+        let base = ServiceMetrics::new();
+        let tenant = ServiceMetrics::for_collection(base.registry(), "tenant-a");
+        tenant.observe_request(canonical_route("/search"), 200, Duration::from_millis(1));
+        tenant.observe_funnel(&PassStats {
+            candidates: 7,
+            ..Default::default()
+        });
+        let page = base.render();
+        assert!(
+            page.contains(
+                "silkmoth_http_requests_total{route=\"/search\",status=\"200\",collection=\"tenant-a\"} 1"
+            ),
+            "{page}"
+        );
+        assert!(
+            page.contains(
+                "silkmoth_query_filter_survivors_total{stage=\"candidates\",collection=\"tenant-a\"} 7"
+            ),
+            "{page}"
+        );
+        // Globals stay unlabelled and shared: exactly one in-flight
+        // gauge series even with two bundles registered.
+        assert_eq!(
+            page.matches("\nsilkmoth_http_inflight_requests ").count(),
+            1,
+            "{page}"
+        );
+        assert_eq!(tenant.collection(), Some("tenant-a"));
+        assert_eq!(base.collection(), None);
     }
 
     #[test]

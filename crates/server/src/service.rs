@@ -370,6 +370,17 @@ pub struct SearchService {
     /// `Some(n)`: at most n updates admitted concurrently (holding or
     /// waiting for the write lock); the rest get 503.
     max_inflight_updates: Option<usize>,
+    /// `Some(n)`: `POST /sets` answers a named 403 once the collection
+    /// would hold more than n live sets (catalog quota).
+    max_sets: Option<usize>,
+    /// `Some(n)`: `POST /sets` answers a named 403 once live element
+    /// text would exceed n bytes (catalog quota).
+    max_bytes: Option<u64>,
+    /// The catalog collection this service serves, when it is one of a
+    /// catalog's tenants: query trace spans carry it as a `collection`
+    /// attribute. `None` on a standalone (or default) service keeps
+    /// those spans byte-identical to the single-tenant server's.
+    collection: Option<String>,
     /// Whole-request wall-clock budget for `/search` and
     /// `/search/batch`: execution is capped cooperatively at this
     /// deadline and an expired request answers `504`.
@@ -433,6 +444,9 @@ impl SearchService {
             retention_hook: Mutex::new(None),
             policy: CompactionPolicy::DISABLED,
             max_inflight_updates: None,
+            max_sets: None,
+            max_bytes: None,
+            collection: None,
             search_timeout: None,
             inflight_updates: AtomicUsize::new(0),
             searches: AtomicU64::new(0),
@@ -465,6 +479,42 @@ impl SearchService {
     /// instead of queuing unboundedly.
     pub fn with_max_inflight_updates(mut self, n: usize) -> Self {
         self.max_inflight_updates = Some(n.max(1));
+        self
+    }
+
+    /// Bounds how many live sets this collection may hold: a
+    /// `POST /sets` that would push past `n` answers a named `403`
+    /// without touching the engine (catalog `max_sets` quota).
+    pub fn with_max_sets(mut self, n: usize) -> Self {
+        self.max_sets = Some(n);
+        self
+    }
+
+    /// Bounds the live element-text bytes this collection may hold:
+    /// a `POST /sets` that would push past `n` bytes answers a named
+    /// `403` (catalog `max_bytes` quota). The live total is only
+    /// computed when this bound is set.
+    pub fn with_max_bytes(mut self, n: u64) -> Self {
+        self.max_bytes = Some(n);
+        self
+    }
+
+    /// Swaps in a pre-built metric bundle — how a catalog gives each
+    /// collection's service `collection`-labelled families on one
+    /// shared registry ([`ServiceMetrics::for_collection`]). The
+    /// bundle's collection name (if any) also becomes the `collection`
+    /// attribute on query trace spans. On a durable backend the store's
+    /// telemetry hook is re-wired to the new cells.
+    pub fn with_metrics(mut self, metrics: ServiceMetrics) -> Self {
+        if let Backend::Durable(store) = &mut *self
+            .backend
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            store.set_telemetry_hook(store_telemetry_hook(&metrics));
+        }
+        self.collection = metrics.collection().map(str::to_owned);
+        self.metrics = metrics;
         self
     }
 
@@ -1034,7 +1084,7 @@ impl SearchService {
         self.metrics.observe_phases(&out.merged_timing());
         self.metrics.observe_funnel(&out.merged_stats());
         if let (Some(trace), Some(at)) = (info.trace.as_mut(), trace_start) {
-            record_query_spans(trace, &out, at, executed);
+            record_query_spans(trace, &out, at, executed, self.collection.as_deref());
         }
         info.shards = Some(out.shard_timings.len());
         info.timed_out = out.timed_out;
@@ -1084,7 +1134,13 @@ impl SearchService {
             // windows are not observable here; each query span borrows
             // the batch's start and its own worst-shard phase sum.
             if let (Some(trace), Some(at)) = (info.trace.as_mut(), trace_start) {
-                record_query_spans(trace, out, at, out.merged_timing().total());
+                record_query_spans(
+                    trace,
+                    out,
+                    at,
+                    out.merged_timing().total(),
+                    self.collection.as_deref(),
+                );
             }
         }
         info.shards = outs.first().map(|out| out.shard_timings.len());
@@ -1425,6 +1481,9 @@ impl SearchService {
                 }
             }
         }
+        if let Some(resp) = self.reject_over_quota(&sets) {
+            return resp;
+        }
         let done = match self.apply_update(Update::Append(sets)) {
             Ok(done) => done,
             Err(resp) => return resp,
@@ -1511,10 +1570,91 @@ impl SearchService {
         }
     }
 
+    /// The catalog quota gate for `POST /sets`: a named `403` when the
+    /// append would push the collection past its `max_sets` or
+    /// `max_bytes` bound, `None` otherwise. Quotas are admission
+    /// checks, not invariants — two concurrent appends may both pass
+    /// and land the collection slightly over the line; the *next*
+    /// append is then rejected, which is the boundedness a tenant quota
+    /// is for.
+    fn reject_over_quota(&self, sets: &[Vec<String>]) -> Option<Response> {
+        if self.max_sets.is_none() && self.max_bytes.is_none() {
+            return None;
+        }
+        let engine = self.engine();
+        if let Some(max) = self.max_sets {
+            let after = engine.len() + sets.len();
+            if after > max {
+                return Some(error_response(
+                    403,
+                    &format!(
+                        "collection set quota exceeded: {after} live sets would pass the \
+                         max_sets={max} bound"
+                    ),
+                ));
+            }
+        }
+        if let Some(max) = self.max_bytes {
+            let incoming: u64 = sets
+                .iter()
+                .flat_map(|s| s.iter())
+                .map(|e| e.len() as u64)
+                .sum();
+            let after = engine.text_bytes() + incoming;
+            if after > max {
+                return Some(error_response(
+                    403,
+                    &format!(
+                        "collection byte quota exceeded: {after} bytes of element text \
+                         would pass the max_bytes={max} bound"
+                    ),
+                ));
+            }
+        }
+        None
+    }
+
+    /// This collection's entry in the catalog's per-collection `/stats`
+    /// and `/healthz` sections: live sets, slot count, shard count, the
+    /// update sequence, and (durable backends) the storage status.
+    /// Recovers from lock poison — a summary section must never take
+    /// down the whole stats page over one tenant's panicked writer.
+    pub(crate) fn collection_summary_json(&self) -> Json {
+        let backend = self.backend.read().unwrap_or_else(PoisonError::into_inner);
+        let engine = backend.engine();
+        let update_seq = match &*backend {
+            Backend::Durable(store) => store.status().update_seq,
+            Backend::Ephemeral(_) => self.updates.load(Ordering::Relaxed),
+        };
+        let mut fields = vec![
+            ("sets".to_owned(), Json::Num(engine.len() as f64)),
+            ("slots".to_owned(), Json::Num(engine.slot_count() as f64)),
+            ("shards".to_owned(), Json::Num(engine.shard_count() as f64)),
+            ("update_seq".to_owned(), Json::Num(update_seq as f64)),
+            (
+                "durable".to_owned(),
+                Json::Bool(matches!(*backend, Backend::Durable(_))),
+            ),
+        ];
+        if let Backend::Durable(store) = &*backend {
+            let status = store.status();
+            fields.push((
+                "storage".to_owned(),
+                obj(vec![
+                    ("snapshot_seq", Json::Num(status.snapshot_seq as f64)),
+                    ("wal_records", Json::Num(status.wal_records as f64)),
+                    ("wal_segments", Json::Num(f64::from(status.wal_segments))),
+                    ("last_fsync_ok", Json::Bool(status.last_fsync_ok)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
     /// The follower read-only rejection for external update routes
     /// (`None` in the primary role). Replicated records bypass this by
     /// landing through [`with_durable_store`](Self::with_durable_store).
-    fn reject_if_follower(&self) -> Option<Response> {
+    pub(crate) fn reject_if_follower(&self) -> Option<Response> {
         let role = self.replication.lock().expect("replication lock poisoned");
         match &*role {
             ReplicationRole::Primary => None,
@@ -1604,7 +1744,7 @@ pub fn serve_service<A: ToSocketAddrs>(
     http::serve(addr, threads, move |req: &Request| service.handle(req))
 }
 
-fn parse_body(body: &[u8]) -> Result<Json, Response> {
+pub(crate) fn parse_body(body: &[u8]) -> Result<Json, Response> {
     let text =
         std::str::from_utf8(body).map_err(|_| error_response(400, "request body is not UTF-8"))?;
     let doc = Json::parse(text).map_err(|e| error_response(400, &format!("request body: {e}")))?;
@@ -1696,7 +1836,7 @@ fn search_timeout_response() -> Response {
     error_response(504, "search deadline exceeded (--search-timeout-ms)")
 }
 
-fn error_response(status: u16, msg: &str) -> Response {
+pub(crate) fn error_response(status: u16, msg: &str) -> Response {
     Response::json(
         status,
         obj(vec![("error", Json::Str(msg.into()))]).to_string(),
@@ -1773,10 +1913,14 @@ fn record_query_spans(
     out: &ShardedQueryOutput,
     start_us: u64,
     dur: Duration,
+    collection: Option<&str>,
 ) {
     let stats = out.merged_stats();
     let query = trace.add_span(trace::ROOT, "query", start_us, dur);
     funnel_attrs(trace, query, &stats);
+    if let Some(name) = collection {
+        trace.attr(query, "collection", AttrValue::Str(name.to_owned()));
+    }
     trace.attr(query, "timed_out", AttrValue::Bool(out.timed_out));
     for (id, (timing, stats)) in out.shard_timings.iter().zip(&out.shard_stats).enumerate() {
         let shard = trace.add_span(query, "shard", start_us, timing.total());

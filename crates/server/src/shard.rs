@@ -367,6 +367,28 @@ impl ShardedEngine {
             .collect()
     }
 
+    /// Bytes of element text across all **live** sets — what a
+    /// per-collection byte quota meters. Computed by walking the live
+    /// sets (no cached total), so callers should only pay for it when a
+    /// quota is actually configured.
+    pub fn text_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|e| {
+                let coll = e.collection();
+                coll.live_ids()
+                    .map(|id| {
+                        coll.set(id)
+                            .elements
+                            .iter()
+                            .map(|el| el.text.len() as u64)
+                            .sum::<u64>()
+                    })
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
     /// Applies one mutation, routed to the owning shard(s); see the
     /// type-level docs for the id-stability guarantees. The returned
     /// [`UpdateOutcome`] carries **global** ids; `remap` is always

@@ -11,16 +11,20 @@
 #      burst of CONCURRENT writers whose appends contend for the
 #      group-commit queue — gid order in the acks is commit order, so
 #      the interleaving is stitched back into the replay log,
-#   3. `kill -9` the server (no graceful shutdown — the WAL tail must
+#   3. append to a second catalog collection (`aux`, created in round 1
+#      via PUT /collections/aux) through its scoped route, so every
+#      crash covers two stores plus the catalog manifest,
+#   4. `kill -9` the server (no graceful shutdown — the WAL tail must
 #      carry everything),
-#   4. restart from --data-dir alone and check /stats matches the
-#      expected live count.
+#   5. restart from --data-dir alone and check /stats AND
+#      /collections/aux/stats match the expected live counts.
 #
 # After the last round a REFERENCE server is built fresh from the seed
-# input and fed the exact same acked update sequence in-memory; the
-# recovered durable server and the reference must return identical
-# search results (ids and scores) for a panel of probe references.
-# Any divergence fails the script.
+# input and fed the exact same acked update sequence in-memory (both
+# collections); the recovered durable server and the reference must
+# return identical search results (ids and scores) for a panel of
+# probe references against the default AND the aux collection. Any
+# divergence fails the script.
 #
 # Usage: scripts/crash_recovery.sh [rounds] [updates-per-round]
 # Env:   SILKMOTH=path/to/silkmoth (default: target/release/silkmoth)
@@ -39,7 +43,8 @@ REF_PORT=7742
 WORK="$(mktemp -d)"
 STORE="$WORK/store"
 INPUT="$WORK/seed.sets"
-OPS="$WORK/ops.jsonl" # every acknowledged update, in order
+OPS="$WORK/ops.jsonl"         # every acknowledged default-collection update
+AUX_OPS="$WORK/aux_ops.jsonl" # every acknowledged aux-collection append
 SERVER_PID=""
 REF_PID=""
 
@@ -75,6 +80,8 @@ for i in $(seq 0 19); do
     echo "w$((i % 7)) w$(((i + 3) % 5)) shared$((i % 4))|w$(((i * 3) % 11)) shared$(((i + 1) % 4))" >>"$INPUT"
 done
 : >"$OPS"
+: >"$AUX_OPS"
+AUX_COUNT=0 # expected live sets in the aux collection
 
 # Track the expected live set count; gids are assigned monotonically so
 # the shell can mirror the numbering: base 0..19, appends continue it.
@@ -160,6 +167,25 @@ check_sets() {
     [ "$got" = "$want" ] || die "port $port reports $got sets, expected $want"
 }
 
+# Appends to the aux collection through its scoped route — the same
+# ack-then-record discipline as the default collection's updates.
+aux_appends() {
+    local port="$1" n="$2" i body
+    for i in $(seq 1 "$n"); do
+        body="{\"sets\": [[\"aux r$round u$i shared$((RANDOM % 4))\", \"aux w$((RANDOM % 9))\"]]}"
+        curl -sf -X POST "localhost:$port/collections/aux/sets" -d "$body" >/dev/null ||
+            die "aux append not acknowledged"
+        echo "$body" >>"$AUX_OPS"
+        AUX_COUNT=$((AUX_COUNT + 1))
+    done
+}
+
+check_aux() {
+    local port="$1" got
+    got=$(curl -sf "localhost:$port/collections/aux/stats" | jq .sets)
+    [ "$got" = "$AUX_COUNT" ] || die "port $port reports $got aux sets, expected $AUX_COUNT"
+}
+
 # --- the soak ---------------------------------------------------------------
 for round in $(seq 1 "$ROUNDS"); do
     if [ "$round" -eq 1 ]; then
@@ -172,13 +198,21 @@ for round in $(seq 1 "$ROUNDS"); do
     SERVER_PID=$!
     wait_healthy "$PORT"
     check_sets "$PORT" # recovery restored the previous round's state
+    if [ "$round" -eq 1 ]; then
+        curl -sf -X PUT "localhost:$PORT/collections/aux" -d '{"shards": 2}' >/dev/null ||
+            die "creating the aux collection failed"
+    else
+        check_aux "$PORT" # the catalog manifest + aux store recovered too
+    fi
     issue_updates "$PORT" "$UPDATES"
     concurrent_appends "$PORT"
+    aux_appends "$PORT" 3
     check_sets "$PORT"
+    check_aux "$PORT"
     kill -9 "$SERVER_PID"
     wait "$SERVER_PID" 2>/dev/null || true
     SERVER_PID=""
-    echo "# round $round ok: killed with $(live_count) live sets on disk"
+    echo "# round $round ok: killed with $(live_count) live + $AUX_COUNT aux sets on disk"
 done
 
 # --- final recovery + differential check vs a reference rebuild -------------
@@ -192,6 +226,7 @@ REF_PID=$!
 wait_healthy "$PORT"
 wait_healthy "$REF_PORT"
 check_sets "$PORT"
+check_aux "$PORT"
 
 # Replay every acked update against the reference (same order, same
 # bodies → same gids, since ids are assigned monotonically).
@@ -205,6 +240,17 @@ while IFS=' ' read -r method path body; do
     fi
 done <"$OPS"
 check_sets "$REF_PORT"
+
+# Rebuild the aux collection on the (ephemeral) reference catalog and
+# replay its acked appends in order — gids are per-collection, so the
+# same body sequence yields the same ids.
+curl -sf -X PUT "localhost:$REF_PORT/collections/aux" -d '{"shards": 2}' >/dev/null ||
+    die "creating aux on the reference failed"
+while IFS= read -r body; do
+    curl -sf -X POST "localhost:$REF_PORT/collections/aux/sets" -d "$body" >/dev/null ||
+        die "aux reference replay rejected: $body"
+done <"$AUX_OPS"
+check_aux "$REF_PORT"
 
 # Probe panel: results (ids + scores) must match exactly. Pass stats
 # may legitimately differ (pruning depends on index internals), so only
@@ -224,9 +270,27 @@ for probe in \
     fi
 done
 
+# Same exactness bar for the recovered aux collection, through its
+# scoped route. A probe that only matches default-collection elements
+# must come back empty here — catalog recovery must not bleed one
+# tenant's sets into another's index.
+for probe in \
+    '{"reference": ["aux r1 u1 shared0", "aux w3"], "floor": 0.0}' \
+    '{"reference": ["aux r2 u2 shared2"], "k": 4, "floor": 0.0}' \
+    '{"reference": ["w0 w3 shared0"], "floor": 0.4}'; do
+    got=$(curl -sf -X POST "localhost:$PORT/collections/aux/search" -d "$probe" | jq -S .results)
+    want=$(curl -sf -X POST "localhost:$REF_PORT/collections/aux/search" -d "$probe" | jq -S .results)
+    if [ "$got" != "$want" ]; then
+        echo "aux probe: $probe" >&2
+        echo "recovered: $got" >&2
+        echo "reference: $want" >&2
+        die "recovered aux collection diverges from the reference rebuild"
+    fi
+done
+
 # With the recovered server still up and warm from the probe panel,
 # validate its /metrics exposition: two scrapes, linted for format and
 # counter monotonicity.
 "$(dirname "$0")/metrics_check.sh" "$PORT"
 
-echo "PASS: $ROUNDS rounds × ($UPDATES random + $((WRITERS * PER_WRITER)) concurrent) updates, ${SEGMENT_BYTES}-byte WAL segments, kill -9 each round, recovery identical on the probe panel"
+echo "PASS: $ROUNDS rounds × ($UPDATES random + $((WRITERS * PER_WRITER)) concurrent + 3 aux) updates, ${SEGMENT_BYTES}-byte WAL segments, kill -9 each round, both collections identical on the probe panels"

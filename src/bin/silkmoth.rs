@@ -32,10 +32,12 @@ use silkmoth::{
     StoreConfig, StoreEngine, Tokenization,
 };
 use silkmoth_server::{
-    dir_needs_fresh_store, follower_store_config, serve_log, start_follower, FollowerConfig,
-    LogFormat, SearchService, ServiceSource, StreamerConfig,
+    dir_needs_fresh_store, follower_store_config, serve_catalog, serve_log, start_follower,
+    CatalogConfig, CatalogService, FollowerConfig, LogFormat, SearchService, ServiceSource,
+    StreamerConfig,
 };
 use std::io::Read;
+use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
@@ -70,6 +72,7 @@ struct Cli {
     snapshot_every: Option<u64>,
     wal_segment_bytes: Option<u64>,
     max_inflight_updates: Option<usize>,
+    max_collections: usize,
     no_fsync: bool,
     replicate_addr: Option<String>,
     replicate_from: Option<String>,
@@ -131,6 +134,10 @@ options:
   --search-timeout-ms N
                       serve: whole-request budget for POST /search and
                       POST /search/batch; an exhausted request gets 504
+  --max-collections N serve: upper bound on catalog collections,
+                      including 'default' (default: 64); also the
+                      declared cardinality cap for the 'collection'
+                      metric label
   --no-fsync          durable: skip the per-update fsync (faster bulk
                       loads; a crash may lose the unsynced tail)
   --log-format F      serve: structured request logging to stderr, one
@@ -155,7 +162,11 @@ serve exposes POST /search, POST /search/batch, POST /discover,
 POST /sets, DELETE /sets, POST /compact, POST /snapshot (durable),
 POST /promote (follower failover), GET /stats, GET /healthz, and
 GET /metrics (Prometheus text format; JSON everywhere else — see the
-README for the schema and curl examples).
+README for the schema and curl examples). Those routes serve the
+'default' collection; the catalog adds PUT/GET/DELETE
+/collections/<name>, GET /collections, and every route above scoped
+as /collections/<name>/<route> for per-tenant collections (own
+shards, quotas, metrics label, and durable subdirectory).
 
 update applies --append and/or --remove to the collection through the
 incremental-update layer, compacts it, and writes the surviving sets
@@ -207,6 +218,7 @@ fn parse_cli() -> Cli {
         snapshot_every: None,
         wal_segment_bytes: None,
         max_inflight_updates: None,
+        max_collections: 64,
         no_fsync: false,
         replicate_addr: None,
         replicate_from: None,
@@ -311,6 +323,14 @@ fn parse_cli() -> Cli {
                         .parse()
                         .unwrap_or_else(|_| fail("bad --max-inflight-updates")),
                 )
+            }
+            "--max-collections" => {
+                cli.max_collections = val()
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --max-collections"));
+                if cli.max_collections == 0 {
+                    fail("--max-collections must be at least 1 (the default collection)");
+                }
             }
             "--no-fsync" => cli.no_fsync = true,
             "--replicate-addr" => cli.replicate_addr = Some(val()),
@@ -590,6 +610,30 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
         log
     });
 
+    // The catalog front: the service built above becomes the `default`
+    // collection (replication, when configured, covers it alone);
+    // named collections get their own engines, stores, and quotas
+    // under `<data-dir>/collections/`, recovered from the versioned
+    // catalog manifest on restart.
+    let catalog = CatalogService::open(
+        Arc::clone(&service),
+        CatalogConfig {
+            data_dir: cli.data_dir.as_ref().map(PathBuf::from),
+            engine_cfg: cfg,
+            store_cfg: StoreConfig {
+                sync: !cli.no_fsync,
+                policy,
+            },
+            ephemeral_policy: policy,
+            default_shards: cli.shards,
+            max_collections: cli.max_collections,
+            max_inflight_updates: cli.max_inflight_updates,
+            search_timeout: cli.search_timeout_ms.map(Duration::from_millis),
+        },
+    )
+    .unwrap_or_else(|e| fail(&e.to_string()));
+    let collections = catalog.collection_names().len();
+
     let threads = match cli.threads {
         0 => std::thread::available_parallelism().map_or(1, usize::from),
         n => n,
@@ -600,20 +644,24 @@ fn run_serve(cli: &Cli, similarity: SimilarityFunction) {
     };
     let durable = cli.data_dir.is_some();
     let bind = format!("{}:{}", cli.addr, cli.port);
-    let server = silkmoth::server::serve_service(service, bind.as_str(), threads)
+    let server = serve_catalog(Arc::new(catalog), bind.as_str(), threads)
         .unwrap_or_else(|e| fail(&format!("binding {bind}: {e}")));
     eprintln!(
-        "# silkmoth-server listening on http://{} — {} sets, {} shards, {} workers{}",
+        "# silkmoth-server listening on http://{} — {} sets, {} shards, {} workers, \
+         {} collection{}{}",
         server.addr(),
         sets,
         shards,
         threads,
+        collections,
+        if collections == 1 { "" } else { "s" },
         if durable { ", durable" } else { "" },
     );
     eprintln!(
         "# endpoints: POST /search, POST /search/batch, POST /discover, POST /sets, \
          DELETE /sets, POST /compact, POST /snapshot, POST /promote, GET /stats, \
-         GET /healthz, GET /metrics"
+         GET /healthz, GET /metrics; catalog: GET /collections, PUT|GET|DELETE \
+         /collections/<name>, scoped /collections/<name>/<route>"
     );
     server.wait();
     if let Some(mut log) = log_server {
